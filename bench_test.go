@@ -1,0 +1,123 @@
+package dynamast_test
+
+// One benchmark per figure/table of the paper's evaluation (DESIGN.md §5).
+// Each iteration regenerates the figure at bench.QuickScale; the tables are
+// printed on the first iteration. The reporting numbers in EXPERIMENTS.md
+// come from cmd/dynamast-bench at FullScale:
+//
+//	go run ./cmd/dynamast-bench all
+//
+// Run these with a bounded count, e.g.:
+//
+//	go test -bench=. -benchtime=1x -benchmem
+
+import (
+	"os"
+	"testing"
+
+	"dynamast/internal/bench"
+)
+
+// benchExperiment runs one figure per iteration and reports headline
+// metrics from the first run.
+func benchExperiment(b *testing.B, fn func(bench.Scale) (*bench.Experiment, error)) {
+	b.Helper()
+	scale := bench.QuickScale()
+	scale.Seed = 7
+	for i := 0; i < b.N; i++ {
+		exp, err := fn(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.Print(os.Stdout)
+			if len(exp.Rows) > 0 {
+				for col, v := range exp.Rows[0].Values {
+					b.ReportMetric(v, "row0_"+col)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig4aYCSBUniform5050(b *testing.B) {
+	benchExperiment(b, func(s bench.Scale) (*bench.Experiment, error) {
+		return bench.Fig4aYCSBUniform5050(s, []int{s.Clients})
+	})
+}
+
+func BenchmarkFig4bYCSBUniform9010(b *testing.B) {
+	benchExperiment(b, func(s bench.Scale) (*bench.Experiment, error) {
+		return bench.Fig4bYCSBUniform9010(s, []int{s.Clients})
+	})
+}
+
+func BenchmarkFig4cTPCCNewOrderLatency(b *testing.B) {
+	benchExperiment(b, bench.Fig4cTPCCNewOrderLatency)
+}
+
+func BenchmarkFig4dTPCCStockLevelLatency(b *testing.B) {
+	benchExperiment(b, bench.Fig4dTPCCStockLevelLatency)
+}
+
+func BenchmarkFig4eTPCCNewOrderMix(b *testing.B) {
+	benchExperiment(b, func(s bench.Scale) (*bench.Experiment, error) {
+		return bench.Fig4eTPCCNewOrderMix(s, []int{45, 90})
+	})
+}
+
+func BenchmarkFigCrossWarehouse(b *testing.B) {
+	benchExperiment(b, func(s bench.Scale) (*bench.Experiment, error) {
+		return bench.FigCrossWarehouse(s, []int{-1, 33})
+	})
+}
+
+func BenchmarkFigSkewYCSBZipfian(b *testing.B) {
+	benchExperiment(b, bench.FigSkewYCSBZipfian)
+}
+
+func BenchmarkFig5aSensitivity(b *testing.B) {
+	benchExperiment(b, bench.Fig5aSensitivity)
+}
+
+func BenchmarkFig5bAdaptivity(b *testing.B) {
+	benchExperiment(b, bench.Fig5bAdaptivity)
+}
+
+func BenchmarkFig7Breakdown(b *testing.B) {
+	benchExperiment(b, bench.Fig7Breakdown)
+}
+
+func BenchmarkFig6bDBSize(b *testing.B) {
+	benchExperiment(b, bench.Fig6bDBSize)
+}
+
+func BenchmarkFig6cSiteScaling(b *testing.B) {
+	benchExperiment(b, func(s bench.Scale) (*bench.Experiment, error) {
+		return bench.Fig6cSiteScaling(s, []int{4, 8})
+	})
+}
+
+func BenchmarkFig8aSmallBankThroughput(b *testing.B) {
+	benchExperiment(b, bench.Fig8aSmallBankThroughput)
+}
+
+func BenchmarkFig8bcdSmallBankTails(b *testing.B) {
+	benchExperiment(b, bench.Fig8bcdSmallBankTails)
+}
+
+func BenchmarkFig8efgPayment(b *testing.B) {
+	benchExperiment(b, bench.Fig8efgPayment)
+}
+
+func BenchmarkFigOverhead(b *testing.B) {
+	benchExperiment(b, bench.FigOverhead)
+}
+
+func BenchmarkFigLatencyAblation(b *testing.B) {
+	benchExperiment(b, bench.FigLatencyAblation)
+}
+
+func BenchmarkFigVersionCapAblation(b *testing.B) {
+	benchExperiment(b, bench.FigVersionCapAblation)
+}

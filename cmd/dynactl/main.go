@@ -1,0 +1,188 @@
+// Command dynactl is a command-line client for dynamastd.
+//
+// Usage:
+//
+//	dynactl [-addr host:port] [-client 1] <command> [args]
+//
+// Commands:
+//
+//	create-table <table>
+//	put <table> <key> <value>
+//	get <table> <key>
+//	add <table> <key> <delta>          atomic counter increment
+//	scan <table> <lo> <hi>
+//	txn <table> <key1,key2,...>        atomically increment several keys
+//	bench <table> <keys> <ops>         quick closed-loop load generator
+//	stats                              cluster statistics snapshot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dynamast/internal/server"
+	"dynamast/internal/storage"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "dynamastd address")
+	client := flag.Int("client", 1, "client/session id")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cl, err := server.Dial(*addr, *client)
+	if err != nil {
+		log.Fatalf("dynactl: connect %s: %v", *addr, err)
+	}
+	defer cl.Close()
+
+	cmd, args := args[0], args[1:]
+	if err := run(cl, cmd, args); err != nil {
+		log.Fatalf("dynactl: %s: %v", cmd, err)
+	}
+}
+
+func run(cl *server.Client, cmd string, args []string) error {
+	u64 := func(s string) uint64 {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			log.Fatalf("dynactl: bad number %q", s)
+		}
+		return v
+	}
+	switch cmd {
+	case "create-table":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: create-table <table>")
+		}
+		return cl.CreateTable(args[0])
+
+	case "put":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: put <table> <key> <value>")
+		}
+		return cl.Put(args[0], u64(args[1]), []byte(args[2]))
+
+	case "get":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: get <table> <key>")
+		}
+		data, ok, err := cl.Get(args[0], u64(args[1]))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Println("(not found)")
+			return nil
+		}
+		fmt.Printf("%q\n", data)
+		return nil
+
+	case "add":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: add <table> <key> <delta>")
+		}
+		delta, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			return err
+		}
+		key := u64(args[1])
+		res, err := cl.Txn(
+			[]storage.RowRef{{Table: args[0], Key: key}},
+			[]server.Op{{Kind: server.OpAdd, Table: args[0], Key: key, Delta: delta}})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-> %d\n", beU64(res[0].Value))
+		return nil
+
+	case "scan":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: scan <table> <lo> <hi>")
+		}
+		res, err := cl.Txn(nil, []server.Op{{
+			Kind: server.OpScan, Table: args[0], Lo: u64(args[1]), Hi: u64(args[2]),
+		}})
+		if err != nil {
+			return err
+		}
+		for _, kv := range res[0].Rows {
+			fmt.Printf("%d\t%q\n", kv.Key, kv.Value)
+		}
+		fmt.Printf("(%d rows)\n", len(res[0].Rows))
+		return nil
+
+	case "txn":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: txn <table> <key1,key2,...>")
+		}
+		var ws []storage.RowRef
+		var ops []server.Op
+		for _, part := range strings.Split(args[1], ",") {
+			k := u64(part)
+			ws = append(ws, storage.RowRef{Table: args[0], Key: k})
+			ops = append(ops, server.Op{Kind: server.OpAdd, Table: args[0], Key: k, Delta: 1})
+		}
+		res, err := cl.Txn(ws, ops)
+		if err != nil {
+			return err
+		}
+		for i, r := range res {
+			fmt.Printf("%d -> %d\n", ws[i].Key, beU64(r.Value))
+		}
+		return nil
+
+	case "stats":
+		st, err := cl.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("commits:        %d  (per site %v)\n", st.Commits, st.PerSiteCommits)
+		fmt.Printf("write txns:     %d  routed %v\n", st.WriteTxns, st.RoutedPerSite)
+		fmt.Printf("read txns:      %d\n", st.ReadTxns)
+		fmt.Printf("remastered:     %d txns, %d partitions moved\n", st.RemasterTxns, st.PartsMoved)
+		for i, vv := range st.SiteVectors {
+			fmt.Printf("site %d vector:  %v\n", i, vv)
+		}
+		return nil
+
+	case "bench":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: bench <table> <keys> <ops>")
+		}
+		keys, ops := u64(args[1]), int(u64(args[2]))
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			k := uint64(rng.Intn(int(keys)))
+			if _, err := cl.Txn(
+				[]storage.RowRef{{Table: args[0], Key: k}},
+				[]server.Op{{Kind: server.OpAdd, Table: args[0], Key: k, Delta: 1}}); err != nil {
+				return err
+			}
+		}
+		d := time.Since(start)
+		fmt.Printf("%d txns in %v (%.0f txn/s, avg %v)\n",
+			ops, d.Round(time.Millisecond), float64(ops)/d.Seconds(),
+			(d / time.Duration(ops)).Round(time.Microsecond))
+		return nil
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+func beU64(b []byte) (v uint64) {
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return
+}

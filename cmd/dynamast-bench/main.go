@@ -1,0 +1,128 @@
+// Command dynamast-bench regenerates the paper's evaluation figures and
+// tables. Each subcommand corresponds to one figure; "all" runs everything.
+//
+// Usage:
+//
+//	dynamast-bench [-quick] [-duration 4s] [-warmup 3s] [-clients 256] <experiment>
+//
+// Experiments: fig4a fig4b fig4c fig4d fig4e figxwh figskew fig5a fig5b
+// fig7 fig6b fig6c fig8a fig8bcd fig8efg figoverhead all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dynamast/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the fast scale (short runs, small data)")
+	duration := flag.Duration("duration", 0, "override measured duration per point")
+	warmup := flag.Duration("warmup", 0, "override warmup per point")
+	clients := flag.Int("clients", 0, "override client count")
+	keys := flag.Uint64("keys", 0, "override YCSB key count")
+	seed := flag.Int64("seed", 1, "workload seed")
+	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
+	flag.Parse()
+
+	scale := bench.FullScale()
+	if *quick {
+		scale = bench.QuickScale()
+	}
+	if *duration != 0 {
+		scale.Duration = *duration
+	}
+	if *warmup != 0 {
+		scale.Warmup = *warmup
+	}
+	if *clients != 0 {
+		scale.Clients = *clients
+	}
+	if *keys != 0 {
+		scale.Keys = *keys
+	}
+	scale.Seed = *seed
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dynamast-bench [flags] <experiment|all>")
+		fmt.Fprintln(os.Stderr, "experiments:", allNames())
+		os.Exit(2)
+	}
+
+	names := args
+	if len(args) == 1 && args[0] == "all" {
+		names = allNames()
+	}
+	for _, name := range names {
+		fn, ok := experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; have %v\n", name, allNames())
+			os.Exit(2)
+		}
+		start := time.Now()
+		exp, err := fn(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		exp.Print(os.Stdout)
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, name, exp); err != nil {
+				fmt.Fprintf(os.Stderr, "csv %s: %v\n", name, err)
+			}
+		}
+		fmt.Printf("(%s took %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+var experiments = map[string]func(bench.Scale) (*bench.Experiment, error){
+	"fig4a": func(s bench.Scale) (*bench.Experiment, error) {
+		return bench.Fig4aYCSBUniform5050(s, clientSweep(s))
+	},
+	"fig4b": func(s bench.Scale) (*bench.Experiment, error) {
+		return bench.Fig4bYCSBUniform9010(s, clientSweep(s))
+	},
+	"fig4c":       bench.Fig4cTPCCNewOrderLatency,
+	"fig4d":       bench.Fig4dTPCCStockLevelLatency,
+	"fig4e":       func(s bench.Scale) (*bench.Experiment, error) { return bench.Fig4eTPCCNewOrderMix(s, nil) },
+	"figxwh":      func(s bench.Scale) (*bench.Experiment, error) { return bench.FigCrossWarehouse(s, nil) },
+	"figskew":     bench.FigSkewYCSBZipfian,
+	"fig5a":       bench.Fig5aSensitivity,
+	"fig5b":       bench.Fig5bAdaptivity,
+	"fig7":        bench.Fig7Breakdown,
+	"fig6b":       bench.Fig6bDBSize,
+	"fig6c":       func(s bench.Scale) (*bench.Experiment, error) { return bench.Fig6cSiteScaling(s, nil) },
+	"fig8a":       bench.Fig8aSmallBankThroughput,
+	"fig8bcd":     bench.Fig8bcdSmallBankTails,
+	"fig8efg":     bench.Fig8efgPayment,
+	"figoverhead": bench.FigOverhead,
+	"figlatabl":   bench.FigLatencyAblation,
+	"figvercap":   bench.FigVersionCapAblation,
+}
+
+func writeCSV(dir, name string, exp *bench.Experiment) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return exp.WriteCSV(f)
+}
+
+func clientSweep(s bench.Scale) []int {
+	return []int{s.Clients / 4, s.Clients / 2, s.Clients}
+}
+
+func allNames() []string {
+	return []string{"fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "figxwh",
+		"figskew", "fig5a", "fig5b", "fig7", "fig6b", "fig6c",
+		"fig8a", "fig8bcd", "fig8efg", "figoverhead", "figlatabl", "figvercap"}
+}

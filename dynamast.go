@@ -1,0 +1,83 @@
+// Package dynamast is a from-scratch reproduction of "DynaMast: Adaptive
+// Dynamic Mastering for Replicated Systems" (Abebe, Glasbergen, Daudjee —
+// ICDE 2020): a lazily replicated, multi-master, in-memory transactional
+// database that guarantees single-site transaction execution by dynamically
+// transferring data mastership (remastering) with a lightweight
+// metadata-only protocol, and places masters adaptively using learned
+// workload statistics.
+//
+// The package re-exports the library's primary types; the implementation
+// lives under internal/ (see DESIGN.md for the system inventory):
+//
+//	cluster, err := dynamast.New(dynamast.Config{
+//	        Sites:       4,
+//	        Partitioner: dynamast.PartitionByRange(100),
+//	})
+//	sess := cluster.Session(1)
+//	err = sess.Update([]dynamast.RowRef{{Table: "kv", Key: 7}},
+//	        func(tx dynamast.Tx) error { return tx.Write(dynamast.RowRef{Table: "kv", Key: 7}, []byte("v")) })
+//
+// Every transaction executes at exactly one site under strong-session
+// snapshot isolation; the embedded site selector remasters data on demand
+// and balances mastership across sites.
+package dynamast
+
+import (
+	"dynamast/internal/core"
+	"dynamast/internal/selector"
+	"dynamast/internal/sitemgr"
+	"dynamast/internal/storage"
+	"dynamast/internal/systems"
+	"dynamast/internal/transport"
+)
+
+// Core types, re-exported.
+type (
+	// Config describes a cluster (sites, partitioning, strategy weights,
+	// simulated network, durability directory).
+	Config = core.Config
+	// Cluster is a running DynaMast deployment.
+	Cluster = core.Cluster
+	// Session is one client's strong-session-SI connection.
+	Session = core.Session
+	// RowRef names a row: table plus uint64 primary key.
+	RowRef = storage.RowRef
+	// KV is one row returned by a scan.
+	KV = storage.KV
+	// Tx is the handle a transaction's logic runs against.
+	Tx = systems.Tx
+	// Client abstracts a session (shared with the baseline systems).
+	Client = systems.Client
+	// LoadRow is one initial-data row.
+	LoadRow = systems.LoadRow
+	// Partitioner maps rows to partition groups.
+	Partitioner = sitemgr.Partitioner
+	// Weights are the remastering-strategy hyperparameters (Equation 8).
+	Weights = selector.Weights
+	// NetworkConfig configures the simulated wire.
+	NetworkConfig = transport.Config
+	// CostModel prices transactional work in the capacity model.
+	CostModel = sitemgr.CostModel
+)
+
+// New builds and starts a DynaMast cluster.
+func New(cfg Config) (*Cluster, error) { return core.NewCluster(cfg) }
+
+// PartitionByRange groups keys of every table into partitions of size
+// contiguous keys — the paper's YCSB partitioning.
+func PartitionByRange(size uint64) Partitioner {
+	return func(ref RowRef) uint64 { return ref.Key / size }
+}
+
+// YCSBWeights, TPCCWeights and SmallBankWeights are the paper's
+// per-workload strategy hyperparameters (Appendix H).
+func YCSBWeights() Weights      { return selector.YCSBWeights() }
+func TPCCWeights() Weights      { return selector.TPCCWeights() }
+func SmallBankWeights() Weights { return selector.SmallBankWeights() }
+
+// DefaultNetwork is the simulated cluster network used by the benchmark
+// experiments; the zero NetworkConfig is a free (instant) wire.
+func DefaultNetwork() NetworkConfig { return transport.DefaultConfig() }
+
+// DefaultCosts is the execution capacity model used by the experiments.
+func DefaultCosts() CostModel { return sitemgr.DefaultCostModel() }

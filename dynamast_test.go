@@ -1,0 +1,47 @@
+package dynamast_test
+
+import (
+	"testing"
+
+	"dynamast"
+)
+
+func TestPartitionByRange(t *testing.T) {
+	p := dynamast.PartitionByRange(100)
+	if p(dynamast.RowRef{Table: "t", Key: 0}) != 0 ||
+		p(dynamast.RowRef{Table: "t", Key: 99}) != 0 ||
+		p(dynamast.RowRef{Table: "t", Key: 100}) != 1 {
+		t.Fatal("PartitionByRange boundaries wrong")
+	}
+	// Table-agnostic: only the key decides.
+	if p(dynamast.RowRef{Table: "a", Key: 250}) != p(dynamast.RowRef{Table: "b", Key: 250}) {
+		t.Fatal("PartitionByRange must ignore the table")
+	}
+}
+
+func TestWeightHelpers(t *testing.T) {
+	if dynamast.YCSBWeights().Balance != 1e6 {
+		t.Fatal("YCSBWeights")
+	}
+	if dynamast.TPCCWeights().IntraTxn != 0.88 {
+		t.Fatal("TPCCWeights")
+	}
+	if dynamast.SmallBankWeights().IntraTxn != 3 {
+		t.Fatal("SmallBankWeights")
+	}
+}
+
+func TestDefaultHelpers(t *testing.T) {
+	if dynamast.DefaultNetwork().OneWay <= 0 {
+		t.Fatal("DefaultNetwork has no latency")
+	}
+	if dynamast.DefaultCosts().TxnBase <= 0 {
+		t.Fatal("DefaultCosts has no base cost")
+	}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := dynamast.New(dynamast.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

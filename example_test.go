@@ -1,0 +1,106 @@
+package dynamast_test
+
+import (
+	"fmt"
+	"log"
+
+	"dynamast"
+)
+
+// Example shows the minimal lifecycle: build a cluster, load data, run an
+// update transaction and read it back through the same session.
+func Example() {
+	cluster, err := dynamast.New(dynamast.Config{
+		Sites:       2,
+		Partitioner: dynamast.PartitionByRange(100),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	cluster.CreateTable("kv")
+	cluster.Load([]dynamast.LoadRow{
+		{Ref: dynamast.RowRef{Table: "kv", Key: 1}, Data: []byte("one")},
+	})
+
+	sess := cluster.Session(1)
+	ref := dynamast.RowRef{Table: "kv", Key: 1}
+	if err := sess.Update([]dynamast.RowRef{ref}, func(tx dynamast.Tx) error {
+		return tx.Write(ref, []byte("uno"))
+	}); err != nil {
+		log.Fatal(err)
+	}
+	_ = sess.Read(func(tx dynamast.Tx) error {
+		data, _ := tx.Read(ref)
+		fmt.Printf("%s\n", data)
+		return nil
+	})
+	// Output: uno
+}
+
+// ExampleCluster_Session demonstrates remastering: a write set spanning two
+// partitions whose masters start at different sites is co-located before
+// the transaction executes at a single site.
+func ExampleCluster_Session() {
+	cluster, err := dynamast.New(dynamast.Config{
+		Sites:       2,
+		Partitioner: dynamast.PartitionByRange(100),
+		// Partition 0 starts at site 0 and partition 1 at site 1.
+		InitialMaster: func(part uint64) int { return int(part) % 2 },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.CreateTable("kv")
+	cluster.Load([]dynamast.LoadRow{
+		{Ref: dynamast.RowRef{Table: "kv", Key: 10}, Data: []byte("a")},
+		{Ref: dynamast.RowRef{Table: "kv", Key: 110}, Data: []byte("b")},
+	})
+
+	sess := cluster.Session(7)
+	ws := []dynamast.RowRef{{Table: "kv", Key: 10}, {Table: "kv", Key: 110}}
+	if err := sess.Update(ws, func(tx dynamast.Tx) error {
+		for _, r := range ws {
+			if err := tx.Write(r, []byte("x")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	m := cluster.Selector().Metrics()
+	fmt.Printf("remastered %d transaction(s); partitions co-located: %v\n",
+		m.RemasterTxns, cluster.Selector().MasterOf(0) == cluster.Selector().MasterOf(1))
+	// Output: remastered 1 transaction(s); partitions co-located: true
+}
+
+// ExampleSession_Read shows read-only transactions running at any replica
+// under the session's freshness guarantee.
+func ExampleSession_Read() {
+	cluster, err := dynamast.New(dynamast.Config{
+		Sites:       3,
+		Partitioner: dynamast.PartitionByRange(100),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.CreateTable("kv")
+	var rows []dynamast.LoadRow
+	for k := uint64(0); k < 10; k++ {
+		rows = append(rows, dynamast.LoadRow{
+			Ref: dynamast.RowRef{Table: "kv", Key: k}, Data: []byte{byte(k)},
+		})
+	}
+	cluster.Load(rows)
+
+	sess := cluster.Session(1)
+	_ = sess.Read(func(tx dynamast.Tx) error {
+		fmt.Printf("scanned %d rows\n", len(tx.Scan("kv", 0, 10)))
+		return nil
+	})
+	// Output: scanned 10 rows
+}

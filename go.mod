@@ -1,0 +1,3 @@
+module dynamast
+
+go 1.22

@@ -1,0 +1,173 @@
+// Package bench is the experiment harness: it drives a systems.System with
+// a workload's closed-loop clients for a fixed duration (the OLTPBench
+// methodology the paper uses), collecting throughput, per-class latency
+// distributions, throughput timelines and system counters.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynamast/internal/systems"
+	"dynamast/internal/workload"
+)
+
+// Options configures one benchmark run.
+type Options struct {
+	// Clients is the number of closed-loop clients.
+	Clients int
+	// Duration is the measured interval.
+	Duration time.Duration
+	// Warmup runs before measurement starts (transactions during warmup
+	// execute but are not recorded).
+	Warmup time.Duration
+	// Seed drives the generators.
+	Seed int64
+	// TimelineBucket, when nonzero, records per-bucket completed-txn
+	// counts over the measured interval (adaptivity experiments).
+	TimelineBucket time.Duration
+}
+
+// Latency summarizes a latency distribution.
+type Latency struct {
+	Count              int
+	Avg                time.Duration
+	P50, P90, P99, Max time.Duration
+}
+
+// summarize computes the summary of a sample set (which it sorts).
+func summarize(samples []time.Duration) Latency {
+	l := Latency{Count: len(samples)}
+	if len(samples) == 0 {
+		return l
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(samples)-1))
+		return samples[i]
+	}
+	l.Avg = sum / time.Duration(len(samples))
+	l.P50, l.P90, l.P99 = pct(0.50), pct(0.90), pct(0.99)
+	l.Max = samples[len(samples)-1]
+	return l
+}
+
+// String renders the summary compactly.
+func (l Latency) String() string {
+	return fmt.Sprintf("n=%d avg=%s p50=%s p90=%s p99=%s max=%s",
+		l.Count, l.Avg.Round(time.Microsecond), l.P50.Round(time.Microsecond),
+		l.P90.Round(time.Microsecond), l.P99.Round(time.Microsecond),
+		l.Max.Round(time.Microsecond))
+}
+
+// Result is one run's outcome.
+type Result struct {
+	System     string
+	Workload   string
+	Clients    int
+	Duration   time.Duration
+	Txns       uint64
+	Errors     uint64
+	Throughput float64 // committed transactions per second
+	Overall    Latency
+	PerKind    map[string]Latency
+	Stats      systems.Stats
+	Timeline   []uint64 // per-bucket completed txns, if requested
+}
+
+// Run drives sys with wl's clients under opts. The system must already be
+// loaded (see Build).
+func Run(sys systems.System, wl workload.Workload, opts Options) Result {
+	if opts.Clients <= 0 {
+		opts.Clients = 1
+	}
+	type sample struct {
+		kind string
+		d    time.Duration
+	}
+	perClient := make([][]sample, opts.Clients)
+	var txns, errs atomic.Uint64
+
+	var timeline []atomic.Uint64
+	if opts.TimelineBucket > 0 {
+		n := int(opts.Duration/opts.TimelineBucket) + 1
+		timeline = make([]atomic.Uint64, n)
+	}
+
+	start := time.Now()
+	measureStart := start.Add(opts.Warmup)
+	deadline := measureStart.Add(opts.Duration)
+
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			gen := wl.NewGenerator(c, opts.Seed)
+			cl := sys.NewClient(c)
+			local := make([]sample, 0, 4096)
+			for {
+				now := time.Now()
+				if now.After(deadline) {
+					break
+				}
+				txn := gen.Next()
+				t0 := time.Now()
+				err := workload.Execute(cl, txn)
+				d := time.Since(t0)
+				if t0.Before(measureStart) {
+					continue
+				}
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				txns.Add(1)
+				local = append(local, sample{txn.Kind, d})
+				if timeline != nil {
+					b := int(time.Since(measureStart) / opts.TimelineBucket)
+					if b >= 0 && b < len(timeline) {
+						timeline[b].Add(1)
+					}
+				}
+			}
+			perClient[c] = local
+		}(c)
+	}
+	wg.Wait()
+
+	all := make([]time.Duration, 0, 1024)
+	byKind := make(map[string][]time.Duration)
+	for _, samples := range perClient {
+		for _, s := range samples {
+			all = append(all, s.d)
+			byKind[s.kind] = append(byKind[s.kind], s.d)
+		}
+	}
+	res := Result{
+		System:   sys.Name(),
+		Workload: wl.Name(),
+		Clients:  opts.Clients,
+		Duration: opts.Duration,
+		Txns:     txns.Load(),
+		Errors:   errs.Load(),
+		Overall:  summarize(all),
+		PerKind:  make(map[string]Latency, len(byKind)),
+		Stats:    sys.Stats(),
+	}
+	res.Throughput = float64(res.Txns) / opts.Duration.Seconds()
+	for k, samples := range byKind {
+		res.PerKind[k] = summarize(samples)
+	}
+	for i := range timeline {
+		res.Timeline = append(res.Timeline, timeline[i].Load())
+	}
+	return res
+}

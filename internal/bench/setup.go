@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dynamast/internal/core"
+	"dynamast/internal/selector"
+	"dynamast/internal/sitemgr"
+	"dynamast/internal/systems"
+	"dynamast/internal/transport"
+	"dynamast/internal/workload"
+)
+
+// SystemKind names an evaluated architecture.
+type SystemKind string
+
+// The five evaluated systems (§VI-A1).
+const (
+	KindDynaMast       SystemKind = "dynamast"
+	KindSingleMaster   SystemKind = "single-master"
+	KindMultiMaster    SystemKind = "multi-master"
+	KindPartitionStore SystemKind = "partition-store"
+	KindLEAP           SystemKind = "leap"
+)
+
+// AllSystems lists the evaluated systems in the paper's presentation order.
+func AllSystems() []SystemKind {
+	return []SystemKind{KindDynaMast, KindSingleMaster, KindMultiMaster,
+		KindPartitionStore, KindLEAP}
+}
+
+// Env is the shared experiment environment: cluster size, network and
+// execution-capacity model.
+type Env struct {
+	Sites     int
+	Network   transport.Config
+	ExecSlots int
+	Costs     sitemgr.CostModel
+	Seed      int64
+	// Weights overrides DynaMast's strategy hyperparameters; zero value
+	// selects the paper's per-workload defaults.
+	Weights selector.Weights
+	// PropagationDelay overrides replica propagation lag.
+	PropagationDelay time.Duration
+	// InitialMaster overrides DynaMast's initial partition placement
+	// (nil = the default pseudo-random scatter).
+	InitialMaster func(part uint64) int
+}
+
+// DefaultEnv is the standard experiment environment: the paper's simulated
+// datacenter wire and the default site capacity.
+func DefaultEnv(sites int) Env {
+	return Env{
+		Sites:     sites,
+		Network:   transport.DefaultConfig(),
+		ExecSlots: sitemgr.DefaultExecSlots,
+		Costs:     sitemgr.DefaultCostModel(),
+	}
+}
+
+// WeightsFor returns the paper's per-workload hyperparameters (App. H).
+func WeightsFor(wl workload.Workload) selector.Weights {
+	name := wl.Name()
+	switch {
+	case strings.HasPrefix(name, "tpcc"):
+		return selector.TPCCWeights()
+	case name == "smallbank":
+		return selector.SmallBankWeights()
+	default:
+		return selector.YCSBWeights()
+	}
+}
+
+// Build constructs, creates tables on, and loads one system for wl.
+func Build(kind SystemKind, wl workload.Workload, env Env) (systems.System, error) {
+	var sys systems.System
+	switch kind {
+	case KindDynaMast:
+		w := env.Weights
+		if w == (selector.Weights{}) {
+			w = WeightsFor(wl)
+		}
+		c, err := core.NewCluster(core.Config{
+			Sites:         env.Sites,
+			Partitioner:   wl.Partitioner(),
+			Weights:       w,
+			Network:       env.Network,
+			ExecSlots:     env.ExecSlots,
+			Costs:         env.Costs,
+			InitialMaster: env.InitialMaster,
+			Seed:          env.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sys = c
+	default:
+		cfg := systems.BaseConfig{
+			Sites:            env.Sites,
+			Partitioner:      wl.Partitioner(),
+			Placement:        wl.Placement(env.Sites),
+			ReplicatedTables: wl.ReplicatedTables(),
+			Network:          env.Network,
+			ExecSlots:        env.ExecSlots,
+			Costs:            env.Costs,
+			Seed:             env.Seed,
+		}
+		var err error
+		switch kind {
+		case KindSingleMaster:
+			sys, err = systems.NewSingleMaster(cfg)
+		case KindMultiMaster:
+			sys, err = systems.NewMultiMaster(cfg)
+		case KindPartitionStore:
+			sys, err = systems.NewPartitionStore(cfg)
+		case KindLEAP:
+			sys, err = systems.NewLEAP(cfg)
+		default:
+			return nil, fmt.Errorf("bench: unknown system %q", kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range wl.Tables() {
+		sys.CreateTable(t)
+	}
+	sys.Load(wl.LoadRows())
+	return sys, nil
+}
+
+// RunOne builds kind for wl, runs it, and tears it down.
+func RunOne(kind SystemKind, wl workload.Workload, env Env, opts Options) (Result, error) {
+	sys, err := Build(kind, wl, env)
+	if err != nil {
+		return Result{}, err
+	}
+	defer sys.Close()
+	return Run(sys, wl, opts), nil
+}

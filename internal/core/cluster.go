@@ -1,0 +1,268 @@
+// Package core assembles DynaMast: a site selector, m replicating data
+// sites, and per-site durable update logs, exposed through client sessions
+// that guarantee strong-session snapshot isolation. It is the paper's
+// primary contribution (§V) built on the substrates in internal/.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"dynamast/internal/selector"
+	"dynamast/internal/sitemgr"
+	"dynamast/internal/storage"
+	"dynamast/internal/systems"
+	"dynamast/internal/transport"
+	"dynamast/internal/wal"
+)
+
+// Config describes a DynaMast cluster.
+type Config struct {
+	// Sites is the number of data sites (m).
+	Sites int
+	// Partitioner maps rows to partition groups; required.
+	Partitioner sitemgr.Partitioner
+	// Weights are the remastering-strategy hyperparameters; zero value
+	// means selector.YCSBWeights.
+	Weights selector.Weights
+	// Network configures the simulated wire; zero value means free
+	// (transport.Instant) — benchmarks use transport.DefaultConfig.
+	Network transport.Config
+	// InitialMaster seeds partition placement; nil scatters partitions
+	// pseudo-randomly across the sites (the paper gives DynaMast no
+	// curated initial placement — its strategies must organize mastership
+	// themselves).
+	InitialMaster func(part uint64) int
+	// MaxVersions caps record version chains (0 = 4, the paper default).
+	MaxVersions int
+	// Stats tunes the selector's statistics tracking.
+	Stats selector.StatsConfig
+	// WALDir, when set, makes the update logs file-backed (durability and
+	// crash recovery); empty keeps them in memory.
+	WALDir string
+	// ExecSlots is each site's execution parallelism (0 = default).
+	ExecSlots int
+	// Costs prices transactional work (zero = free; benchmarks use
+	// sitemgr.DefaultCostModel).
+	Costs sitemgr.CostModel
+	// SelectorReplicas adds replica site-selectors (Appendix I): clients
+	// are assigned to replicas round-robin; single-sited write sets route
+	// locally at the replica and only remastering decisions reach the
+	// master selector. 0 keeps the stand-alone selector.
+	SelectorReplicas int
+	// Seed drives read-routing randomization.
+	Seed int64
+}
+
+// Cluster is a running DynaMast deployment.
+type Cluster struct {
+	cfg    Config
+	net    *transport.Network
+	broker *wal.Broker
+	sites  []*sitemgr.Site
+	sel    *selector.Selector
+	repl   *selector.Replicated
+
+	breakdown Breakdown
+	sessions  atomic.Uint64
+}
+
+// NewCluster builds and starts a DynaMast cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Sites <= 0 {
+		return nil, fmt.Errorf("core: Sites must be positive")
+	}
+	if cfg.Partitioner == nil {
+		return nil, fmt.Errorf("core: config requires a Partitioner")
+	}
+	if cfg.Weights == (selector.Weights{}) {
+		cfg.Weights = selector.YCSBWeights()
+	}
+	c := &Cluster{cfg: cfg, net: transport.NewNetwork(cfg.Network)}
+
+	var err error
+	if cfg.WALDir != "" {
+		c.broker, err = wal.OpenBroker(cfg.WALDir, cfg.Sites)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		c.broker = wal.NewBroker(cfg.Sites)
+	}
+
+	c.sites = make([]*sitemgr.Site, cfg.Sites)
+	dsites := make([]selector.DataSite, cfg.Sites)
+	for i := 0; i < cfg.Sites; i++ {
+		s, err := sitemgr.New(sitemgr.Config{
+			SiteID:      i,
+			Sites:       cfg.Sites,
+			Net:         c.net,
+			Broker:      c.broker,
+			MaxVersions: cfg.MaxVersions,
+			Partitioner: cfg.Partitioner,
+			Replicate:   true,
+			ExecSlots:   cfg.ExecSlots,
+			Costs:       cfg.Costs,
+		})
+		if err != nil {
+			c.broker.Close()
+			return nil, err
+		}
+		c.sites[i], dsites[i] = s, s
+	}
+
+	initial := cfg.InitialMaster
+	if initial == nil {
+		m := uint64(cfg.Sites)
+		initial = func(part uint64) int {
+			// Fibonacci hashing scatters partitions uncorrelated with the
+			// workloads' range structure.
+			return int((part * 0x9E3779B97F4A7C15 >> 17) % m)
+		}
+	}
+	c.sel, err = selector.New(selector.Config{
+		Sites:         dsites,
+		Partitioner:   cfg.Partitioner,
+		InitialMaster: initial,
+		Weights:       cfg.Weights,
+		Stats:         cfg.Stats,
+		Net:           c.net,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		c.broker.Close()
+		return nil, err
+	}
+
+	c.repl = selector.NewReplicated(c.sel, cfg.SelectorReplicas, c.net)
+
+	for _, s := range c.sites {
+		s.Start()
+	}
+	return c, nil
+}
+
+// Name implements systems.System.
+func (c *Cluster) Name() string { return "dynamast" }
+
+// CreateTable declares a table on every site.
+func (c *Cluster) CreateTable(name string) {
+	for _, s := range c.sites {
+		s.Store().CreateTable(name)
+	}
+}
+
+// Load installs initial rows on every site (full replication) and seeds the
+// partitions' initial mastership on the sites and the selector.
+func (c *Cluster) Load(rows []systems.LoadRow) {
+	seen := make(map[uint64]struct{})
+	loadStamp := storage.Stamp{Origin: 0, Seq: 0} // visible at every snapshot
+	for _, row := range rows {
+		part := c.cfg.Partitioner(row.Ref)
+		if _, ok := seen[part]; !ok {
+			seen[part] = struct{}{}
+			master := c.sel.MasterOf(part) // registers at initial placement
+			for i, s := range c.sites {
+				s.SetMaster(part, i == master)
+			}
+		}
+		for _, s := range c.sites {
+			t := s.Store().CreateTable(row.Ref.Table)
+			t.Record(row.Ref.Key, true).Install(loadStamp, row.Data, false, s.Store().MaxVersions())
+		}
+	}
+}
+
+// Selector exposes the master site selector (experiments tweak weights and
+// read routing metrics through it).
+func (c *Cluster) Selector() *selector.Selector { return c.sel }
+
+// SelectorReplicas exposes the replica selector tier (empty unless
+// configured).
+func (c *Cluster) SelectorReplicas() []*selector.Replica { return c.repl.Replicas() }
+
+// Sites exposes the data sites.
+func (c *Cluster) Sites() []*sitemgr.Site { return c.sites }
+
+// Network exposes the simulated network for traffic accounting.
+func (c *Cluster) Network() *transport.Network { return c.net }
+
+// Broker exposes the update-log broker (recovery tests).
+func (c *Cluster) Broker() *wal.Broker { return c.broker }
+
+// Stats implements systems.System.
+func (c *Cluster) Stats() systems.Stats {
+	st := systems.Stats{
+		Remasters:      c.sel.Metrics().RemasterTxns,
+		PerSiteCommits: make([]uint64, len(c.sites)),
+		Network:        c.net.Stats(),
+	}
+	for i, s := range c.sites {
+		st.PerSiteCommits[i] = s.Commits()
+		st.Commits += s.Commits()
+	}
+	return st
+}
+
+// Close shuts down replication and closes the logs. The broker closes
+// first so blocked appliers drain and exit.
+func (c *Cluster) Close() {
+	c.broker.Close()
+	for _, s := range c.sites {
+		s.Stop()
+	}
+}
+
+// WaitQuiesced blocks until every site has applied every other site's
+// committed updates (used between experiment phases and in tests).
+func (c *Cluster) WaitQuiesced(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		target := make([]uint64, len(c.sites))
+		for i, s := range c.sites {
+			target[i] = s.SVV()[i]
+		}
+		ok := true
+		for _, s := range c.sites {
+			svv := s.SVV()
+			for k, want := range target {
+				if svv[k] < want {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: cluster did not quiesce within %v", timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Recover rebuilds a durable cluster's state after a restart: each site
+// replays its own redo log, mastership is reconstructed from the logged
+// release/grant operations over the supplied load-time placement, every
+// site adopts it and catches up on its peers' logged updates, and the
+// selector metadata is aligned. Call it on a freshly constructed cluster
+// whose Config.WALDir points at the previous incarnation's logs, after
+// re-creating the schema with CreateTable.
+func (c *Cluster) Recover(initialPlacement map[uint64]int) error {
+	for _, s := range c.sites {
+		if err := s.RecoverLocal(); err != nil {
+			return fmt.Errorf("core: recover site %d: %w", s.ID(), err)
+		}
+	}
+	owner := sitemgr.RecoverMastership(c.broker, initialPlacement)
+	for _, s := range c.sites {
+		s.AdoptMastership(owner)
+		s.CatchUp(nil)
+	}
+	for p, site := range owner {
+		c.sel.RegisterPartition(p, site)
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dynamast/internal/sitemgr"
+	"dynamast/internal/storage"
+	"dynamast/internal/systems"
+)
+
+// Full-cluster crash/recovery: run traffic (including remastering) against
+// a durable cluster, tear everything down, restart from the write-ahead
+// logs alone, and verify data and mastership state.
+func TestClusterCrashRecoveryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Sites:       3,
+		Partitioner: partitionBy100,
+		WALDir:      dir,
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.CreateTable("kv")
+	var rows []systems.LoadRow
+	for k := uint64(0); k < 1000; k++ {
+		rows = append(rows, systems.LoadRow{Ref: ref(k), Data: []byte{0}})
+	}
+	c.Load(rows)
+
+	// Capture the load-time mastership (the WAL only records changes).
+	initial := map[uint64]int{}
+	for p := uint64(0); p < 10; p++ {
+		initial[p] = c.Selector().MasterOf(p)
+	}
+
+	// Drive cross-partition updates so mastership moves and commits land
+	// at multiple sites.
+	sess := c.Session(1)
+	want := map[uint64]byte{}
+	for i := 0; i < 40; i++ {
+		a := uint64((i * 7) % 10)
+		b := uint64((i*13 + 3) % 10)
+		if a == b {
+			continue
+		}
+		ws := []storage.RowRef{ref(a*100 + 5), ref(b*100 + 5)}
+		v := byte(i + 1)
+		if err := sess.Update(ws, func(tx systems.Tx) error {
+			for _, r := range ws {
+				if err := tx.Write(r, []byte{v}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		want[a*100+5], want[b*100+5] = v, v
+	}
+	if c.Stats().Remasters == 0 {
+		t.Fatal("workload did not exercise remastering")
+	}
+	finalMasters := map[uint64]int{}
+	for p := uint64(0); p < 10; p++ {
+		finalMasters[p] = c.Selector().MasterOf(p)
+	}
+	if err := c.WaitQuiesced(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // "crash": all in-memory state gone; only the WALs remain
+
+	// Restart: replay each site's own log, adopt recovered mastership,
+	// and seed the fresh selector with it.
+	owner := map[uint64]int{}
+	c2, err := NewCluster(Config{
+		Sites:       3,
+		Partitioner: partitionBy100,
+		WALDir:      dir,
+		InitialMaster: func(p uint64) int {
+			if s, ok := owner[p]; ok {
+				return s
+			}
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.CreateTable("kv")
+	for _, s := range c2.Sites() {
+		if err := s.RecoverLocal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recovered := sitemgr.RecoverMastership(c2.Broker(), initial)
+	for p, s := range recovered {
+		owner[p] = s
+	}
+	for _, s := range c2.Sites() {
+		s.AdoptMastership(recovered)
+		s.CatchUp(nil)
+	}
+
+	// Mastership matches the pre-crash state.
+	for p := uint64(0); p < 10; p++ {
+		if recovered[p] != finalMasters[p] {
+			t.Errorf("partition %d recovered owner %d, want %d", p, recovered[p], finalMasters[p])
+		}
+	}
+
+	// Every committed value is readable (catch up replicas first).
+	for k, v := range want {
+		data, ok := c2.Sites()[recovered[k/100]].ReadLocal(ref(k))
+		if !ok || data[0] != v {
+			t.Fatalf("key %d after recovery: %v %v, want %d", k, data, ok, v)
+		}
+	}
+
+	// And the recovered cluster accepts new transactions on the recovered
+	// mastership, including further remastering.
+	sess2 := c2.Session(5)
+	ws := []storage.RowRef{ref(105), ref(905)}
+	if err := sess2.Update(ws, func(tx systems.Tx) error {
+		for _, r := range ws {
+			if err := tx.Write(r, []byte{0xEE}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess2.Read(func(tx systems.Tx) error {
+		data, ok := tx.Read(ref(105))
+		if !ok || data[0] != 0xEE {
+			return fmt.Errorf("post-recovery write unreadable: %v %v", data, ok)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A single crashed site rejoins by bootstrapping from a live replica and
+// resuming replication.
+func TestSingleSiteBootstrapRejoin(t *testing.T) {
+	c := newTestCluster(t, 3)
+	sess := c.Session(1)
+	for i := 0; i < 20; i++ {
+		k := uint64(i * 37 % 1000)
+		if err := sess.Update([]storage.RowRef{ref(k)}, func(tx systems.Tx) error {
+			return tx.Write(ref(k), []byte{byte(i)})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WaitQuiesced(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Build a replacement for site 2 from site 0's state.
+	fresh, err := sitemgr.New(sitemgr.Config{
+		SiteID:      2,
+		Sites:       3,
+		Broker:      c.Broker(),
+		Partitioner: partitionBy100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.BootstrapFrom(c.Sites()[0])
+	if !fresh.SVV().DominatesEq(c.Sites()[0].SVV()) {
+		t.Fatalf("bootstrap vector %v behind donor %v", fresh.SVV(), c.Sites()[0].SVV())
+	}
+	// Spot-check data equality at the latest snapshot.
+	for _, k := range []uint64{0, 37, 74} {
+		want, okW := c.Sites()[0].ReadLocal(ref(k))
+		got, okG := fresh.ReadLocal(ref(k))
+		if okW != okG || (okW && string(want) != string(got)) {
+			t.Fatalf("key %d differs after bootstrap: %v/%v vs %v/%v", k, want, okW, got, okG)
+		}
+	}
+}
+
+// Cluster.Recover performs the full recovery dance in one call.
+func TestClusterRecoverConvenience(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Sites: 2, Partitioner: partitionBy100, WALDir: dir}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.CreateTable("kv")
+	c.Load([]systems.LoadRow{{Ref: ref(1), Data: []byte("init")}, {Ref: ref(101), Data: []byte("init")}})
+	initial := map[uint64]int{0: c.Selector().MasterOf(0), 1: c.Selector().MasterOf(1)}
+	sess := c.Session(1)
+	if err := sess.Update([]storage.RowRef{ref(1), ref(101)}, func(tx systems.Tx) error {
+		tx.Write(ref(1), []byte("a"))
+		return tx.Write(ref(101), []byte("b"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	master := c.Selector().MasterOf(0)
+	if err := c.WaitQuiesced(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	c2, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.CreateTable("kv")
+	if err := c2.Recover(initial); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Selector().MasterOf(0); got != master {
+		t.Fatalf("recovered master %d, want %d", got, master)
+	}
+	sess2 := c2.Session(2)
+	if err := sess2.Read(func(tx systems.Tx) error {
+		if d, ok := tx.Read(ref(1)); !ok || string(d) != "a" {
+			return fmt.Errorf("recovered read %q %v", d, ok)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The recovered cluster accepts writes on the recovered mastership.
+	if err := sess2.Update([]storage.RowRef{ref(1)}, func(tx systems.Tx) error {
+		return tx.Write(ref(1), []byte("post"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"dynamast/internal/selector"
+	"dynamast/internal/sitemgr"
+	"dynamast/internal/storage"
+	"dynamast/internal/systems"
+	"dynamast/internal/transport"
+	"dynamast/internal/vclock"
+)
+
+// beginRetries bounds resubmission when a site's mastership changed between
+// routing and execution (possible only under racing remasterings; the
+// selector re-routes on retry).
+const beginRetries = 64
+
+// Session is one client's connection to the cluster. It tracks the client
+// version vector that enforces strong-session snapshot isolation: every
+// transaction executes on data at least as fresh as the state the client
+// last observed, and the vector is folded forward after each transaction.
+// A Session is used by one goroutine at a time.
+type Session struct {
+	c      *Cluster
+	id     int
+	cvv    vclock.Vector
+	router selector.Router
+}
+
+// Session opens a session for client id. With replica selectors
+// configured, the session is assigned one round-robin; otherwise it talks
+// to the master selector.
+func (c *Cluster) Session(id int) *Session {
+	c.sessions.Add(1)
+	return &Session{c: c, id: id, cvv: vclock.New(len(c.sites)), router: c.repl.RouterFor(id)}
+}
+
+// NewClient implements systems.System: sessions adapted to the
+// benchmark-facing Client interface (the read hint is ignored — any
+// replica serves any read).
+func (c *Cluster) NewClient(id int) systems.Client { return sessionClient{c.Session(id)} }
+
+// sessionClient adapts *Session to systems.Client.
+type sessionClient struct{ s *Session }
+
+func (a sessionClient) Update(ws []storage.RowRef, fn func(systems.Tx) error) error {
+	return a.s.Update(ws, fn)
+}
+func (a sessionClient) Read(_ []storage.RowRef, fn func(systems.Tx) error) error {
+	return a.s.Read(fn)
+}
+
+// CVV returns a copy of the session's client version vector.
+func (s *Session) CVV() vclock.Vector { return s.cvv.Clone() }
+
+// Update executes fn as an update transaction with the declared write set:
+// the client sends begin_transaction to the site selector, which remasters
+// if needed and returns the execution site and minimum begin version; the
+// client then runs the stored procedure at that site and commits locally —
+// no distributed coordination inside the transaction.
+func (s *Session) Update(writeSet []storage.RowRef, fn func(systems.Tx) error) error {
+	c := s.c
+	bd := &c.breakdown
+
+	for attempt := 0; ; attempt++ {
+		// begin_transaction round trip to the site selector.
+		t0 := time.Now()
+		c.net.Send(transport.CatRoute, transport.MsgOverhead+transport.SizeOfRefs(writeSet))
+		t1 := time.Now()
+		var route selector.Route
+		var err error
+		if rep, ok := s.router.(*selector.Replica); ok && attempt > 0 {
+			// A data site rejected the transaction: the replica's
+			// metadata was stale, so resubmit through the master
+			// selector (Appendix I).
+			route, err = rep.RouteToMaster(s.id, writeSet, s.cvv)
+		} else {
+			route, err = s.router.RouteWrite(s.id, writeSet, s.cvv)
+		}
+		if err != nil {
+			return fmt.Errorf("core: route: %w", err)
+		}
+		t2 := time.Now()
+		c.net.Send(transport.CatRoute, transport.MsgOverhead+transport.SizeOfVector(route.MinVV))
+		t3 := time.Now()
+
+		minVV := s.cvv.Clone().MaxInto(route.MinVV)
+		site := c.sites[route.Site]
+
+		// Stored-procedure round trip to the data site: ship the write-set
+		// arguments, execute, and receive the commit timestamp.
+		c.net.Send(transport.CatTxn, transport.MsgOverhead+transport.SizeOfRefs(writeSet))
+		t4 := time.Now()
+		tx, err := site.Begin(minVV, writeSet)
+		if errors.Is(err, sitemgr.ErrNotMaster) || errors.Is(err, sitemgr.ErrReleasing) {
+			if attempt < beginRetries {
+				// Mastership moved between routing and begin (racing
+				// remasterings on a hot partition). Back off briefly so
+				// storms drain instead of livelocking, then resubmit.
+				if attempt > 1 {
+					backoff := time.Duration(attempt) * 2 * time.Millisecond
+					if backoff > 20*time.Millisecond {
+						backoff = 20 * time.Millisecond
+					}
+					time.Sleep(backoff)
+				}
+				continue
+			}
+			return fmt.Errorf("core: begin after %d retries: %w", attempt, err)
+		}
+		if err != nil {
+			return fmt.Errorf("core: begin: %w", err)
+		}
+		t5 := time.Now()
+		// Run the stored procedure, then charge its modelled CPU through
+		// the site's execution slots.
+		ferr := fn(txAdapter{tx})
+		site.Exec(tx.Cost)
+		if ferr != nil {
+			tx.Abort()
+			return ferr
+		}
+		t6 := time.Now()
+		tvv, err := tx.Commit()
+		if err != nil {
+			return fmt.Errorf("core: commit: %w", err)
+		}
+		t7 := time.Now()
+		c.net.Send(transport.CatTxn, transport.MsgOverhead+transport.SizeOfVector(tvv))
+		t8 := time.Now()
+
+		s.cvv = s.cvv.MaxInto(tvv)
+
+		bd.record(phaseNetwork, t1.Sub(t0)+t3.Sub(t2)+t4.Sub(t3)+t8.Sub(t7))
+		bd.record(phaseRoute, t2.Sub(t1))
+		bd.record(phaseBegin, t5.Sub(t4))
+		bd.record(phaseLogic, t6.Sub(t5))
+		bd.record(phaseCommit, t7.Sub(t6))
+		bd.count.Add(1)
+		return nil
+	}
+}
+
+// Read executes fn as a read-only transaction at a replica satisfying the
+// session's freshness guarantee; any site works, no cross-site
+// synchronization occurs.
+func (s *Session) Read(fn func(systems.Tx) error) error {
+	c := s.c
+	c.net.Send(transport.CatRoute, transport.MsgOverhead)
+	route := s.router.RouteRead(s.id, s.cvv)
+	c.net.Send(transport.CatRoute, transport.MsgOverhead)
+
+	c.net.Send(transport.CatTxn, transport.MsgOverhead)
+	site := c.sites[route.Site]
+	tx, err := site.Begin(s.cvv, nil)
+	if err != nil {
+		return fmt.Errorf("core: read begin: %w", err)
+	}
+	ferr := fn(txAdapter{tx})
+	site.Exec(tx.Cost)
+	if ferr != nil {
+		tx.Abort()
+		return ferr
+	}
+	snap := tx.Snapshot()
+	if _, err := tx.Commit(); err != nil {
+		return err
+	}
+	c.net.Send(transport.CatTxn, transport.MsgOverhead)
+	s.cvv = s.cvv.MaxInto(snap)
+	return nil
+}
+
+// txAdapter exposes a sitemgr transaction through the systems.Tx interface.
+type txAdapter struct{ tx *sitemgr.Txn }
+
+func (a txAdapter) Read(ref storage.RowRef) ([]byte, bool) { return a.tx.Read(ref) }
+func (a txAdapter) Scan(table string, lo, hi uint64) []storage.KV {
+	return a.tx.Scan(table, lo, hi)
+}
+func (a txAdapter) Write(ref storage.RowRef, data []byte) error { return a.tx.Write(ref, data) }
+
+// Breakdown phases (Figure 7's latency categories). Locate/route is
+// reported from the selector's own metrics; the session adds network,
+// begin, logic and commit.
+type phase int
+
+const (
+	phaseRoute phase = iota
+	phaseNetwork
+	phaseBegin
+	phaseLogic
+	phaseCommit
+	numPhases
+)
+
+// Breakdown accumulates per-phase latency across a cluster's update
+// transactions.
+type Breakdown struct {
+	nanos [numPhases]atomic.Int64
+	count atomic.Uint64
+}
+
+func (b *Breakdown) record(p phase, d time.Duration) { b.nanos[p].Add(int64(d)) }
+
+// BreakdownReport is the averaged per-phase latency.
+type BreakdownReport struct {
+	Count   uint64
+	Route   time.Duration // selector processing incl. remastering wait
+	Network time.Duration
+	Begin   time.Duration // lock acquisition + session-freshness wait
+	Logic   time.Duration // stored procedure execution
+	Commit  time.Duration
+}
+
+// Breakdown returns the averaged latency breakdown of all update
+// transactions executed so far.
+func (c *Cluster) Breakdown() BreakdownReport {
+	n := c.breakdown.count.Load()
+	r := BreakdownReport{Count: n}
+	if n == 0 {
+		return r
+	}
+	avg := func(p phase) time.Duration {
+		return time.Duration(c.breakdown.nanos[p].Load() / int64(n))
+	}
+	r.Route = avg(phaseRoute)
+	r.Network = avg(phaseNetwork)
+	r.Begin = avg(phaseBegin)
+	r.Logic = avg(phaseLogic)
+	r.Commit = avg(phaseCommit)
+	return r
+}

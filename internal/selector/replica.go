@@ -1,0 +1,155 @@
+package selector
+
+import (
+	"sync"
+	"time"
+
+	"dynamast/internal/storage"
+	"dynamast/internal/transport"
+	"dynamast/internal/vclock"
+)
+
+// Replica is a replica site-selector (Appendix I): a scalability tier in
+// front of the master selector. It holds a possibly stale copy of the
+// partition-location metadata; write transactions whose (cached) masters
+// are all at one site are routed directly — no master-selector involvement
+// — and only transactions that appear to need remastering are forwarded to
+// the master. Because remastering is rare, replicas stay fresh and absorb
+// nearly all routing load.
+//
+// Stale metadata is possible: a data site rejects transactions for
+// partitions it no longer masters (sitemgr.ErrNotMaster), and the client
+// resubmits through the master selector, which performs any remastering
+// and refreshes this replica's cache.
+type Replica struct {
+	master *Replicated
+	parent *Selector
+	net    *transport.Network
+
+	mu    sync.RWMutex
+	cache map[uint64]int
+}
+
+// Replicated wraps a master Selector with its replica tier.
+type Replicated struct {
+	Master   *Selector
+	replicas []*Replica
+}
+
+// NewReplicated builds n replica selectors over master.
+func NewReplicated(master *Selector, n int, net *transport.Network) *Replicated {
+	r := &Replicated{Master: master}
+	for i := 0; i < n; i++ {
+		r.replicas = append(r.replicas, &Replica{
+			master: r,
+			parent: master,
+			net:    net,
+			cache:  make(map[uint64]int),
+		})
+	}
+	return r
+}
+
+// Replicas returns the replica tier.
+func (r *Replicated) Replicas() []*Replica { return r.replicas }
+
+// RouterFor assigns a client a selector: replicas round-robin, or the
+// master when no replicas exist.
+func (r *Replicated) RouterFor(client int) Router {
+	if len(r.replicas) == 0 {
+		return r.Master
+	}
+	return r.replicas[client%len(r.replicas)]
+}
+
+// Router is the routing interface sessions use; *Selector and *Replica
+// both implement it.
+type Router interface {
+	RouteWrite(client int, writeSet []storage.RowRef, cvv vclock.Vector) (Route, error)
+	RouteRead(client int, cvv vclock.Vector) Route
+}
+
+// lookup returns the replica's cached master for a partition, filling the
+// cache from the master's metadata on a miss (modelled as part of the
+// replica's asynchronous metadata feed; misses are free of master work).
+func (r *Replica) lookup(part uint64) int {
+	r.mu.RLock()
+	m, ok := r.cache[part]
+	r.mu.RUnlock()
+	if ok {
+		return m
+	}
+	m = r.parent.MasterOf(part)
+	r.mu.Lock()
+	r.cache[part] = m
+	r.mu.Unlock()
+	return m
+}
+
+// Learn installs fresh locations (called after a master-routed decision).
+func (r *Replica) Learn(parts []uint64, site int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range parts {
+		r.cache[p] = site
+	}
+}
+
+// RouteWrite implements Router. If the cached locations are single-sited,
+// the replica routes locally; otherwise it forwards to the master
+// selector (one extra routing hop), learning the outcome.
+func (r *Replica) RouteWrite(client int, writeSet []storage.RowRef, cvv vclock.Vector) (Route, error) {
+	parts := r.parent.writeParts(writeSet)
+	if len(parts) == 0 {
+		return Route{Site: 0}, nil
+	}
+	single := true
+	site := r.lookup(parts[0])
+	for _, p := range parts[1:] {
+		if r.lookup(p) != site {
+			single = false
+			break
+		}
+	}
+	if single {
+		// Local decision; record statistics at the master tier so the
+		// strategies keep learning (the paper's replicas feed samples
+		// back asynchronously).
+		r.parent.finishWrite(client, parts, site, time.Now(), false)
+		return Route{Site: site}, nil
+	}
+	// Forward to the master selector: one replica->master round trip.
+	r.net.RoundTrip(transport.CatRoute,
+		transport.MsgOverhead+transport.SizeOfRefs(writeSet), transport.MsgOverhead)
+	route, err := r.parent.RouteWrite(client, writeSet, cvv)
+	if err == nil {
+		r.Learn(parts, route.Site)
+	}
+	return route, err
+}
+
+// RouteToMaster is the stale-metadata fallback: the client's transaction
+// was rejected by a data site, so resubmit through the master selector and
+// refresh the cache.
+func (r *Replica) RouteToMaster(client int, writeSet []storage.RowRef, cvv vclock.Vector) (Route, error) {
+	r.net.RoundTrip(transport.CatRoute,
+		transport.MsgOverhead+transport.SizeOfRefs(writeSet), transport.MsgOverhead)
+	route, err := r.parent.RouteWrite(client, writeSet, cvv)
+	if err == nil {
+		r.Learn(r.parent.writeParts(writeSet), route.Site)
+	}
+	return route, err
+}
+
+// RouteRead implements Router: read routing does not change in the
+// distributed design (any sufficiently fresh replica site works).
+func (r *Replica) RouteRead(client int, cvv vclock.Vector) Route {
+	return r.parent.RouteRead(client, cvv)
+}
+
+// CacheSize returns the number of cached partition locations.
+func (r *Replica) CacheSize() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.cache)
+}

@@ -1,0 +1,512 @@
+package selector
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynamast/internal/sitemgr"
+	"dynamast/internal/storage"
+	"dynamast/internal/transport"
+	"dynamast/internal/vclock"
+)
+
+// DataSite is the selector's view of a data site: the mastership-transfer
+// RPCs plus the version vector used by the refresh-delay feature and read
+// routing. *sitemgr.Site implements it; multi-process deployments use an
+// RPC-backed implementation.
+type DataSite interface {
+	ID() int
+	SVV() vclock.Vector
+	Release(parts []uint64, to int) (vclock.Vector, error)
+	Grant(parts []uint64, relVV vclock.Vector, from int) (vclock.Vector, error)
+}
+
+// Config describes a site selector.
+type Config struct {
+	// Sites are the data sites, indexed by site id.
+	Sites []DataSite
+	// Partitioner maps rows to partitions; must match the sites'.
+	Partitioner sitemgr.Partitioner
+	// InitialMaster gives the master of a partition first seen by the
+	// selector; nil places everything at site 0 (DynaMast is evaluated
+	// with no curated initial placement).
+	InitialMaster func(part uint64) int
+	// Weights are the strategy hyperparameters (Equation 8).
+	Weights Weights
+	// Stats configures the statistics tracker.
+	Stats StatsConfig
+	// Net simulates selector <-> site traffic for release/grant.
+	Net *transport.Network
+	// Seed drives read-routing randomization.
+	Seed int64
+}
+
+// Route is a routing decision returned to the client.
+type Route struct {
+	// Site is the execution site.
+	Site int
+	// MinVV is the minimum version vector the transaction must begin at
+	// (element-wise max of grant vectors; nil when no remastering
+	// happened).
+	MinVV vclock.Vector
+	// Remastered reports whether the decision required mastership
+	// transfers.
+	Remastered bool
+}
+
+// partInfo is the per-partition-group metadata of §V-B: current master
+// location and a readers-writer lock serializing routing against
+// remastering. hint mirrors master lock-free for the scoring heuristic,
+// which must not take partition locks it does not hold (lock-order safety):
+// a stale hint can only skew a score, never correctness.
+type partInfo struct {
+	mu     sync.RWMutex
+	master int
+	hint   atomic.Int32
+}
+
+func (p *partInfo) setMaster(m int) {
+	p.master = m
+	p.hint.Store(int32(m))
+}
+
+// Selector routes transactions and remasters data (§IV, §V-B).
+type Selector struct {
+	sites       []DataSite
+	m           int
+	partitioner sitemgr.Partitioner
+	initial     func(part uint64) int
+	weights     Weights
+	stats       *Stats
+	net         *transport.Network
+
+	pmu   sync.RWMutex
+	parts map[uint64]*partInfo
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// loadMu guards the materialized per-site load (sum of mastered
+	// partitions' access weights), used by the balance feature.
+	loadMu   sync.Mutex
+	siteLoad []float64
+
+	routed      []atomic.Uint64 // per-site routed write transactions
+	writeTxns   atomic.Uint64
+	readTxns    atomic.Uint64
+	remasterOps atomic.Uint64 // transactions that required remastering
+	partsMoved  atomic.Uint64 // partitions transferred
+	routeNanos  atomic.Int64  // cumulative routing decision time
+	remastNanos atomic.Int64  // cumulative remastering wait time
+}
+
+// New constructs a selector.
+func New(cfg Config) (*Selector, error) {
+	if len(cfg.Sites) == 0 {
+		return nil, fmt.Errorf("selector: no sites")
+	}
+	if cfg.Partitioner == nil {
+		return nil, fmt.Errorf("selector: config requires a Partitioner")
+	}
+	if cfg.InitialMaster == nil {
+		cfg.InitialMaster = func(uint64) int { return 0 }
+	}
+	s := &Selector{
+		sites:       cfg.Sites,
+		m:           len(cfg.Sites),
+		partitioner: cfg.Partitioner,
+		initial:     cfg.InitialMaster,
+		weights:     cfg.Weights,
+		stats:       NewStats(cfg.Stats),
+		net:         cfg.Net,
+		parts:       make(map[uint64]*partInfo),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		siteLoad:    make([]float64, len(cfg.Sites)),
+		routed:      make([]atomic.Uint64, len(cfg.Sites)),
+	}
+	return s, nil
+}
+
+// Weights returns the selector's strategy hyperparameters.
+func (s *Selector) Weights() Weights { return s.weights }
+
+// SetWeights replaces the strategy hyperparameters (sensitivity sweeps).
+func (s *Selector) SetWeights(w Weights) { s.weights = w }
+
+// Stats exposes the statistics tracker.
+func (s *Selector) Stats() *Stats { return s.stats }
+
+// part returns the partition info, creating it at the initial master. On
+// first sight of a partition the initial master site is granted ownership,
+// so transactions can create rows in partitions that did not exist at load
+// time (e.g. freshly allocated key ranges).
+func (s *Selector) part(id uint64) *partInfo {
+	s.pmu.RLock()
+	p := s.parts[id]
+	s.pmu.RUnlock()
+	if p != nil {
+		return p
+	}
+	s.pmu.Lock()
+	if p = s.parts[id]; p != nil {
+		s.pmu.Unlock()
+		return p
+	}
+	p = &partInfo{}
+	master := s.initial(id)
+	p.setMaster(master)
+	s.parts[id] = p
+	s.pmu.Unlock()
+	// Outside pmu: materialize ownership at the data site (idempotent; a
+	// nil release vector means no catch-up wait).
+	if _, err := s.sites[master].Grant([]uint64{id}, nil, master); err != nil {
+		// Grant only fails at shutdown; routing will surface the error.
+		_ = err
+	}
+	return p
+}
+
+// RegisterPartition seeds a partition's master location (load-time
+// placement for the baselines; DynaMast experiments use the default).
+func (s *Selector) RegisterPartition(id uint64, master int) {
+	p := s.part(id)
+	p.mu.Lock()
+	p.setMaster(master)
+	p.mu.Unlock()
+}
+
+// MasterOf returns the current master site of a partition.
+func (s *Selector) MasterOf(id uint64) int {
+	p := s.part(id)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.master
+}
+
+// writeParts maps a write set to its sorted, deduplicated partition ids.
+func (s *Selector) writeParts(writeSet []storage.RowRef) []uint64 {
+	seen := make(map[uint64]struct{}, len(writeSet))
+	parts := make([]uint64, 0, len(writeSet))
+	for _, ref := range writeSet {
+		id := s.partitioner(ref)
+		if _, ok := seen[id]; !ok {
+			seen[id] = struct{}{}
+			parts = append(parts, id)
+		}
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+	return parts
+}
+
+// RouteWrite decides the execution site for a write transaction with the
+// given write set, remastering the written partitions to one site if their
+// masters are currently distributed (§V-B). cvv is the client's session
+// vector, used by the refresh-delay feature.
+func (s *Selector) RouteWrite(client int, writeSet []storage.RowRef, cvv vclock.Vector) (Route, error) {
+	start := time.Now()
+	parts := s.writeParts(writeSet)
+	if len(parts) == 0 {
+		s.writeTxns.Add(1)
+		return Route{Site: 0}, nil
+	}
+	infos := make([]*partInfo, len(parts))
+	for i, id := range parts {
+		infos[i] = s.part(id)
+	}
+
+	// Fast path: shared-lock all partitions (in sorted id order) and check
+	// for a single master.
+	for _, in := range infos {
+		in.mu.RLock()
+	}
+	master := infos[0].master
+	single := true
+	for _, in := range infos[1:] {
+		if in.master != master {
+			single = false
+			break
+		}
+	}
+	if single {
+		for _, in := range infos {
+			in.mu.RUnlock()
+		}
+		s.finishWrite(client, parts, master, start, false)
+		return Route{Site: master}, nil
+	}
+
+	// Slow path: upgrade to exclusive locks (drop shared, reacquire
+	// exclusive in order — the recheck below covers intervening changes).
+	for _, in := range infos {
+		in.mu.RUnlock()
+	}
+	for _, in := range infos {
+		in.mu.Lock()
+	}
+	defer func() {
+		for _, in := range infos {
+			in.mu.Unlock()
+		}
+	}()
+	master = infos[0].master
+	single = true
+	for _, in := range infos[1:] {
+		if in.master != master {
+			single = false
+			break
+		}
+	}
+	if single {
+		// A concurrent client with a common write set already remastered.
+		s.finishWrite(client, parts, master, start, false)
+		return Route{Site: master}, nil
+	}
+
+	dest := s.chooseDestination(parts, infos, cvv)
+	minVV, moved, err := s.remaster(parts, infos, dest)
+	if err != nil {
+		return Route{}, err
+	}
+	s.remasterOps.Add(1)
+	s.partsMoved.Add(uint64(moved))
+	s.remastNanos.Add(int64(time.Since(start)))
+	s.finishWrite(client, parts, dest, start, true)
+	return Route{Site: dest, MinVV: minVV, Remastered: true}, nil
+}
+
+// finishWrite records statistics and routing counters for a decided write
+// (called by the master's own routing paths and by replica selectors'
+// local decisions).
+func (s *Selector) finishWrite(client int, parts []uint64, site int, start time.Time, remastered bool) {
+	s.writeTxns.Add(1)
+	s.routed[site].Add(1)
+	s.stats.RecordWrite(client, parts, time.Now())
+	s.bumpLoad(parts, site, remastered)
+	s.routeNanos.Add(int64(time.Since(start)))
+}
+
+// bumpLoad maintains the materialized per-site load: every access adds the
+// partitions' unit weight to their (possibly new) master site. The load
+// decays with the stats tracker's halving implicitly through re-derivation:
+// we approximate by adding 1 per partition access to the master site and
+// halving all site loads when they exceed the stats decay threshold.
+func (s *Selector) bumpLoad(parts []uint64, site int, remastered bool) {
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	s.siteLoad[site] += float64(len(parts))
+	var total float64
+	for _, l := range s.siteLoad {
+		total += l
+	}
+	if total > s.stats.decayThreshold {
+		for i := range s.siteLoad {
+			s.siteLoad[i] /= 2
+		}
+	}
+}
+
+// siteLoadSnapshot copies the current per-site load.
+func (s *Selector) siteLoadSnapshot() []float64 {
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	return append([]float64(nil), s.siteLoad...)
+}
+
+// chooseDestination scores every site as a remastering destination with the
+// Equation 8 model and returns the best. Caller holds the partitions'
+// exclusive locks; infos parallels parts.
+func (s *Selector) chooseDestination(parts []uint64, infos []*partInfo, cvv vclock.Vector) int {
+	inSet := make(map[uint64]int, len(parts)) // partition -> index
+	for i, id := range parts {
+		inSet[id] = i
+	}
+	masterOf := func(id uint64) int {
+		if i, ok := inSet[id]; ok {
+			return infos[i].master
+		}
+		// Lock-free hint: scoring must not acquire locks on partitions
+		// outside the write set.
+		return int(s.part(id).hint.Load())
+	}
+	inWriteSet := func(id uint64) bool { _, ok := inSet[id]; return ok }
+
+	// Current load and the write set's per-partition weights.
+	before := s.siteLoadSnapshot()
+	weights := make([]float64, len(parts))
+	for i, id := range parts {
+		w := s.stats.AccessWeight(id)
+		if w == 0 {
+			w = 1
+		}
+		weights[i] = w
+	}
+
+	// Source sites' version vectors (for the refresh-delay feature): the
+	// element-wise max of the client session vector and every releasing
+	// site's vector is what the destination must catch up to.
+	need := cvv.Clone()
+	seenSrc := make(map[int]struct{})
+	for _, in := range infos {
+		if _, ok := seenSrc[in.master]; ok {
+			continue
+		}
+		seenSrc[in.master] = struct{}{}
+		need = need.MaxInto(s.sites[in.master].SVV())
+	}
+
+	best, bestScore := 0, 0.0
+	for cand := 0; cand < s.m; cand++ {
+		after := append([]float64(nil), before...)
+		for i, in := range infos {
+			if in.master != cand {
+				after[in.master] -= weights[i]
+				if after[in.master] < 0 {
+					after[in.master] = 0
+				}
+				after[cand] += weights[i]
+			}
+		}
+		balance := BalanceFactor(before, after)
+		delay := RefreshDelay(need, s.sites[cand].SVV())
+
+		var intra, inter float64
+		for _, d1 := range parts {
+			s.stats.CoAccess(d1, true, func(d2 uint64, p float64) {
+				intra += p * SingleSited(cand, d1, d2, masterOf, inWriteSet)
+			})
+			s.stats.CoAccess(d1, false, func(d2 uint64, p float64) {
+				inter += p * SingleSited(cand, d1, d2, masterOf, inWriteSet)
+			})
+		}
+
+		score := s.weights.Benefit(balance, delay, intra, inter)
+		if cand == 0 || score > bestScore {
+			best, bestScore = cand, score
+		}
+	}
+	return best
+}
+
+// remaster transfers mastership of every partition in parts not already at
+// dest, using parallel release+grant chains per source site (Algorithm 1),
+// and returns the element-wise max of the grant vectors. Caller holds the
+// partitions' exclusive locks.
+func (s *Selector) remaster(parts []uint64, infos []*partInfo, dest int) (vclock.Vector, int, error) {
+	bySource := make(map[int][]uint64)
+	for i, in := range infos {
+		if in.master != dest {
+			bySource[in.master] = append(bySource[in.master], parts[i])
+		}
+	}
+
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		out   vclock.Vector
+		first error
+		moved int
+	)
+	for src, ids := range bySource {
+		moved += len(ids)
+		wg.Add(1)
+		go func(src int, ids []uint64) {
+			defer wg.Done()
+			// release RPC to the source site.
+			s.net.Send(transport.CatRemaster, transport.MsgOverhead+transport.SizeOfPartitions(ids))
+			relVV, err := s.sites[src].Release(ids, dest)
+			s.net.Send(transport.CatRemaster, transport.MsgOverhead+transport.SizeOfVector(relVV))
+			if err == nil {
+				// grant RPC to the destination, immediately after.
+				s.net.Send(transport.CatRemaster, transport.MsgOverhead+
+					transport.SizeOfPartitions(ids)+transport.SizeOfVector(relVV))
+				var grantVV vclock.Vector
+				grantVV, err = s.sites[dest].Grant(ids, relVV, src)
+				s.net.Send(transport.CatRemaster, transport.MsgOverhead+transport.SizeOfVector(grantVV))
+				if err == nil {
+					mu.Lock()
+					out = out.MaxInto(grantVV)
+					mu.Unlock()
+				}
+			}
+			if err != nil {
+				mu.Lock()
+				if first == nil {
+					first = err
+				}
+				mu.Unlock()
+			}
+		}(src, ids)
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, moved, first
+	}
+	for _, in := range infos {
+		in.setMaster(dest)
+	}
+	return out, moved, nil
+}
+
+// RouteRead picks an execution site for a read-only transaction: a random
+// site whose version vector already satisfies the client's session
+// freshness, spreading load while minimizing blocking (§IV-B). If no site
+// satisfies it, the least-lagged site is returned (the transaction blocks
+// there the shortest time).
+func (s *Selector) RouteRead(client int, cvv vclock.Vector) Route {
+	s.readTxns.Add(1)
+	fresh := make([]int, 0, s.m)
+	bestLag, bestSite := uint64(1)<<63, 0
+	for i, site := range s.sites {
+		svv := site.SVV()
+		if svv.DominatesEq(cvv) {
+			fresh = append(fresh, i)
+			continue
+		}
+		if lag := svv.LagBehind(cvv); lag < bestLag {
+			bestLag, bestSite = lag, i
+		}
+	}
+	if len(fresh) == 0 {
+		return Route{Site: bestSite}
+	}
+	s.rngMu.Lock()
+	pick := fresh[s.rng.Intn(len(fresh))]
+	s.rngMu.Unlock()
+	return Route{Site: pick}
+}
+
+// Metrics is a snapshot of the selector's counters.
+type Metrics struct {
+	WriteTxns     uint64
+	ReadTxns      uint64
+	RemasterTxns  uint64 // write txns that required remastering
+	PartsMoved    uint64
+	RoutedPerSite []uint64
+	AvgRouteTime  time.Duration // mean routing decision latency
+	AvgRemaster   time.Duration // mean latency of remastering decisions
+}
+
+// Metrics returns a snapshot of routing counters.
+func (s *Selector) Metrics() Metrics {
+	m := Metrics{
+		WriteTxns:     s.writeTxns.Load(),
+		ReadTxns:      s.readTxns.Load(),
+		RemasterTxns:  s.remasterOps.Load(),
+		PartsMoved:    s.partsMoved.Load(),
+		RoutedPerSite: make([]uint64, s.m),
+	}
+	for i := range s.routed {
+		m.RoutedPerSite[i] = s.routed[i].Load()
+	}
+	if m.WriteTxns > 0 {
+		m.AvgRouteTime = time.Duration(s.routeNanos.Load() / int64(m.WriteTxns))
+	}
+	if m.RemasterTxns > 0 {
+		m.AvgRemaster = time.Duration(s.remastNanos.Load() / int64(m.RemasterTxns))
+	}
+	return m
+}

@@ -1,0 +1,222 @@
+// Package selector implements DynaMast's site selector: transaction routing,
+// the remastering protocol (Algorithm 1), and the adaptive remastering
+// strategies of §IV built on learned workload statistics.
+package selector
+
+import (
+	"sync"
+	"time"
+)
+
+// Stats learns workload access patterns (§V-B): per-partition write access
+// frequencies (for the load-balance feature), and intra-/inter-transaction
+// co-access counts (for the localization features). Write sets are sampled
+// into a bounded history queue; when a sample expires its contribution is
+// decremented, letting the statistics track workload change.
+type Stats struct {
+	mu sync.Mutex
+
+	// Write access frequency, for f_balance. Counted for every routed
+	// write (not sampled): access[p] is partition p's recent write count.
+	access      map[uint64]float64
+	totalAccess float64
+	// decayThreshold triggers halving of all access counts so frequencies
+	// follow the recent workload.
+	decayThreshold float64
+
+	// Co-access statistics from sampled write sets.
+	intra       map[uint64]map[uint64]float64 // intra[d1][d2]: times d1,d2 written in one txn
+	inter       map[uint64]map[uint64]float64 // inter[d1][d2]: d2 written within Δt after d1 by same client
+	occurrences map[uint64]float64            // samples containing d1 (P(d2|d1) denominator)
+
+	history  []sample // ring buffer of samples
+	histNext int
+	histLen  int
+
+	// Per-client recent write sets for inter-transaction correlation.
+	recent      map[int]recentTxn
+	interWindow time.Duration
+
+	sampleEvery int // record 1 of every sampleEvery write sets
+	sampleTick  int
+}
+
+type sample struct {
+	parts      []uint64
+	interPairs [][2]uint64 // inter-txn pairs this sample contributed
+}
+
+type recentTxn struct {
+	parts []uint64
+	at    time.Time
+}
+
+// StatsConfig tunes the statistics tracker.
+type StatsConfig struct {
+	// HistorySize bounds the sample queue; expiring samples decrement
+	// their counts (default 4096).
+	HistorySize int
+	// SampleEvery records one in every SampleEvery write sets (default 1:
+	// record everything; the paper samples adaptively to bound overhead).
+	SampleEvery int
+	// InterWindow is Δt for inter-transaction correlations (default 50ms,
+	// scaled to this reproduction's transaction rates).
+	InterWindow time.Duration
+	// DecayThreshold halves access counts when the total exceeds it
+	// (default 100k accesses).
+	DecayThreshold float64
+}
+
+// NewStats returns a tracker with the given configuration.
+func NewStats(cfg StatsConfig) *Stats {
+	if cfg.HistorySize == 0 {
+		cfg.HistorySize = 4096
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 1
+	}
+	if cfg.InterWindow == 0 {
+		cfg.InterWindow = 50 * time.Millisecond
+	}
+	if cfg.DecayThreshold == 0 {
+		cfg.DecayThreshold = 100_000
+	}
+	return &Stats{
+		access:         make(map[uint64]float64),
+		decayThreshold: cfg.DecayThreshold,
+		intra:          make(map[uint64]map[uint64]float64),
+		inter:          make(map[uint64]map[uint64]float64),
+		occurrences:    make(map[uint64]float64),
+		history:        make([]sample, cfg.HistorySize),
+		recent:         make(map[int]recentTxn),
+		interWindow:    cfg.InterWindow,
+		sampleEvery:    cfg.SampleEvery,
+	}
+}
+
+// RecordWrite ingests one routed write transaction's partition set for
+// client. Access counts are always updated; co-access statistics are
+// updated for sampled transactions.
+func (st *Stats) RecordWrite(client int, parts []uint64, now time.Time) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	for _, p := range parts {
+		st.access[p]++
+	}
+	st.totalAccess += float64(len(parts))
+	if st.totalAccess > st.decayThreshold {
+		for p := range st.access {
+			st.access[p] /= 2
+		}
+		st.totalAccess /= 2
+	}
+
+	st.sampleTick++
+	if st.sampleTick%st.sampleEvery != 0 {
+		return
+	}
+
+	sm := sample{parts: append([]uint64(nil), parts...)}
+
+	// Intra-transaction pairs.
+	for i, d1 := range parts {
+		st.occurrences[d1]++
+		for j, d2 := range parts {
+			if i == j {
+				continue
+			}
+			addPair(st.intra, d1, d2, 1)
+		}
+	}
+
+	// Inter-transaction pairs: partitions of this client's previous write
+	// set within Δt correlate with this write set.
+	if prev, ok := st.recent[client]; ok && now.Sub(prev.at) <= st.interWindow {
+		for _, d1 := range prev.parts {
+			for _, d2 := range parts {
+				if d1 == d2 {
+					continue
+				}
+				addPair(st.inter, d1, d2, 1)
+				sm.interPairs = append(sm.interPairs, [2]uint64{d1, d2})
+			}
+		}
+	}
+	st.recent[client] = recentTxn{parts: sm.parts, at: now}
+
+	// Expire the sample this one replaces.
+	old := st.history[st.histNext]
+	if st.histLen == len(st.history) {
+		st.expireLocked(old)
+	} else {
+		st.histLen++
+	}
+	st.history[st.histNext] = sm
+	st.histNext = (st.histNext + 1) % len(st.history)
+}
+
+// expireLocked reverses an old sample's contributions.
+func (st *Stats) expireLocked(old sample) {
+	for i, d1 := range old.parts {
+		if st.occurrences[d1] > 0 {
+			st.occurrences[d1]--
+		}
+		for j, d2 := range old.parts {
+			if i == j {
+				continue
+			}
+			addPair(st.intra, d1, d2, -1)
+		}
+	}
+	for _, pr := range old.interPairs {
+		addPair(st.inter, pr[0], pr[1], -1)
+	}
+}
+
+func addPair(m map[uint64]map[uint64]float64, d1, d2 uint64, delta float64) {
+	row := m[d1]
+	if row == nil {
+		if delta <= 0 {
+			return
+		}
+		row = make(map[uint64]float64)
+		m[d1] = row
+	}
+	v := row[d2] + delta
+	if v <= 0 {
+		delete(row, d2)
+		if len(row) == 0 {
+			delete(m, d1)
+		}
+		return
+	}
+	row[d2] = v
+}
+
+// AccessWeight returns partition p's recent write access count.
+func (st *Stats) AccessWeight(p uint64) float64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.access[p]
+}
+
+// CoAccess enumerates, for source partition d1, every correlated partition
+// d2 with its conditional probability P(d2|d1) (intra) and
+// P(d2|d1; T<=Δt) (inter). fn is called under the stats lock; it must not
+// call back into Stats.
+func (st *Stats) CoAccess(d1 uint64, intra bool, fn func(d2 uint64, p float64)) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := st.occurrences[d1]
+	if n == 0 {
+		return
+	}
+	src := st.intra
+	if !intra {
+		src = st.inter
+	}
+	for d2, c := range src[d1] {
+		fn(d2, c/n)
+	}
+}

@@ -1,0 +1,147 @@
+package selector
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dynamast/internal/vclock"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestBalanceDistPerfect(t *testing.T) {
+	if d := BalanceDist([]float64{10, 10, 10, 10}); !almostEqual(d, 0) {
+		t.Fatalf("balanced dist = %g", d)
+	}
+	if d := BalanceDist(nil); d != 0 {
+		t.Fatalf("empty dist = %g", d)
+	}
+	if d := BalanceDist([]float64{0, 0}); d != 0 {
+		t.Fatalf("zero-load dist = %g", d)
+	}
+}
+
+func TestBalanceDistSkewed(t *testing.T) {
+	// All load at one of two sites: (|1/2-1| + |1/2-0|)^2 = 1.
+	if d := BalanceDist([]float64{100, 0}); !almostEqual(d, 1) {
+		t.Fatalf("fully skewed 2-site dist = %g", d)
+	}
+	// More balanced allocations score strictly lower.
+	if BalanceDist([]float64{75, 25}) >= BalanceDist([]float64{100, 0}) {
+		t.Fatal("75/25 not better than 100/0")
+	}
+	if BalanceDist([]float64{60, 40}) >= BalanceDist([]float64{75, 25}) {
+		t.Fatal("60/40 not better than 75/25")
+	}
+}
+
+// Property: BalanceDist is scale-invariant (frequencies, not volumes).
+func TestQuickBalanceDistScaleInvariant(t *testing.T) {
+	f := func(a, b, c uint16, scale uint8) bool {
+		load := []float64{float64(a), float64(b), float64(c)}
+		k := float64(scale%9) + 1
+		scaled := []float64{k * load[0], k * load[1], k * load[2]}
+		return math.Abs(BalanceDist(load)-BalanceDist(scaled)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalanceFactorSign(t *testing.T) {
+	// Moving load toward balance: positive factor.
+	if f := BalanceFactor([]float64{100, 0}, []float64{50, 50}); f <= 0 {
+		t.Fatalf("balancing move factor = %g", f)
+	}
+	// Moving load away from balance: negative factor.
+	if f := BalanceFactor([]float64{50, 50}, []float64{100, 0}); f >= 0 {
+		t.Fatalf("unbalancing move factor = %g", f)
+	}
+	// No change: zero.
+	if f := BalanceFactor([]float64{60, 40}, []float64{60, 40}); !almostEqual(f, 0) {
+		t.Fatalf("no-op factor = %g", f)
+	}
+}
+
+func TestBalanceFactorRateScaling(t *testing.T) {
+	// Correcting a badly unbalanced system is worth more than the same
+	// absolute improvement on a nearly balanced one (Equation 3's exp
+	// scaling).
+	big := BalanceFactor([]float64{100, 0}, []float64{75, 25})
+	small := BalanceFactor([]float64{55, 45}, []float64{50, 50})
+	if big <= small {
+		t.Fatalf("rate scaling lost: big=%g small=%g", big, small)
+	}
+}
+
+func TestRefreshDelay(t *testing.T) {
+	need := vclock.Vector{5, 3, 0}
+	if d := RefreshDelay(need, vclock.Vector{5, 3, 7}); d != 0 {
+		t.Fatalf("caught-up delay = %g", d)
+	}
+	if d := RefreshDelay(need, vclock.Vector{2, 3, 0}); d != -3 {
+		t.Fatalf("lagging delay = %g", d)
+	}
+	if d := RefreshDelay(need, vclock.Vector{0, 0, 0}); d != -8 {
+		t.Fatalf("cold delay = %g", d)
+	}
+}
+
+func TestSingleSited(t *testing.T) {
+	// Partitions: d1=1 mastered at 0, d2=2 mastered at 1, d3=3 at 0.
+	master := func(p uint64) int {
+		if p == 2 {
+			return 1
+		}
+		return 0
+	}
+	notInSet := func(uint64) bool { return false }
+	inSet := func(p uint64) bool { return p == 2 }
+
+	// Remaster d1 to site 1 where d2 lives: co-locates -> +1.
+	if v := SingleSited(1, 1, 2, master, notInSet); v != 1 {
+		t.Fatalf("co-locating move = %g", v)
+	}
+	// Remaster d1 to site 0 (no move wrt d2, still split) -> 0.
+	if v := SingleSited(0, 1, 2, master, notInSet); v != 0 {
+		t.Fatalf("no-change move = %g", v)
+	}
+	// Remaster d1 to site 1, away from co-located d3 -> -1.
+	if v := SingleSited(1, 1, 3, master, notInSet); v != -1 {
+		t.Fatalf("splitting move = %g", v)
+	}
+	// d2 in the write set: both move to S -> co-located wherever S is.
+	if v := SingleSited(2, 1, 2, master, inSet); v != 1 {
+		t.Fatalf("write-set companion = %g", v)
+	}
+	// d1 and d3 co-located at 0, remaster both... d3 not in set, S=0 -> 0.
+	if v := SingleSited(0, 1, 3, master, notInSet); v != 0 {
+		t.Fatalf("stay-home = %g", v)
+	}
+}
+
+func TestWeightsBenefit(t *testing.T) {
+	w := Weights{Balance: 2, Delay: 3, IntraTxn: 5, InterTxn: 7}
+	if got := w.Benefit(1, 1, 1, 1); !almostEqual(got, 17) {
+		t.Fatalf("benefit = %g", got)
+	}
+	if got := (Weights{}).Benefit(100, 100, 100, 100); got != 0 {
+		t.Fatalf("zero weights benefit = %g", got)
+	}
+}
+
+func TestDefaultWeights(t *testing.T) {
+	y := YCSBWeights()
+	if y.Balance != 1e6 || y.IntraTxn != 3 || y.InterTxn != 0 || y.Delay != 0.5 {
+		t.Fatalf("YCSB weights = %+v", y)
+	}
+	c := TPCCWeights()
+	if c.Balance != 3 || c.IntraTxn != 0.88 || c.InterTxn != 0.88 || c.Delay != 0.05 {
+		t.Fatalf("TPCC weights = %+v", c)
+	}
+	sb := SmallBankWeights()
+	if sb.Balance != 1e4 || sb.IntraTxn != 3 {
+		t.Fatalf("SmallBank weights = %+v", sb)
+	}
+}

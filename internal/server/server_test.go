@@ -1,0 +1,184 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"dynamast/internal/core"
+	"dynamast/internal/storage"
+)
+
+func startServer(t *testing.T) (*core.Cluster, string) {
+	t.Helper()
+	cluster, err := core.NewCluster(core.Config{
+		Sites:       2,
+		Partitioner: func(ref storage.RowRef) uint64 { return ref.Key / 100 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr, err := Serve(cluster, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		cluster.Close()
+	})
+	return cluster, addr.String()
+}
+
+func TestPutGetOverRPC(t *testing.T) {
+	_, addr := startServer(t)
+	cl, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.CreateTable("kv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Put("kv", 7, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := cl.Get("kv", 7)
+	if err != nil || !ok || string(data) != "hello" {
+		t.Fatalf("get = %q %v %v", data, ok, err)
+	}
+	if _, ok, _ := cl.Get("kv", 8); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestMultiOpTxnAtomicity(t *testing.T) {
+	_, addr := startServer(t)
+	cl, err := Dial(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.CreateTable("kv"); err != nil {
+		t.Fatal(err)
+	}
+	ws := []storage.RowRef{{Table: "kv", Key: 1}, {Table: "kv", Key: 150}}
+	res, err := cl.Txn(ws, []Op{
+		{Kind: OpAdd, Table: "kv", Key: 1, Delta: 5},
+		{Kind: OpAdd, Table: "kv", Key: 150, Delta: 7},
+		{Kind: OpGet, Table: "kv", Key: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[2].Found || res[2].Value[7] != 5 {
+		t.Fatalf("read-own-write over RPC: %+v", res[2])
+	}
+	// A read-only scan sees both rows.
+	res, err = cl.Txn(nil, []Op{{Kind: OpScan, Table: "kv", Lo: 0, Hi: 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[0].Rows) != 2 {
+		t.Fatalf("scan rows = %d", len(res[0].Rows))
+	}
+}
+
+func TestConcurrentRemoteCounters(t *testing.T) {
+	cluster, addr := startServer(t)
+	cluster.CreateTable("kv")
+	const clients, adds = 4, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(addr, c)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			ws := []storage.RowRef{{Table: "kv", Key: 9}}
+			for i := 0; i < adds; i++ {
+				if _, err := cl.Txn(ws, []Op{{Kind: OpAdd, Table: "kv", Key: 9, Delta: 1}}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	cl, err := Dial(addr, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	data, ok, err := cl.Get("kv", 9)
+	if err != nil || !ok {
+		t.Fatalf("get: %v %v", ok, err)
+	}
+	var v uint64
+	for _, b := range data {
+		v = v<<8 | uint64(b)
+	}
+	if v != clients*adds {
+		t.Fatalf("counter = %d, want %d", v, clients*adds)
+	}
+}
+
+func TestUnknownOpRejected(t *testing.T) {
+	_, addr := startServer(t)
+	cl, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.CreateTable("kv")
+	if _, err := cl.Txn(nil, []Op{{Kind: 99}}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestSessionReuseSameClientID(t *testing.T) {
+	_, addr := startServer(t)
+	a, _ := Dial(addr, 5)
+	defer a.Close()
+	b, _ := Dial(addr, 5) // same session id: same server-side session
+	defer b.Close()
+	a.CreateTable("kv")
+	if err := a.Put("kv", 3, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Session freshness: connection b (same client id) must see a's write.
+	data, ok, err := b.Get("kv", 3)
+	if err != nil || !ok || string(data) != "x" {
+		t.Fatalf("cross-connection session read: %q %v %v", data, ok, err)
+	}
+}
+
+func TestStatsRPC(t *testing.T) {
+	cluster, addr := startServer(t)
+	cluster.CreateTable("kv")
+	cl, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Put("kv", 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Commits != 1 || st.WriteTxns != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(st.SiteVectors) != 2 || len(st.PerSiteCommits) != 2 {
+		t.Fatalf("stats shape = %+v", st)
+	}
+}

@@ -1,0 +1,167 @@
+package sitemgr
+
+import (
+	"dynamast/internal/storage"
+	"dynamast/internal/vclock"
+	"dynamast/internal/wal"
+)
+
+// Recovery (§V-C). DynaMast uses redo logging: on commit the write set is
+// appended to the site's durable log, which doubles as the replication
+// feed. A data site recovers by initializing state from an existing replica
+// and replaying redo logs from the positions indicated by the site version
+// vector; mastership state is reconstructed from the sequence of release
+// and grant operations in the logs.
+
+// BootstrapFrom copies a peer replica's newest committed versions and
+// version vector into this (empty) site. The refresh appliers started
+// afterwards skip entries already reflected in the adopted vector.
+func (s *Site) BootstrapFrom(peer *Site) {
+	peerVV := peer.clock.Now()
+	for _, name := range peer.store.TableNames() {
+		src := peer.store.Table(name)
+		dst := s.store.CreateTable(name)
+		src.ForEachLatest(func(key uint64, data []byte, stamp storage.Stamp) {
+			dst.Record(key, true).Install(stamp, data, false, s.store.MaxVersions())
+		})
+	}
+	for k, v := range peerVV {
+		s.clock.Advance(k, v)
+	}
+	s.nextSeq.Store(peerVV[s.id])
+}
+
+// RecoverLocal replays this site's own redo log into the local store,
+// restoring every update it had committed before the crash, and advances
+// the clock's own dimension accordingly. Remote dimensions are recovered by
+// the refresh appliers re-reading the peers' logs.
+func (s *Site) RecoverLocal() error {
+	cur := s.log.Subscribe(0)
+	for {
+		e, ok := cur.TryNext()
+		if !ok {
+			return nil
+		}
+		if e.Kind != wal.KindUpdate {
+			continue
+		}
+		seq := e.TVV[s.id]
+		s.store.Apply(storage.Stamp{Origin: s.id, Seq: seq}, e.Writes)
+		s.clock.Advance(s.id, seq)
+		if s.nextSeq.Load() < seq {
+			s.nextSeq.Store(seq)
+		}
+	}
+}
+
+// RecoverMastership reconstructs partition ownership by folding the
+// release/grant entries of every site's log over an initial placement.
+// Entries are merged in a deterministic interleaving: mastership of a
+// partition alternates release -> grant, and each grant names the releasing
+// peer, so replaying each log in order and matching grant entries to their
+// releases yields the final owner of every partition.
+func RecoverMastership(b *wal.Broker, initial map[uint64]int) map[uint64]int {
+	owner := make(map[uint64]int, len(initial))
+	for p, site := range initial {
+		owner[p] = site
+	}
+	// Count grants per (partition, site): the last grant in any log for a
+	// partition determines its owner. Logs are per-site FIFO; a partition
+	// is granted to site g only after g's predecessor released it, so for
+	// each partition the grant entries across logs form a chain. Walk all
+	// logs and keep, per partition, the grant with the highest per-log
+	// sequence among logs — the chain's tail is the unique grant not
+	// followed by a release of the same partition in the same site's log.
+	type lastOp struct {
+		granted bool
+	}
+	state := make(map[uint64]map[int]lastOp) // partition -> site -> last op
+	for i := 0; i < b.Sites(); i++ {
+		cur := b.Log(i).Subscribe(0)
+		for {
+			e, ok := cur.TryNext()
+			if !ok {
+				break
+			}
+			switch e.Kind {
+			case wal.KindGrant:
+				for _, p := range e.Partitions {
+					m := state[p]
+					if m == nil {
+						m = make(map[int]lastOp)
+						state[p] = m
+					}
+					m[i] = lastOp{granted: true}
+				}
+			case wal.KindRelease:
+				for _, p := range e.Partitions {
+					m := state[p]
+					if m == nil {
+						m = make(map[int]lastOp)
+						state[p] = m
+					}
+					m[i] = lastOp{granted: false}
+				}
+			}
+		}
+	}
+	for p, sites := range state {
+		for site, op := range sites {
+			if op.granted {
+				owner[p] = site
+			}
+		}
+	}
+	return owner
+}
+
+// AdoptMastership installs an ownership map (produced by
+// RecoverMastership) into this site.
+func (s *Site) AdoptMastership(owner map[uint64]int) {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	for p, site := range owner {
+		st := s.partition(p)
+		st.owned = site == s.id
+		st.releasing = false
+	}
+	s.pcond.Broadcast()
+}
+
+// CatchUp applies every remaining applicable refresh entry synchronously
+// (without waiting on propagation delay); used by recovery paths and tests
+// to bring a site to a target vector before serving traffic.
+func (s *Site) CatchUp(target vclock.Vector) {
+	for {
+		progressed := false
+		for origin := 0; origin < s.m; origin++ {
+			if origin == s.id {
+				continue
+			}
+			cur := s.cfg.Broker.Log(origin).Subscribe(0)
+			for {
+				e, ok := cur.TryNext()
+				if !ok {
+					break
+				}
+				if e.Kind != wal.KindUpdate {
+					continue
+				}
+				seq := e.TVV[origin]
+				if seq <= s.clock.Get(origin) {
+					continue
+				}
+				if !vclock.CanApply(s.clock.Now(), e.TVV, origin) {
+					break
+				}
+				s.store.Apply(storage.Stamp{Origin: origin, Seq: seq}, e.Writes)
+				s.clock.Advance(origin, seq)
+				s.refreshes.Add(1)
+				progressed = true
+			}
+		}
+		if s.clock.Now().DominatesEq(target) || !progressed {
+			return
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package sitemgr
+
+import (
+	"dynamast/internal/vclock"
+	"dynamast/internal/wal"
+)
+
+// Release relinquishes this site's mastership of the given partitions and
+// returns the release-point vector: the element-wise max of the released
+// partitions' write watermarks — everything a grantee must have applied to
+// serve the items' freshest committed state. (Returning the watermark
+// rather than the full site vector means the grant waits only for updates
+// causally relevant to the moved items.)
+//
+// Per §III-B, the site waits for any ongoing transactions writing the
+// partitions to finish before releasing. While the wait is in progress the
+// partitions are marked releasing so that no new local update transaction
+// can slip in (the stand-alone site selector already prevents this by
+// holding the partition locks in exclusive mode, but the site-level guard
+// keeps the protocol safe under the distributed-selector design too).
+// The release is recorded in the site's redo log so that mastership state
+// can be reconstructed on recovery (§V-C).
+func (s *Site) Release(parts []uint64, to int) (vclock.Vector, error) {
+	s.pmu.Lock()
+	for _, id := range parts {
+		p := s.partition(id)
+		p.releasing = true
+	}
+	for !s.writersIdle(parts) {
+		s.pcond.Wait()
+	}
+	var relVV vclock.Vector
+	for _, id := range parts {
+		p := s.parts[id]
+		p.owned = false
+		p.releasing = false
+		relVV = relVV.MaxInto(p.wm)
+	}
+	s.pmu.Unlock()
+
+	if _, err := s.log.Append(wal.Entry{
+		Kind:       wal.KindRelease,
+		Origin:     s.id,
+		Partitions: parts,
+		Peer:       to,
+	}); err != nil {
+		return nil, err
+	}
+	return relVV, nil
+}
+
+// writersIdle reports whether no in-flight writer holds any of parts.
+// Caller holds pmu.
+func (s *Site) writersIdle(parts []uint64) bool {
+	for _, id := range parts {
+		if p := s.parts[id]; p != nil && p.writers > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Grant makes this site the master of the given partitions once it has
+// applied the releasing site's updates up to the release point relVV, and
+// returns the site's version vector at the time it took ownership — the
+// minimum version the remastered transaction must execute at (Algorithm 1).
+func (s *Site) Grant(parts []uint64, relVV vclock.Vector, from int) (vclock.Vector, error) {
+	// Wait until updates from the releasing site (and everything they
+	// depend on) have been applied locally. Waiting for full dominance of
+	// relVV is slightly stronger than the per-item requirement and is
+	// what guarantees the granted site can serve the freshest committed
+	// state of every remastered item.
+	s.clock.WaitDominatesEq(relVV)
+
+	s.pmu.Lock()
+	for _, id := range parts {
+		p := s.partition(id)
+		p.owned = true
+		p.releasing = false
+		// The grantee's watermark reflects at least the release point.
+		p.wm = p.wm.MaxInto(relVV)
+	}
+	s.pcond.Broadcast()
+	s.pmu.Unlock()
+
+	if _, err := s.log.Append(wal.Entry{
+		Kind:       wal.KindGrant,
+		Origin:     s.id,
+		Partitions: parts,
+		Peer:       from,
+	}); err != nil {
+		return nil, err
+	}
+	s.remasterIn.Add(1)
+	return s.clock.Now(), nil
+}
+
+// RemastersReceived returns how many grant operations this site served.
+func (s *Site) RemastersReceived() uint64 { return s.remasterIn.Load() }

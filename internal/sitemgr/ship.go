@@ -1,0 +1,112 @@
+package sitemgr
+
+import (
+	"dynamast/internal/storage"
+	"dynamast/internal/vclock"
+)
+
+// Data shipping for the LEAP baseline. LEAP guarantees single-site
+// execution like DynaMast but, lacking replicas, must physically copy the
+// records in a transaction's read and write sets from their current master
+// to the execution site (localization). Mastership of the affected
+// partitions moves with the data.
+
+// ShipRequest names the data to localize from one source site.
+type ShipRequest struct {
+	Refs   []storage.RowRef // individual rows (write sets, point reads)
+	Scans  []ScanRange      // ranges (read sets of scan transactions)
+	Parts  []uint64         // partitions whose ownership transfers
+	ToSite int
+}
+
+// ScanRange is one table range.
+type ScanRange struct {
+	Table  string
+	Lo, Hi uint64
+}
+
+// ShipOut relinquishes ownership of the affected partitions and returns
+// their entire row contents at the newest committed versions — the payload
+// that crosses the wire, LEAP's dominant cost. Sites that ship must be
+// configured with TrackPartitionRows so the partition contents are known;
+// explicitly requested rows and ranges are shipped as well (covering rows
+// the index may not have seen, e.g. rows created on other sites before
+// this one ever owned the partition).
+func (s *Site) ShipOut(req ShipRequest) ([]storage.Write, error) {
+	s.pmu.Lock()
+	for _, id := range req.Parts {
+		p := s.partition(id)
+		p.releasing = true
+	}
+	for !s.writersIdle(req.Parts) {
+		s.pcond.Wait()
+	}
+	refs := make(map[storage.RowRef]struct{})
+	for _, id := range req.Parts {
+		p := s.parts[id]
+		p.owned = false
+		p.releasing = false
+		for ref := range p.rows {
+			refs[ref] = struct{}{}
+		}
+		p.rows = nil // contents leave with the shipment
+	}
+	s.pmu.Unlock()
+
+	for _, ref := range req.Refs {
+		refs[ref] = struct{}{}
+	}
+	var out []storage.Write
+	for ref := range refs {
+		if t := s.store.Table(ref.Table); t != nil {
+			if data, _, ok := t.GetLatest(ref.Key); ok {
+				out = append(out, storage.Write{Ref: ref, Data: data})
+			}
+		}
+	}
+	snap := s.clock.Now()
+	for _, r := range req.Scans {
+		tb := s.store.Table(r.Table)
+		if tb == nil {
+			continue
+		}
+		for _, kv := range tb.Scan(r.Lo, r.Hi, snap) {
+			ref := storage.RowRef{Table: r.Table, Key: kv.Key}
+			if _, dup := refs[ref]; dup {
+				continue
+			}
+			out = append(out, storage.Write{Ref: ref, Data: kv.Value})
+		}
+	}
+	return out, nil
+}
+
+// ShipIn installs shipped rows as the local newest versions and takes
+// ownership of the partitions. The rows are installed under a fresh local
+// commit sequence so subsequent local snapshots observe them.
+func (s *Site) ShipIn(parts []uint64, rows []storage.Write) (vclock.Vector, error) {
+	s.commitMu.Lock()
+	seq := s.nextSeq.Add(1)
+	s.store.Apply(storage.Stamp{Origin: s.id, Seq: seq}, rows)
+	s.clock.Advance(s.id, seq)
+	s.commitMu.Unlock()
+
+	s.pmu.Lock()
+	for _, id := range parts {
+		p := s.partition(id)
+		p.owned = true
+		p.releasing = false
+	}
+	if s.cfg.TrackPartitionRows {
+		for _, w := range rows {
+			p := s.partition(s.cfg.Partitioner(w.Ref))
+			if p.rows == nil {
+				p.rows = make(map[storage.RowRef]struct{})
+			}
+			p.rows[w.Ref] = struct{}{}
+		}
+	}
+	s.pcond.Broadcast()
+	s.pmu.Unlock()
+	return s.clock.Now(), nil
+}

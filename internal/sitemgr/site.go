@@ -1,0 +1,384 @@
+// Package sitemgr implements DynaMast's data sites: the integrated site
+// manager, database system and replication manager of §V-A.
+//
+// A Site executes transactions against its local MVCC store, tracks its
+// position in the global commit order with a site version vector, publishes
+// committed write sets to its update log, and applies other sites' updates
+// as refresh transactions under the paper's update application rule
+// (Equation 1). It also serves the mastership-transfer RPCs (release and
+// grant), acts as a two-phase-commit participant for the partitioned
+// baselines, and ships data for the LEAP baseline — so every evaluated
+// system runs on the same storage, concurrency control and isolation level,
+// matching the paper's apples-to-apples methodology.
+package sitemgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynamast/internal/storage"
+	"dynamast/internal/transport"
+	"dynamast/internal/vclock"
+	"dynamast/internal/wal"
+)
+
+// Partitioner maps a row to the partition (data-item group) it belongs to.
+// The site selector tracks mastership per partition (§V-B), so every system
+// component shares one Partitioner.
+type Partitioner func(storage.RowRef) uint64
+
+// Config describes one data site.
+type Config struct {
+	// SiteID is this site's index in [0, Sites).
+	SiteID int
+	// Sites is the number of data sites in the system.
+	Sites int
+	// Net simulates the cluster network; nil means free local calls.
+	Net *transport.Network
+	// Broker holds the per-site update logs; required.
+	Broker *wal.Broker
+	// MaxVersions caps each record's version chain (0 = default of 4).
+	MaxVersions int
+	// Partitioner maps rows to partitions; required.
+	Partitioner Partitioner
+	// Replicate starts refresh appliers that subscribe to the other
+	// sites' logs (lazily maintained replicas). Partitioned systems
+	// without replication leave it false.
+	Replicate bool
+	// PropagationDelay is the minimum age of a log entry before a replica
+	// applies it, modelling the asynchronous propagation pipeline. If
+	// zero, the network's one-way latency is used.
+	PropagationDelay time.Duration
+	// ExecSlots is the site's execution parallelism (0 = default 4).
+	ExecSlots int
+	// ApplySlots is the replication manager's parallelism (0 = default 2).
+	ApplySlots int
+	// DefaultOwner, when set, gives the owner of partitions this site has
+	// no explicit state for (static-placement systems use their placement
+	// function so writes to never-loaded partitions find their owner).
+	// Dynamically mastered sites leave it nil: ownership then only comes
+	// from SetMaster and Grant.
+	DefaultOwner func(part uint64) int
+	// TrackPartitionRows maintains a per-partition index of row
+	// references, so data shipping (LEAP) can move a partition's entire
+	// contents. Systems that never ship leave it off.
+	TrackPartitionRows bool
+	// Costs prices transactional work; the zero value charges nothing.
+	Costs CostModel
+}
+
+// ErrNotMaster is returned when a transaction's write set includes a
+// partition this site does not master. In the stand-alone-selector
+// deployment this cannot happen (the selector serializes remastering with
+// routing); the distributed-selector design of Appendix I relies on it to
+// detect stale routing metadata, and callers resubmit to the selector.
+var ErrNotMaster = errors.New("sitemgr: site does not master a written partition")
+
+// ErrReleasing is returned when a write transaction arrives for a partition
+// whose mastership is being released.
+var ErrReleasing = errors.New("sitemgr: partition mastership is being released")
+
+// partState tracks one partition's local mastership state.
+type partState struct {
+	owned     bool
+	releasing bool
+	writers   int // in-flight local update transactions writing it
+	// rows indexes the partition's row references when the site tracks
+	// partition contents (data-shipping systems).
+	rows map[storage.RowRef]struct{}
+	// wm is the partition's write watermark: the element-wise max of the
+	// commit vectors of all updates to the partition applied at this
+	// site. Release returns it so a grant waits only for updates causally
+	// relevant to the moved items (§III-B), not full replica catch-up.
+	wm vclock.Vector
+}
+
+// Site is one data site.
+type Site struct {
+	cfg   Config
+	id    int
+	m     int
+	clock *vclock.SiteClock
+	store *storage.Store
+	log   *wal.Log
+	net   *transport.Network
+
+	commitMu sync.Mutex    // serializes seq allocation + install + log append
+	nextSeq  atomic.Uint64 // local commit sequence allocator
+	txnIDs   atomic.Uint64
+
+	pool      *execPool
+	applyPool *execPool
+
+	pmu   sync.Mutex
+	pcond *sync.Cond
+	parts map[uint64]*partState
+
+	prepmu   sync.Mutex
+	prepared map[uint64]*preparedTxn
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+
+	// Counters for experiment reporting.
+	commits    atomic.Uint64
+	refreshes  atomic.Uint64
+	remasterIn atomic.Uint64
+}
+
+// New constructs a data site. Call Start to launch replication.
+func New(cfg Config) (*Site, error) {
+	if cfg.Broker == nil {
+		return nil, errors.New("sitemgr: config requires a Broker")
+	}
+	if cfg.Partitioner == nil {
+		return nil, errors.New("sitemgr: config requires a Partitioner")
+	}
+	if cfg.SiteID < 0 || cfg.SiteID >= cfg.Sites {
+		return nil, fmt.Errorf("sitemgr: site id %d out of range [0,%d)", cfg.SiteID, cfg.Sites)
+	}
+	if cfg.PropagationDelay == 0 && cfg.Net != nil {
+		cfg.PropagationDelay = cfg.Net.Config().OneWay
+	}
+	s := &Site{
+		cfg:      cfg,
+		id:       cfg.SiteID,
+		m:        cfg.Sites,
+		clock:    vclock.NewSiteClock(cfg.SiteID, cfg.Sites),
+		store:    storage.NewStore(cfg.MaxVersions),
+		log:      cfg.Broker.Log(cfg.SiteID),
+		net:      cfg.Net,
+		parts:    make(map[uint64]*partState),
+		prepared: make(map[uint64]*preparedTxn),
+		stopped:  make(chan struct{}),
+		pool:     newExecPool(cfg.ExecSlots),
+	}
+	if cfg.ApplySlots == 0 {
+		cfg.ApplySlots = DefaultApplySlots
+	}
+	s.applyPool = newExecPool(cfg.ApplySlots)
+	s.cfg.ApplySlots = cfg.ApplySlots
+	s.pcond = sync.NewCond(&s.pmu)
+	return s, nil
+}
+
+// ID returns the site's index.
+func (s *Site) ID() int { return s.id }
+
+// Sites returns the system size m.
+func (s *Site) Sites() int { return s.m }
+
+// Store exposes the site's database for loading and direct inspection.
+func (s *Site) Store() *storage.Store { return s.store }
+
+// SVV returns a snapshot of the site version vector.
+func (s *Site) SVV() vclock.Vector { return s.clock.Now() }
+
+// Clock exposes the site clock (used by routing strategies to estimate
+// refresh delay, Equation 5).
+func (s *Site) Clock() *vclock.SiteClock { return s.clock }
+
+// Commits returns the number of locally committed update transactions.
+func (s *Site) Commits() uint64 { return s.commits.Load() }
+
+// Refreshes returns the number of refresh transactions applied.
+func (s *Site) Refreshes() uint64 { return s.refreshes.Load() }
+
+// Start launches the refresh appliers (one per remote site) if the site is
+// configured to replicate.
+func (s *Site) Start() {
+	if !s.cfg.Replicate {
+		return
+	}
+	for origin := 0; origin < s.m; origin++ {
+		if origin == s.id {
+			continue
+		}
+		s.wg.Add(1)
+		go s.applyLoop(origin)
+	}
+}
+
+// Stop terminates replication appliers and waits for them to exit.
+// Appliers block on the broker's logs, so callers must close the broker
+// (or at least the remote sites' logs) before calling Stop; the systems
+// packages tear down in that order.
+func (s *Site) Stop() {
+	s.stopOnce.Do(func() { close(s.stopped) })
+	s.wg.Wait()
+}
+
+// applyLoop subscribes to origin's update log and applies each committed
+// transaction as a refresh transaction, blocking per the update application
+// rule so that a consistent order is maintained (Equation 1). Entries are
+// delivered per-origin FIFO; the rule's svv[origin] == tvv[origin]-1 clause
+// holds exactly when the previous entry from origin has been applied, so
+// the loop only needs to wait on the cross-origin dependency clauses.
+func (s *Site) applyLoop(origin int) {
+	defer s.wg.Done()
+	cur := s.cfg.Broker.Log(origin).Subscribe(0)
+	for {
+		e, ok := cur.Next()
+		if !ok {
+			return // log closed and drained
+		}
+		select {
+		case <-s.stopped:
+			return
+		default:
+		}
+		if e.Kind != wal.KindUpdate {
+			continue
+		}
+		seq := e.TVV[origin]
+		if seq <= s.clock.Get(origin) {
+			continue // already applied (bootstrap/recovery overlap)
+		}
+		// Model asynchronous propagation: the update becomes available
+		// here only after the pipeline delay.
+		if d := s.cfg.PropagationDelay; d > 0 {
+			if age := time.Since(e.At); age < d {
+				if !s.sleep(d - age) {
+					return
+				}
+			}
+		}
+		s.net.Account(transport.CatReplication, transport.MsgOverhead+
+			transport.SizeOfVector(e.TVV)+transport.SizeOfWrites(e.Writes))
+		// Wait until every transaction T depends on has been applied.
+		for k, want := range e.TVV {
+			if k == origin {
+				s.clock.WaitDimAtLeast(k, want-1)
+				continue
+			}
+			if want > 0 {
+				s.clock.WaitDimAtLeast(k, want)
+			}
+		}
+		s.applyPool.do(func() time.Duration {
+			s.store.Apply(storage.Stamp{Origin: origin, Seq: seq}, e.Writes)
+			s.bumpWatermarks(e.Writes, e.TVV)
+			s.clock.Advance(origin, seq)
+			if s.cfg.Costs.Zero() {
+				return 0
+			}
+			return s.cfg.Costs.RefreshBase + time.Duration(len(e.Writes))*s.cfg.Costs.PerRefreshWrite
+		})
+		s.refreshes.Add(1)
+	}
+}
+
+// sleep waits for d unless the site stops first.
+func (s *Site) sleep(d time.Duration) bool {
+	select {
+	case <-s.stopped:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// partition returns (creating if needed) the state for part. Caller holds pmu.
+func (s *Site) partition(part uint64) *partState {
+	p := s.parts[part]
+	if p == nil {
+		p = &partState{}
+		if s.cfg.DefaultOwner != nil {
+			p.owned = s.cfg.DefaultOwner(part) == s.id
+		}
+		s.parts[part] = p
+	}
+	return p
+}
+
+// SetMaster marks this site as (non-)master for part without logging; used
+// for initial placement at load time.
+func (s *Site) SetMaster(part uint64, owned bool) {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	st := s.partition(part)
+	st.owned = owned
+	st.releasing = false
+	s.pcond.Broadcast()
+}
+
+// Masters reports whether this site currently masters part.
+func (s *Site) Masters(part uint64) bool {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	p := s.parts[part]
+	return p != nil && p.owned && !p.releasing
+}
+
+// MasteredPartitions returns the ids of all partitions this site masters.
+func (s *Site) MasteredPartitions() []uint64 {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	var out []uint64
+	for id, p := range s.parts {
+		if p.owned {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// bumpWatermarks folds a committed transaction's vector into the write
+// watermarks of the partitions its writes touch, and indexes the rows if
+// the site tracks partition contents.
+func (s *Site) bumpWatermarks(writes []storage.Write, tvv vclock.Vector) {
+	seen := make(map[uint64]struct{}, 4)
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	for _, w := range writes {
+		id := s.cfg.Partitioner(w.Ref)
+		if s.cfg.TrackPartitionRows {
+			p := s.partition(id)
+			if p.rows == nil {
+				p.rows = make(map[storage.RowRef]struct{})
+			}
+			p.rows[w.Ref] = struct{}{}
+		}
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		p := s.partition(id)
+		p.wm = p.wm.MaxInto(tvv)
+	}
+}
+
+// LoadRow installs an initial row directly (load-time bulk path), indexing
+// it when the site tracks partition contents. The stamp (origin 0, seq 0)
+// is visible at every snapshot.
+func (s *Site) LoadRow(ref storage.RowRef, data []byte) {
+	t := s.store.CreateTable(ref.Table)
+	t.Record(ref.Key, true).Install(storage.Stamp{}, data, false, s.store.MaxVersions())
+	if s.cfg.TrackPartitionRows {
+		s.pmu.Lock()
+		p := s.partition(s.cfg.Partitioner(ref))
+		if p.rows == nil {
+			p.rows = make(map[storage.RowRef]struct{})
+		}
+		p.rows[ref] = struct{}{}
+		s.pmu.Unlock()
+	}
+}
+
+// writePartitions returns the deduplicated partition ids of a write set.
+func (s *Site) writePartitions(refs []storage.RowRef) []uint64 {
+	seen := make(map[uint64]struct{}, len(refs))
+	var out []uint64
+	for _, r := range refs {
+		p := s.cfg.Partitioner(r)
+		if _, ok := seen[p]; !ok {
+			seen[p] = struct{}{}
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package sitemgr
+
+import (
+	"fmt"
+	"time"
+
+	"dynamast/internal/storage"
+	"dynamast/internal/vclock"
+	"dynamast/internal/wal"
+)
+
+// Two-phase-commit participant. The partitioned baselines (partition-store
+// and multi-master) execute distributed write transactions with 2PC: the
+// coordinator prepares every participant (acquiring the write locks), and
+// on a unanimous yes-vote commits them. Between prepare and the global
+// decision the participant is in the uncertain phase: the locks stay held,
+// blocking any conflicting transaction — the blocking window that the paper
+// identifies as multi-master's key cost and that DynaMast eliminates by
+// coordinating outside transaction boundaries.
+
+// preparedTxn is a participant-side transaction in the uncertain phase.
+type preparedTxn struct {
+	refs []storage.RowRef
+	recs []*storage.Record
+	snap vclock.Vector
+}
+
+// Prepare locks the local portion of a distributed transaction's write set
+// and votes yes by returning the participant's snapshot at lock
+// acquisition. The locks remain held until CommitPrepared or AbortPrepared.
+func (s *Site) Prepare(txnID uint64, writeSet []storage.RowRef) (vclock.Vector, error) {
+	refs, recs, err := s.store.LockSet(writeSet)
+	if err != nil {
+		return nil, err
+	}
+	p := &preparedTxn{refs: refs, recs: recs, snap: s.clock.Now()}
+	s.prepmu.Lock()
+	if _, dup := s.prepared[txnID]; dup {
+		s.prepmu.Unlock()
+		storage.UnlockAll(recs)
+		return nil, fmt.Errorf("sitemgr: duplicate prepare for txn %d", txnID)
+	}
+	s.prepared[txnID] = p
+	s.prepmu.Unlock()
+	// Participant-side work consumes the site's execution capacity.
+	s.Exec(func() time.Duration { return s.cfg.Costs.TxnBase / 4 })
+	return p.snap, nil
+}
+
+// CommitPrepared applies the local writes of a prepared transaction,
+// commits them locally (assigning the next local commit sequence), logs
+// them for durability and replication, and releases the locks.
+func (s *Site) CommitPrepared(txnID uint64, writes []storage.Write) (vclock.Vector, error) {
+	s.prepmu.Lock()
+	p := s.prepared[txnID]
+	delete(s.prepared, txnID)
+	s.prepmu.Unlock()
+	if p == nil {
+		return nil, fmt.Errorf("sitemgr: commit of unprepared txn %d", txnID)
+	}
+
+	s.commitMu.Lock()
+	seq := s.nextSeq.Add(1)
+	tvv := p.snap.Clone()
+	tvv[s.id] = seq
+	s.store.Apply(storage.Stamp{Origin: s.id, Seq: seq}, writes)
+	_, err := s.log.Append(wal.Entry{
+		Kind:   wal.KindUpdate,
+		Origin: s.id,
+		TVV:    tvv,
+		Writes: writes,
+	})
+	if err == nil {
+		s.clock.Advance(s.id, seq)
+	}
+	s.commitMu.Unlock()
+
+	storage.UnlockAll(p.recs)
+	if err != nil {
+		return nil, err
+	}
+	s.Exec(func() time.Duration {
+		return s.cfg.Costs.TxnBase/4 + time.Duration(len(writes))*s.cfg.Costs.PerWrite
+	})
+	s.commits.Add(1)
+	return tvv, nil
+}
+
+// AbortPrepared releases a prepared transaction's locks without applying.
+func (s *Site) AbortPrepared(txnID uint64) {
+	s.prepmu.Lock()
+	p := s.prepared[txnID]
+	delete(s.prepared, txnID)
+	s.prepmu.Unlock()
+	if p != nil {
+		storage.UnlockAll(p.recs)
+	}
+}
+
+// NextTxnID allocates a cluster-unique distributed transaction id (unique
+// per coordinating site; ids embed the site).
+func (s *Site) NextTxnID() uint64 {
+	return uint64(s.id)<<48 | s.txnIDs.Add(1)
+}

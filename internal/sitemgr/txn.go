@@ -1,0 +1,283 @@
+package sitemgr
+
+import (
+	"fmt"
+	"time"
+
+	"dynamast/internal/storage"
+	"dynamast/internal/vclock"
+	"dynamast/internal/wal"
+)
+
+// Txn is a transaction executing locally at one data site under snapshot
+// isolation. Update transactions declare their write set at begin (the
+// system model assumes write sets are known, via reconnaissance queries if
+// necessary); write locks on the full set are held until commit or abort so
+// write-write conflicts block rather than abort. Reads observe the
+// transaction's begin snapshot plus its own buffered writes.
+type Txn struct {
+	site  *Site
+	snap  vclock.Vector
+	refs  []storage.RowRef  // locked write set (sorted, deduplicated)
+	recs  []*storage.Record // locked records, parallel to refs
+	parts []uint64          // write partitions (writer counts held)
+
+	writes   map[storage.RowRef]storage.Write
+	order    []storage.RowRef // write order for deterministic log payloads
+	finished bool
+	readOnly bool
+
+	// Operation counts, priced by the site's cost model.
+	nReads   int
+	nWrites  int
+	nScanned int
+}
+
+// Begin starts a transaction whose write set is writeSet (nil/empty for a
+// read-only transaction). The transaction's begin snapshot is taken after
+// the site version vector dominates minVV — the element-wise max of grant
+// vectors and the client's session vector, enforcing both the remastering
+// begin-version rule (Algorithm 1) and SSSI session freshness.
+//
+// For update transactions the site verifies it masters every written
+// partition and registers as an in-flight writer on each (release waits for
+// these writers); then it acquires the write locks in canonical order, and
+// only after lock acquisition takes the begin snapshot (the SI proof's Case
+// 1 relies on this ordering).
+func (s *Site) Begin(minVV vclock.Vector, writeSet []storage.RowRef) (*Txn, error) {
+	t := &Txn{site: s, readOnly: len(writeSet) == 0}
+	if len(minVV) > 0 {
+		s.clock.WaitDominatesEq(minVV)
+	}
+	if t.readOnly {
+		t.snap = s.clock.Now()
+		return t, nil
+	}
+
+	parts := s.writePartitions(writeSet)
+	if err := s.enterWriters(parts); err != nil {
+		return nil, err
+	}
+	refs, recs, err := s.store.LockSet(writeSet)
+	if err != nil {
+		s.exitWriters(parts)
+		return nil, err
+	}
+	t.refs, t.recs, t.parts = refs, recs, parts
+	t.writes = make(map[storage.RowRef]storage.Write, len(refs))
+	t.snap = s.clock.Now()
+	return t, nil
+}
+
+// enterWriters atomically checks mastership of all parts and increments
+// their writer counts.
+func (s *Site) enterWriters(parts []uint64) error {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	for _, id := range parts {
+		p := s.partition(id)
+		if !p.owned {
+			return ErrNotMaster
+		}
+		if p.releasing {
+			return ErrReleasing
+		}
+	}
+	for _, id := range parts {
+		s.parts[id].writers++
+	}
+	return nil
+}
+
+// exitWriters decrements writer counts and wakes pending releases.
+func (s *Site) exitWriters(parts []uint64) {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	for _, id := range parts {
+		if p := s.parts[id]; p != nil {
+			p.writers--
+		}
+	}
+	s.pcond.Broadcast()
+}
+
+// Snapshot returns the transaction's begin version vector.
+func (t *Txn) Snapshot() vclock.Vector { return t.snap.Clone() }
+
+// ReadOnly reports whether the transaction declared an empty write set.
+func (t *Txn) ReadOnly() bool { return t.readOnly }
+
+// Read returns the row's value at the transaction's snapshot, observing the
+// transaction's own uncommitted writes first.
+func (t *Txn) Read(ref storage.RowRef) ([]byte, bool) {
+	t.nReads++
+	if t.writes != nil {
+		if w, ok := t.writes[ref]; ok {
+			if w.Deleted {
+				return nil, false
+			}
+			return w.Data, true
+		}
+	}
+	return t.site.store.Get(ref, t.snap)
+}
+
+// Scan returns the visible rows of table with lo <= key < hi at the
+// transaction's snapshot. Buffered writes are not merged into scans (no
+// workload in the evaluation scans its own write set).
+func (t *Txn) Scan(table string, lo, hi uint64) []storage.KV {
+	tb := t.site.store.Table(table)
+	if tb == nil {
+		return nil
+	}
+	rows := tb.Scan(lo, hi, t.snap)
+	t.nScanned += len(rows)
+	return rows
+}
+
+// ScanEach streams visible rows of table in [lo, hi) to fn without
+// materializing them; fn returning false stops early.
+func (t *Txn) ScanEach(table string, lo, hi uint64, fn func(key uint64, data []byte) bool) {
+	tb := t.site.store.Table(table)
+	if tb == nil {
+		return
+	}
+	tb.ScanKeys(lo, hi, t.snap, func(key uint64, data []byte) bool {
+		t.nScanned++
+		return fn(key, data)
+	})
+}
+
+// Write buffers an update to ref, which must be in the declared write set.
+func (t *Txn) Write(ref storage.RowRef, data []byte) error {
+	return t.bufferWrite(storage.Write{Ref: ref, Data: data})
+}
+
+// Delete buffers a tombstone for ref.
+func (t *Txn) Delete(ref storage.RowRef) error {
+	return t.bufferWrite(storage.Write{Ref: ref, Deleted: true})
+}
+
+func (t *Txn) bufferWrite(w storage.Write) error {
+	if t.readOnly {
+		return fmt.Errorf("sitemgr: write in read-only transaction")
+	}
+	if t.finished {
+		return fmt.Errorf("sitemgr: write after commit/abort")
+	}
+	if !t.inWriteSet(w.Ref) {
+		return fmt.Errorf("sitemgr: %v not in declared write set", w.Ref)
+	}
+	if _, dup := t.writes[w.Ref]; !dup {
+		t.order = append(t.order, w.Ref)
+	}
+	t.writes[w.Ref] = w
+	t.nWrites++
+	return nil
+}
+
+// Cost prices the transaction's operations under the site's cost model;
+// systems charge it on the site's execution pool around the stored
+// procedure.
+func (t *Txn) Cost() time.Duration {
+	cm := t.site.cfg.Costs
+	if cm.Zero() {
+		return 0
+	}
+	return cm.TxnBase +
+		time.Duration(t.nReads)*cm.PerRead +
+		time.Duration(t.nWrites)*cm.PerWrite +
+		time.Duration(t.nScanned)*cm.PerScanKey
+}
+
+func (t *Txn) inWriteSet(ref storage.RowRef) bool {
+	for _, r := range t.refs {
+		if r == ref {
+			return true
+		}
+	}
+	return false
+}
+
+// Commit makes the transaction's writes durable and visible and returns its
+// commit timestamp (transaction version vector). The sequence follows
+// §V-A2: the site atomically (under a short commit critical section)
+// allocates the next local commit sequence number, stamps and installs the
+// versions while still holding write locks, appends the write set and tvv
+// to the site's log (redo + propagation), and publishes visibility by
+// advancing the site version vector. The critical section guarantees the
+// site's log carries its commits in commit order — the per-origin FIFO that
+// the update application rule's svv[i] == tvv[i]-1 clause relies on.
+func (t *Txn) Commit() (vclock.Vector, error) {
+	if t.finished {
+		return nil, fmt.Errorf("sitemgr: commit after finish")
+	}
+	t.finished = true
+	s := t.site
+	if t.readOnly {
+		return t.snap, nil
+	}
+
+	writes := make([]storage.Write, 0, len(t.order))
+	for _, ref := range t.order {
+		writes = append(writes, t.writes[ref])
+	}
+
+	s.commitMu.Lock()
+	seq := s.nextSeq.Add(1)
+	tvv := t.snap.Clone()
+	tvv[s.id] = seq
+	s.store.Apply(storage.Stamp{Origin: s.id, Seq: seq}, writes)
+	_, err := s.log.Append(wal.Entry{
+		Kind:   wal.KindUpdate,
+		Origin: s.id,
+		TVV:    tvv,
+		Writes: writes,
+	})
+	if err == nil {
+		s.clock.Advance(s.id, seq)
+	}
+	s.commitMu.Unlock()
+
+	storage.UnlockAll(t.recs)
+	if err == nil {
+		s.bumpWatermarks(writes, tvv)
+	}
+	s.exitWriters(t.parts)
+	if err != nil {
+		// The log only rejects appends after shutdown; the commit is
+		// abandoned (its versions are unreachable: visibility was never
+		// published).
+		return nil, err
+	}
+	s.commits.Add(1)
+	return tvv, nil
+}
+
+// Abort releases the transaction's locks without installing writes.
+func (t *Txn) Abort() {
+	if t.finished {
+		return
+	}
+	t.finished = true
+	if t.readOnly {
+		return
+	}
+	storage.UnlockAll(t.recs)
+	t.site.exitWriters(t.parts)
+}
+
+// ReadLocal serves a single-row read at the site's current snapshot; used
+// by partitioned systems for remote reads.
+func (s *Site) ReadLocal(ref storage.RowRef) ([]byte, bool) {
+	return s.store.Get(ref, s.clock.Now())
+}
+
+// ScanLocal serves a range scan at the site's current snapshot.
+func (s *Site) ScanLocal(table string, lo, hi uint64) []storage.KV {
+	tb := s.store.Table(table)
+	if tb == nil {
+		return nil
+	}
+	return tb.Scan(lo, hi, s.clock.Now())
+}

@@ -1,0 +1,98 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"dynamast/internal/vclock"
+)
+
+func BenchmarkRecordInstall(b *testing.B) {
+	for _, cap := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("versions=%d", cap), func(b *testing.B) {
+			r := newRecord()
+			data := make([]byte, 100)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Install(Stamp{0, uint64(i + 1)}, data, false, cap)
+			}
+		})
+	}
+}
+
+func BenchmarkRecordRead(b *testing.B) {
+	r := newRecord()
+	for s := uint64(1); s <= 4; s++ {
+		r.Install(Stamp{0, s}, make([]byte, 100), false, 4)
+	}
+	snap := vclock.Vector{3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Read(snap); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkTableGet(b *testing.B) {
+	t := NewTable("t")
+	for k := uint64(0); k < 100_000; k++ {
+		t.Record(k, true).Install(Stamp{0, 1}, make([]byte, 100), false, 4)
+	}
+	snap := vclock.Vector{1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := t.Get(uint64(i)%100_000, snap); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkTableScan1000(b *testing.B) {
+	t := NewTable("t")
+	for k := uint64(0); k < 100_000; k++ {
+		t.Record(k, true).Install(Stamp{0, 1}, make([]byte, 100), false, 4)
+	}
+	snap := vclock.Vector{1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := uint64(i) % 99_000
+		if rows := t.Scan(lo, lo+1000, snap); len(rows) != 1000 {
+			b.Fatalf("rows=%d", len(rows))
+		}
+	}
+}
+
+func BenchmarkLockSet3(b *testing.B) {
+	s := NewStore(0)
+	s.CreateTable("t")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i % 1000)
+		_, recs, err := s.LockSet([]RowRef{{"t", k}, {"t", k + 1}, {"t", k + 2}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		UnlockAll(recs)
+	}
+}
+
+func BenchmarkStoreApply(b *testing.B) {
+	s := NewStore(0)
+	s.CreateTable("t")
+	writes := []Write{
+		{Ref: RowRef{"t", 1}, Data: make([]byte, 100)},
+		{Ref: RowRef{"t", 2}, Data: make([]byte, 100)},
+		{Ref: RowRef{"t", 3}, Data: make([]byte, 100)},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Apply(Stamp{0, uint64(i + 1)}, writes)
+	}
+}

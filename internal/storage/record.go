@@ -1,0 +1,126 @@
+// Package storage implements DynaMast's in-memory multi-version row store
+// (the paper's Hekaton-like database component, §V-A1).
+//
+// Records live in row-oriented in-memory tables indexed by a uint64 primary
+// key. Every update creates a new versioned record stamped with the origin
+// site and that site's commit sequence number; a transaction reading at
+// snapshot vector snap sees the newest version whose stamp (origin, seq)
+// satisfies seq <= snap[origin]. Concurrent writers to the same record are
+// mutually excluded with per-record locks (writes block, they do not
+// abort); readers never block.
+//
+// The store keeps a bounded number of versions per record (four by default,
+// matching the paper's empirically chosen setting) and discards older ones.
+package storage
+
+import (
+	"sync"
+
+	"dynamast/internal/vclock"
+)
+
+// Stamp identifies the committed transaction that produced a version: the
+// site it originated at and its position in that site's commit order. It is
+// the projection of the transaction version vector tvv onto the origin
+// dimension, which is all MVCC visibility requires.
+type Stamp struct {
+	Origin int
+	Seq    uint64
+}
+
+// VisibleAt reports whether a version with this stamp is contained in the
+// snapshot snap.
+func (s Stamp) VisibleAt(snap vclock.Vector) bool {
+	if s.Origin < 0 || s.Origin >= len(snap) {
+		return false
+	}
+	return s.Seq <= snap[s.Origin]
+}
+
+// version is one entry of a record's version chain.
+type version struct {
+	stamp   Stamp
+	data    []byte
+	deleted bool
+}
+
+// Record is a multi-versioned row. The write lock (Lock/Unlock) mutually
+// excludes transactions updating the record and is held for the duration of
+// the owning transaction; Install appends versions while locked. Refresh
+// transactions installing propagated updates use the same lock briefly.
+type Record struct {
+	lock chan struct{} // 1-slot semaphore: usable across goroutines
+
+	mu       sync.RWMutex // guards versions
+	versions []version    // newest first
+}
+
+func newRecord() *Record {
+	return &Record{lock: make(chan struct{}, 1)}
+}
+
+// Lock acquires the record's write lock, blocking until available.
+func (r *Record) Lock() { r.lock <- struct{}{} }
+
+// TryLock acquires the write lock if it is free and reports success.
+func (r *Record) TryLock() bool {
+	select {
+	case r.lock <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Unlock releases the write lock. Unlike sync.Mutex it may be released by a
+// different goroutine than the one that acquired it, which the commit path
+// of a networked database needs.
+func (r *Record) Unlock() { <-r.lock }
+
+// Install prepends a new version. maxVersions bounds the chain length; 0
+// means unbounded. Callers hold the write lock (local updates) or are the
+// single refresh applier for the record's partition.
+func (r *Record) Install(stamp Stamp, data []byte, deleted bool, maxVersions int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.versions = append(r.versions, version{})
+	copy(r.versions[1:], r.versions)
+	r.versions[0] = version{stamp: stamp, data: data, deleted: deleted}
+	if maxVersions > 0 && len(r.versions) > maxVersions {
+		r.versions = r.versions[:maxVersions]
+	}
+}
+
+// Read returns the newest version visible at snap. ok is false if no
+// visible version exists or the visible version is a tombstone.
+func (r *Record) Read(snap vclock.Vector) (data []byte, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, v := range r.versions {
+		if v.stamp.VisibleAt(snap) {
+			if v.deleted {
+				return nil, false
+			}
+			return v.data, true
+		}
+	}
+	return nil, false
+}
+
+// ReadLatest returns the newest version regardless of snapshot; used for
+// data shipping (LEAP) and replica bootstrap.
+func (r *Record) ReadLatest() (data []byte, stamp Stamp, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.versions) == 0 || r.versions[0].deleted {
+		return nil, Stamp{}, false
+	}
+	return r.versions[0].data, r.versions[0].stamp, true
+}
+
+// VersionCount returns the current length of the version chain.
+func (r *Record) VersionCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.versions)
+}

@@ -1,0 +1,174 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dynamast/internal/vclock"
+)
+
+// DefaultMaxVersions is the per-record version chain cap. The paper keeps
+// four versions of every record, a setting its authors chose empirically.
+const DefaultMaxVersions = 4
+
+// Store is one data site's database: a set of named tables plus the store-
+// wide MVCC configuration.
+type Store struct {
+	maxVersions int
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewStore returns an empty store keeping maxVersions versions per record
+// (DefaultMaxVersions if maxVersions is 0).
+func NewStore(maxVersions int) *Store {
+	if maxVersions == 0 {
+		maxVersions = DefaultMaxVersions
+	}
+	return &Store{
+		maxVersions: maxVersions,
+		tables:      make(map[string]*Table),
+	}
+}
+
+// MaxVersions returns the store's version chain cap.
+func (s *Store) MaxVersions() int { return s.maxVersions }
+
+// CreateTable creates (or returns the existing) table with the given name.
+func (s *Store) CreateTable(name string) *Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tables[name]; ok {
+		return t
+	}
+	t := NewTable(name)
+	s.tables[name] = t
+	return t
+}
+
+// Table returns the named table, or nil if it does not exist.
+func (s *Store) Table(name string) *Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tables[name]
+}
+
+// TableNames returns the names of all tables in sorted order.
+func (s *Store) TableNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RowRef names one row: a table plus a primary key.
+type RowRef struct {
+	Table string
+	Key   uint64
+}
+
+// String renders the reference as table/key.
+func (r RowRef) String() string { return fmt.Sprintf("%s/%d", r.Table, r.Key) }
+
+// Compare orders row references by (table, key); the canonical lock
+// acquisition order that makes concurrent multi-record transactions
+// deadlock-free.
+func (r RowRef) Compare(o RowRef) int {
+	switch {
+	case r.Table < o.Table:
+		return -1
+	case r.Table > o.Table:
+		return 1
+	case r.Key < o.Key:
+		return -1
+	case r.Key > o.Key:
+		return 1
+	}
+	return 0
+}
+
+// SortRefs sorts refs into canonical lock order and removes duplicates,
+// returning the (possibly shortened) slice.
+func SortRefs(refs []RowRef) []RowRef {
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Compare(refs[j]) < 0 })
+	out := refs[:0]
+	for i, r := range refs {
+		if i == 0 || r.Compare(refs[i-1]) != 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// LockSet acquires write locks on every referenced record in canonical
+// order, creating missing records, and returns them in the same order as
+// the (sorted, deduplicated) refs. Callers release with UnlockAll. The
+// returned refs slice is the deduplicated lock set.
+func (s *Store) LockSet(refs []RowRef) ([]RowRef, []*Record, error) {
+	refs = SortRefs(refs)
+	recs := make([]*Record, 0, len(refs))
+	for _, ref := range refs {
+		t := s.Table(ref.Table)
+		if t == nil {
+			UnlockAll(recs)
+			return nil, nil, fmt.Errorf("storage: no such table %q", ref.Table)
+		}
+		r := t.Record(ref.Key, true)
+		r.Lock()
+		recs = append(recs, r)
+	}
+	return refs, recs, nil
+}
+
+// UnlockAll releases the given records' write locks.
+func UnlockAll(recs []*Record) {
+	for _, r := range recs {
+		r.Unlock()
+	}
+}
+
+// Write is one row mutation carried by a committed transaction (and by its
+// refresh transactions at the other sites).
+type Write struct {
+	Ref     RowRef
+	Data    []byte
+	Deleted bool
+}
+
+// Apply installs a committed write set with the given stamp. Local commits
+// call it while holding the records' write locks; the refresh applier calls
+// it without (application order is serialized per partition by the
+// replication manager).
+func (s *Store) Apply(stamp Stamp, writes []Write) {
+	for _, w := range writes {
+		t := s.CreateTable(w.Ref.Table)
+		r := t.Record(w.Ref.Key, true)
+		r.Install(stamp, w.Data, w.Deleted, s.maxVersions)
+	}
+}
+
+// Get reads one row at a snapshot.
+func (s *Store) Get(ref RowRef, snap vclock.Vector) ([]byte, bool) {
+	t := s.Table(ref.Table)
+	if t == nil {
+		return nil, false
+	}
+	return t.Get(ref.Key, snap)
+}
+
+// RowCount returns the total number of records across all tables.
+func (s *Store) RowCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, t := range s.tables {
+		n += t.Keys()
+	}
+	return n
+}

@@ -1,0 +1,161 @@
+package storage
+
+import (
+	"sort"
+	"sync"
+
+	"dynamast/internal/vclock"
+)
+
+const tableShards = 16
+
+// Table is a row-oriented in-memory table keyed by uint64 primary keys.
+// Lookups and inserts are sharded; range scans iterate the key space in
+// order. Keys in this system are dense within ranges (workloads encode
+// composite keys into uint64), so scans enumerate the sorted key set.
+type Table struct {
+	name   string
+	shards [tableShards]tableShard
+}
+
+type tableShard struct {
+	mu   sync.RWMutex
+	recs map[uint64]*Record
+	keys []uint64 // sorted; maintained on insert
+}
+
+// NewTable returns an empty table with the given name.
+func NewTable(name string) *Table {
+	t := &Table{name: name}
+	for i := range t.shards {
+		t.shards[i].recs = make(map[uint64]*Record)
+	}
+	return t
+}
+
+// Name returns the table's name.
+func (t *Table) Name() string { return t.name }
+
+func (t *Table) shard(key uint64) *tableShard {
+	return &t.shards[key%tableShards]
+}
+
+// Record returns the record for key, creating it if create is set.
+func (t *Table) Record(key uint64, create bool) *Record {
+	s := t.shard(key)
+	s.mu.RLock()
+	r := s.recs[key]
+	s.mu.RUnlock()
+	if r != nil || !create {
+		return r
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r = s.recs[key]; r != nil {
+		return r
+	}
+	r = newRecord()
+	s.recs[key] = r
+	i := sort.Search(len(s.keys), func(i int) bool { return s.keys[i] >= key })
+	s.keys = append(s.keys, 0)
+	copy(s.keys[i+1:], s.keys[i:])
+	s.keys[i] = key
+	return r
+}
+
+// Get reads key at snapshot snap.
+func (t *Table) Get(key uint64, snap vclock.Vector) ([]byte, bool) {
+	r := t.Record(key, false)
+	if r == nil {
+		return nil, false
+	}
+	return r.Read(snap)
+}
+
+// GetLatest reads the newest committed version of key.
+func (t *Table) GetLatest(key uint64) ([]byte, Stamp, bool) {
+	r := t.Record(key, false)
+	if r == nil {
+		return nil, Stamp{}, false
+	}
+	return r.ReadLatest()
+}
+
+// KV is one row produced by a scan.
+type KV struct {
+	Key   uint64
+	Value []byte
+}
+
+// Scan returns all visible rows with lo <= key < hi at snapshot snap, in
+// key order.
+func (t *Table) Scan(lo, hi uint64, snap vclock.Vector) []KV {
+	var out []KV
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		start := sort.Search(len(s.keys), func(j int) bool { return s.keys[j] >= lo })
+		for j := start; j < len(s.keys) && s.keys[j] < hi; j++ {
+			k := s.keys[j]
+			if data, ok := s.recs[k].Read(snap); ok {
+				out = append(out, KV{Key: k, Value: data})
+			}
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// ScanKeys calls fn for each visible row in [lo, hi) in shard order
+// (not globally sorted); fn returning false stops the scan early. It avoids
+// the allocation and sort of Scan for aggregate-style consumers.
+func (t *Table) ScanKeys(lo, hi uint64, snap vclock.Vector, fn func(key uint64, data []byte) bool) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		start := sort.Search(len(s.keys), func(j int) bool { return s.keys[j] >= lo })
+		for j := start; j < len(s.keys) && s.keys[j] < hi; j++ {
+			k := s.keys[j]
+			if data, ok := s.recs[k].Read(snap); ok {
+				if !fn(k, data) {
+					s.mu.RUnlock()
+					return
+				}
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// Keys returns the number of records (of any visibility) in the table.
+func (t *Table) Keys() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		n += len(s.keys)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// ForEachLatest iterates every record's newest version; used to bootstrap a
+// recovering replica from a live one.
+func (t *Table) ForEachLatest(fn func(key uint64, data []byte, stamp Stamp)) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		keys := append([]uint64(nil), s.keys...)
+		recs := make([]*Record, len(keys))
+		for j, k := range keys {
+			recs[j] = s.recs[k]
+		}
+		s.mu.RUnlock()
+		for j, r := range recs {
+			if data, stamp, ok := r.ReadLatest(); ok {
+				fn(keys[j], data, stamp)
+			}
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package systems
+
+import (
+	"fmt"
+	"sync"
+
+	"dynamast/internal/sitemgr"
+	"dynamast/internal/storage"
+	"dynamast/internal/transport"
+	"dynamast/internal/vclock"
+)
+
+// LEAP guarantees single-site transaction execution like DynaMast, but on a
+// partitioned multi-master store without replication: before a transaction
+// runs, every partition in its read and write sets is *localized* to the
+// execution site by physically shipping the records from their current
+// owner (data shipping), with ownership moving along. LEAP has no routing
+// strategies, so hot data ping-pongs between sites and read-only
+// transactions also pay localization (§VI-A1, [14]).
+type LEAP struct {
+	*base
+
+	// owner tracks each partition's current location; per-partition
+	// mutexes serialize competing localizations.
+	omu    sync.Mutex
+	owner  map[uint64]int
+	plocks map[uint64]*sync.Mutex
+}
+
+// NewLEAP builds a LEAP system with cfg.Placement as the initial
+// partitioning.
+func NewLEAP(cfg BaseConfig) (*LEAP, error) {
+	b, err := newBase(cfg, false, true)
+	if err != nil {
+		return nil, err
+	}
+	return &LEAP{
+		base:   b,
+		owner:  make(map[uint64]int),
+		plocks: make(map[uint64]*sync.Mutex),
+	}, nil
+}
+
+// Name implements System.
+func (s *LEAP) Name() string { return "leap" }
+
+// Load implements System.
+func (s *LEAP) Load(rows []LoadRow) { s.loadPartitioned(rows) }
+
+// Stats implements System.
+func (s *LEAP) Stats() Stats { return s.stats() }
+
+// Close implements System.
+func (s *LEAP) Close() { s.close() }
+
+// NewClient implements System. Lacking routing strategies, LEAP pins each
+// client to a home site on first touch — the site owning the client's
+// first written partition (execute where the data starts; the data then
+// follows the client) — and localizes whatever its transactions touch.
+func (s *LEAP) NewClient(id int) Client {
+	return &leapClient{sys: s, home: -1, fallback: id % len(s.sites), cvv: vclock.New(len(s.sites))}
+}
+
+// ownerOf returns the partition's current location.
+func (s *LEAP) ownerOf(part uint64) int {
+	s.omu.Lock()
+	defer s.omu.Unlock()
+	if o, ok := s.owner[part]; ok {
+		return o
+	}
+	o := s.cfg.Placement(part)
+	s.owner[part] = o
+	return o
+}
+
+// plock returns the partition's localization mutex.
+func (s *LEAP) plock(part uint64) *sync.Mutex {
+	s.omu.Lock()
+	defer s.omu.Unlock()
+	if m, ok := s.plocks[part]; ok {
+		return m
+	}
+	m := &sync.Mutex{}
+	s.plocks[part] = m
+	return m
+}
+
+// localize ships every listed partition (with the given rows/ranges as its
+// content hint) to dest. Competing localizations of a partition serialize
+// on its mutex; the loser re-ships. Returns the number of partitions that
+// actually moved.
+func (s *LEAP) localize(dest int, refs []storage.RowRef, scans []sitemgr.ScanRange) (int, error) {
+	// Partition the refs by partition id.
+	partRefs := make(map[uint64][]storage.RowRef)
+	for _, ref := range refs {
+		p := s.cfg.Partitioner(ref)
+		partRefs[p] = append(partRefs[p], ref)
+	}
+	// Ranges attach to every partition they cover.
+	partScans := make(map[uint64][]sitemgr.ScanRange)
+	for _, sc := range scans {
+		seen := make(map[uint64]struct{})
+		for k := sc.Lo; k < sc.Hi; k++ {
+			p := s.cfg.Partitioner(storage.RowRef{Table: sc.Table, Key: k})
+			if _, ok := seen[p]; ok {
+				continue
+			}
+			seen[p] = struct{}{}
+			partScans[p] = append(partScans[p], sc)
+		}
+	}
+	parts := make(map[uint64]struct{})
+	for p := range partRefs {
+		parts[p] = struct{}{}
+	}
+	for p := range partScans {
+		parts[p] = struct{}{}
+	}
+
+	moved := 0
+	for p := range parts {
+		mu := s.plock(p)
+		mu.Lock()
+		src := s.ownerOf(p)
+		if src == dest {
+			mu.Unlock()
+			continue
+		}
+		// Ship the partition's touched rows from src to dest.
+		req := sitemgr.ShipRequest{
+			Refs:   partRefs[p],
+			Scans:  partScans[p],
+			Parts:  []uint64{p},
+			ToSite: dest,
+		}
+		// Request to source, payload to destination.
+		s.net.Send(transport.CatShipping, transport.MsgOverhead+transport.SizeOfRefs(req.Refs))
+		rows, err := s.sites[src].ShipOut(req)
+		if err != nil {
+			mu.Unlock()
+			return moved, fmt.Errorf("leap: ship out: %w", err)
+		}
+		s.net.Send(transport.CatShipping, transport.MsgOverhead+transport.SizeOfWrites(rows))
+		if _, err := s.sites[dest].ShipIn([]uint64{p}, rows); err != nil {
+			mu.Unlock()
+			return moved, fmt.Errorf("leap: ship in: %w", err)
+		}
+		s.omu.Lock()
+		s.owner[p] = dest
+		s.omu.Unlock()
+		moved++
+		mu.Unlock()
+	}
+	if moved > 0 {
+		s.remasters.Add(1)
+	}
+	return moved, nil
+}
+
+type leapClient struct {
+	sys      *LEAP
+	home     int // -1 until the first update pins it
+	fallback int
+	cvv      vclock.Vector
+}
+
+// site returns the client's home site, pinning it on first use.
+func (c *leapClient) site(firstWrite []storage.RowRef) int {
+	if c.home < 0 {
+		if len(firstWrite) > 0 {
+			c.home = c.sys.ownerOf(c.sys.cfg.Partitioner(firstWrite[0]))
+		} else {
+			c.home = c.fallback
+		}
+	}
+	return c.home
+}
+
+// leapRetries bounds re-localization when partitions move away between
+// localization and begin (ping-pong under contention).
+const leapRetries = 512
+
+// Update localizes the write set to the client's home site, then executes
+// there as a plain local transaction.
+func (c *leapClient) Update(writeSet []storage.RowRef, fn func(Tx) error) error {
+	s := c.sys
+	site := s.sites[c.site(writeSet)]
+	// Owner locations are dynamic; the client consults the locator first.
+	s.net.RoundTrip(transport.CatRoute, transport.MsgOverhead+transport.SizeOfRefs(writeSet), transport.MsgOverhead)
+	for attempt := 0; ; attempt++ {
+		if _, err := s.localize(c.home, writeSet, nil); err != nil {
+			return err
+		}
+		s.net.Send(transport.CatTxn, transport.MsgOverhead+transport.SizeOfRefs(writeSet))
+		tx, err := site.Begin(s.sessionVV(c.cvv), writeSet)
+		if err != nil {
+			if attempt < leapRetries {
+				continue // partition shipped away; re-localize
+			}
+			return fmt.Errorf("leap: begin after %d retries: %w", attempt, err)
+		}
+		adapter := &leapTx{tx: tx, c: c, update: true}
+		ferr := fn(adapter)
+		site.Exec(tx.Cost)
+		if len(adapter.missingRefs) > 0 || len(adapter.missingScans) > 0 {
+			// The transaction touched partitions owned elsewhere: abort
+			// (releasing the writers), localize what was missing, retry.
+			tx.Abort()
+			if _, err := s.localize(c.home, adapter.missingRefs, adapter.missingScans); err != nil {
+				return err
+			}
+			if attempt < leapRetries {
+				continue
+			}
+			return fmt.Errorf("leap: unresolved localization after %d retries", attempt)
+		}
+		if ferr != nil {
+			tx.Abort()
+			return ferr
+		}
+		if adapter.err != nil {
+			tx.Abort()
+			return adapter.err
+		}
+		tvv, err := tx.Commit()
+		if err != nil {
+			return err
+		}
+		s.net.Send(transport.CatTxn, transport.MsgOverhead+transport.SizeOfVector(tvv))
+		c.cvv = c.cvv.MaxInto(tvv)
+		return nil
+	}
+}
+
+// Read also executes at the home site; reads and scans of non-local
+// partitions trigger localization mid-transaction (LEAP has no replicas to
+// offload to — its key disadvantage for read-heavy workloads).
+func (c *leapClient) Read(hint []storage.RowRef, fn func(Tx) error) error {
+	s := c.sys
+	site := s.sites[c.site(hint)]
+	s.net.RoundTrip(transport.CatRoute, transport.MsgOverhead, transport.MsgOverhead)
+	s.net.Send(transport.CatTxn, transport.MsgOverhead)
+	tx, err := site.Begin(nil, nil)
+	if err != nil {
+		return err
+	}
+	adapter := &leapTx{tx: tx, c: c}
+	ferr := fn(adapter)
+	site.Exec(tx.Cost)
+	if ferr != nil {
+		tx.Abort()
+		return ferr
+	}
+	if adapter.err != nil {
+		tx.Abort()
+		return adapter.err
+	}
+	_, err = tx.Commit()
+	s.net.Send(transport.CatTxn, transport.MsgOverhead)
+	return err
+}
+
+// leapTx localizes data on first touch. In a read-only transaction (which
+// holds no partition writers) reads and scans of partitions owned
+// elsewhere ship the rows over before serving them. In an update
+// transaction — which registers as a writer on its write-set partitions at
+// begin — shipping mid-transaction could deadlock with a concurrent
+// shipment waiting for those writers, so a miss is recorded instead and
+// the caller aborts, localizes, and retries the whole transaction.
+type leapTx struct {
+	tx     *sitemgr.Txn
+	c      *leapClient
+	update bool
+	err    error
+
+	// Misses recorded by an update transaction for post-abort localization.
+	missingRefs  []storage.RowRef
+	missingScans []sitemgr.ScanRange
+}
+
+func (t *leapTx) Read(ref storage.RowRef) ([]byte, bool) {
+	s := t.c.sys
+	if s.cfg.ReplicatedTables[ref.Table] {
+		return t.tx.Read(ref) // static tables are replicated, never shipped
+	}
+	p := s.cfg.Partitioner(ref)
+	if s.ownerOf(p) != t.c.home {
+		if t.update {
+			// Never ship while holding partition writers: record the
+			// miss; the transaction aborts and retries after localizing.
+			t.missingRefs = append(t.missingRefs, ref)
+			return nil, false
+		}
+		if _, err := s.localize(t.c.home, []storage.RowRef{ref}, nil); err != nil {
+			t.err = err
+			return nil, false
+		}
+		// Shipped rows carry a fresh local commit stamp; read latest.
+		return s.sites[t.c.home].ReadLocal(ref)
+	}
+	if data, ok := t.tx.Read(ref); ok {
+		return data, ok
+	}
+	// The snapshot may predate a recent ship-in; fall back to latest.
+	return s.sites[t.c.home].ReadLocal(ref)
+}
+
+func (t *leapTx) Scan(table string, lo, hi uint64) []storage.KV {
+	s := t.c.sys
+	if s.cfg.ReplicatedTables[table] {
+		return t.tx.Scan(table, lo, hi)
+	}
+	// Determine whether any scanned partition is foreign.
+	foreign := false
+	seen := map[uint64]struct{}{}
+	for k := lo; k < hi; k++ {
+		p := s.cfg.Partitioner(storage.RowRef{Table: table, Key: k})
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		if s.ownerOf(p) != t.c.home {
+			foreign = true
+		}
+	}
+	if foreign {
+		if t.update {
+			t.missingScans = append(t.missingScans, sitemgr.ScanRange{Table: table, Lo: lo, Hi: hi})
+			return nil
+		}
+		if _, err := s.localize(t.c.home, nil, []sitemgr.ScanRange{{Table: table, Lo: lo, Hi: hi}}); err != nil {
+			t.err = err
+			return nil
+		}
+	}
+	return s.sites[t.c.home].ScanLocal(table, lo, hi)
+}
+
+func (t *leapTx) Write(ref storage.RowRef, data []byte) error {
+	return t.tx.Write(ref, data)
+}

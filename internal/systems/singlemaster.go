@@ -1,0 +1,76 @@
+package systems
+
+import (
+	"dynamast/internal/storage"
+	"dynamast/internal/vclock"
+)
+
+// SingleMaster is the replicated single-master architecture: one site
+// masters every data item and executes all update transactions; the
+// remaining sites hold lazily maintained read-only replicas that serve
+// read-only transactions. It avoids distributed transactions entirely but
+// the master site becomes the bottleneck as the update load scales (§II-A).
+type SingleMaster struct {
+	*base
+	master int
+}
+
+// NewSingleMaster builds a single-master system; site 0 is the master.
+// Any Placement in cfg is overridden.
+func NewSingleMaster(cfg BaseConfig) (*SingleMaster, error) {
+	cfg.Placement = func(uint64) int { return 0 }
+	b, err := newBase(cfg, true, false)
+	if err != nil {
+		return nil, err
+	}
+	return &SingleMaster{base: b, master: 0}, nil
+}
+
+// Name implements System.
+func (s *SingleMaster) Name() string { return "single-master" }
+
+// Load implements System: data replicated everywhere, all mastership at
+// the master.
+func (s *SingleMaster) Load(rows []LoadRow) { s.loadReplicated(rows) }
+
+// Stats implements System.
+func (s *SingleMaster) Stats() Stats { return s.stats() }
+
+// Close implements System.
+func (s *SingleMaster) Close() { s.close() }
+
+// NewClient implements System.
+func (s *SingleMaster) NewClient(id int) Client {
+	return &smClient{sys: s, cvv: vclock.New(len(s.sites))}
+}
+
+type smClient struct {
+	sys *SingleMaster
+	cvv vclock.Vector
+}
+
+// Update executes at the master site; clients connect to it directly, so a
+// write transaction costs a single stored-procedure round trip — but every
+// client's updates queue on the one master.
+func (c *smClient) Update(writeSet []storage.RowRef, fn func(Tx) error) error {
+	s := c.sys
+	tvv, err := s.localTx(s.sites[s.master], c.cvv, writeSet, fn)
+	if err != nil {
+		return err
+	}
+	c.cvv = c.cvv.MaxInto(tvv)
+	return nil
+}
+
+// Read executes at a random replica satisfying the session's freshness,
+// offloading the master (what makes single-master superior to a fully
+// centralized system).
+func (c *smClient) Read(hint []storage.RowRef, fn func(Tx) error) error {
+	s := c.sys
+	snap, err := s.readTx(s.sites[s.randFresh(c.cvv)], c.cvv, fn)
+	if err != nil {
+		return err
+	}
+	c.cvv = c.cvv.MaxInto(snap)
+	return nil
+}

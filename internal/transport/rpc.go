@@ -1,0 +1,296 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// This file implements the real networked RPC used by multi-process
+// deployments (cmd/dynamastd, examples/cluster): a minimal gob-framed
+// request/response protocol with per-connection multiplexing. The paper
+// uses Apache Thrift for the same role; only request/response semantics are
+// required by the system.
+
+// frame is the wire unit, used for both requests and responses.
+type frame struct {
+	ID     uint64
+	Method string
+	Body   []byte
+	Err    string
+	Resp   bool
+}
+
+// Handler processes one request body and returns a response body.
+type Handler func(body []byte) ([]byte, error)
+
+// Server dispatches gob-framed RPC requests to registered handlers.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server with no handlers registered.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Register installs a handler for method. Registering after Serve starts is
+// allowed.
+func (s *Server) Register(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// ListenAndServe listens on addr and serves until Close. It returns once
+// the listener is bound; serving continues in the background.
+func (s *Server) ListenAndServe(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var wmu sync.Mutex
+	for {
+		var req frame
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		s.mu.RLock()
+		h := s.handlers[req.Method]
+		s.mu.RUnlock()
+		go func(req frame) {
+			resp := frame{ID: req.ID, Method: req.Method, Resp: true}
+			if h == nil {
+				resp.Err = fmt.Sprintf("rpc: unknown method %q", req.Method)
+			} else if body, err := h(req.Body); err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Body = body
+			}
+			wmu.Lock()
+			defer wmu.Unlock()
+			_ = enc.Encode(&resp)
+		}(req)
+	}
+}
+
+// Close stops the listener and closes all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a multiplexing RPC client for one server connection. Safe for
+// concurrent use.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	wmu  sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan frame
+	err     error
+}
+
+// Dial connects to an RPC server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		pending: make(map[uint64]chan frame),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var resp frame
+		if err := dec.Decode(&resp); err != nil {
+			c.fail(fmt.Errorf("rpc: connection lost: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- frame{Err: err.Error()}
+	}
+}
+
+// Call invokes method with the gob-encoded arg and decodes the response
+// into reply (which may be nil for methods without results).
+func (c *Client) Call(method string, arg, reply any) error {
+	body, err := encodeGob(arg)
+	if err != nil {
+		return fmt.Errorf("rpc: encode %s: %w", method, err)
+	}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan frame, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err = c.enc.Encode(&frame{ID: id, Method: method, Body: body})
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return fmt.Errorf("rpc: send %s: %w", method, err)
+	}
+
+	resp := <-ch
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	if reply == nil {
+		return nil
+	}
+	return decodeGob(resp.Body, reply)
+}
+
+// Close closes the connection; in-flight calls fail.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.fail(errors.New("rpc: client closed"))
+	return err
+}
+
+// Handle registers a typed handler: the request body is gob-decoded into
+// Req, and the returned Resp is gob-encoded.
+func Handle[Req, Resp any](s *Server, method string, fn func(*Req) (*Resp, error)) {
+	s.Register(method, func(body []byte) ([]byte, error) {
+		var req Req
+		if err := decodeGob(body, &req); err != nil {
+			return nil, fmt.Errorf("rpc: decode %s: %w", method, err)
+		}
+		resp, err := fn(&req)
+		if err != nil {
+			return nil, err
+		}
+		return encodeGob(resp)
+	})
+}
+
+func encodeGob(v any) ([]byte, error) {
+	if v == nil {
+		return nil, nil
+	}
+	var buf sliceWriter
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func decodeGob(body []byte, v any) error {
+	if len(body) == 0 {
+		return nil
+	}
+	return gob.NewDecoder(byteReader{&body}).Decode(v)
+}
+
+type sliceWriter []byte
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	*w = append(*w, p...)
+	return len(p), nil
+}
+
+type byteReader struct{ b *[]byte }
+
+func (r byteReader) Read(p []byte) (int, error) {
+	if len(*r.b) == 0 {
+		return 0, errors.New("EOF")
+	}
+	n := copy(p, *r.b)
+	*r.b = (*r.b)[n:]
+	return n, nil
+}

@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"encoding/gob"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Robustness tests for the RPC layer: malformed frames, abrupt
+// disconnects, and large payloads.
+
+func TestRPCServerSurvivesGarbageBytes(t *testing.T) {
+	s := NewServer()
+	Handle(s, "echo", func(r *echoReq) (*echoResp, error) { return &echoResp{Msg: r.Msg}, nil })
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// A raw connection spews garbage; the server must drop it without
+	// disturbing well-behaved clients.
+	raw, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Write([]byte("this is not gob at all \x00\xff\x13\x37"))
+	raw.Close()
+
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var resp echoResp
+	if err := c.Call("echo", &echoReq{Msg: "still alive"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Msg != "still alive" {
+		t.Fatalf("resp = %q", resp.Msg)
+	}
+}
+
+func TestRPCServerSurvivesMidFrameDisconnect(t *testing.T) {
+	s := NewServer()
+	Handle(s, "echo", func(r *echoReq) (*echoResp, error) { return &echoResp{Msg: r.Msg}, nil })
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Send a valid gob stream prefix then cut the connection.
+	raw, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := gob.NewEncoder(raw)
+	_ = enc.Encode(&frame{ID: 1, Method: "echo", Body: []byte("partial")})
+	raw.Close()
+
+	// Server keeps serving.
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Call("echo", &echoReq{Msg: "ok"}, &echoResp{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRPCLargePayloadRoundTrip(t *testing.T) {
+	s := NewServer()
+	type blobReq struct{ Data []byte }
+	type blobResp struct{ N int }
+	Handle(s, "blob", func(r *blobReq) (*blobResp, error) { return &blobResp{N: len(r.Data)}, nil })
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	payload := make([]byte, 4<<20) // 4 MiB
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var resp blobResp
+	if err := c.Call("blob", &blobReq{Data: payload}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != len(payload) {
+		t.Fatalf("server saw %d bytes", resp.N)
+	}
+}
+
+func TestRPCManySequentialCalls(t *testing.T) {
+	_, addr := startEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 500; i++ {
+		var resp echoResp
+		if err := c.Call("echo", &echoReq{Msg: "m"}, &resp); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestRPCHandlerPanicIsolation(t *testing.T) {
+	// A handler returning an error string containing newlines and weird
+	// characters must round-trip as an error.
+	s := NewServer()
+	Handle(s, "weird", func(r *echoReq) (*echoResp, error) {
+		return nil, &weirdError{}
+	})
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Call("weird", &echoReq{}, &echoResp{})
+	if err == nil || !strings.Contains(err.Error(), "line2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+type weirdError struct{}
+
+func (*weirdError) Error() string { return "line1\nline2\ttab\x00nul" }
+
+func TestRPCConcurrentClients(t *testing.T) {
+	_, addr := startEchoServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 50; j++ {
+				var resp echoResp
+				if err := c.Call("echo", &echoReq{Msg: "x"}, &resp); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent clients hung")
+	}
+}

@@ -1,0 +1,47 @@
+package transport
+
+import (
+	"dynamast/internal/storage"
+	"dynamast/internal/vclock"
+)
+
+// Wire-size estimators. The simulated network charges transfer time and
+// byte counters from these estimates instead of actually serializing on the
+// hot path. Estimates use a small per-message envelope plus the natural
+// encoded size of each field, which tracks a compact binary codec (like the
+// Thrift compact protocol the paper uses) closely enough for bandwidth
+// accounting.
+
+// MsgOverhead is the per-message envelope: framing, method id, txn id.
+const MsgOverhead = 24
+
+// refOverhead covers a RowRef: table id (2) + key (8).
+const refOverhead = 10
+
+// SizeOfVector returns the encoded size of a version vector.
+func SizeOfVector(v vclock.Vector) int { return 2 + 8*len(v) }
+
+// SizeOfRefs returns the encoded size of a row-reference list.
+func SizeOfRefs(refs []storage.RowRef) int { return 2 + refOverhead*len(refs) }
+
+// SizeOfWrites returns the encoded size of a write set with payloads.
+func SizeOfWrites(writes []storage.Write) int {
+	n := 2
+	for _, w := range writes {
+		n += refOverhead + 3 + len(w.Data)
+	}
+	return n
+}
+
+// SizeOfRows returns the encoded size of key/value rows (scan results, data
+// shipping payloads).
+func SizeOfRows(rows []storage.KV) int {
+	n := 2
+	for _, r := range rows {
+		n += 8 + 3 + len(r.Value)
+	}
+	return n
+}
+
+// SizeOfPartitions returns the encoded size of a partition id list.
+func SizeOfPartitions(parts []uint64) int { return 2 + 8*len(parts) }

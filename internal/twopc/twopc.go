@@ -1,0 +1,148 @@
+// Package twopc implements the two-phase commit protocol the partitioned
+// baselines (partition-store and multi-master) use for distributed write
+// transactions.
+//
+// The coordinator runs at the client's coordinating site: it sends parallel
+// prepare requests carrying each participant's slice of the write set (the
+// participants acquire the write locks and enter the uncertain phase), and
+// on a unanimous yes-vote sends parallel commit requests carrying the
+// buffered writes. Between prepare and the global decision participants
+// hold their locks — the blocking window that distinguishes these
+// architectures from DynaMast. Every protocol message is charged to the
+// simulated network in the Cat2PC category.
+package twopc
+
+import (
+	"fmt"
+	"sync"
+
+	"dynamast/internal/storage"
+	"dynamast/internal/transport"
+	"dynamast/internal/vclock"
+)
+
+// Participant is a data site's 2PC participant interface
+// (*sitemgr.Site implements it).
+type Participant interface {
+	Prepare(txnID uint64, writeSet []storage.RowRef) (vclock.Vector, error)
+	CommitPrepared(txnID uint64, writes []storage.Write) (vclock.Vector, error)
+	AbortPrepared(txnID uint64)
+}
+
+// Work is one participant's share of a distributed transaction.
+type Work struct {
+	WriteSet []storage.RowRef
+	Writes   []storage.Write
+}
+
+// Coordinator drives distributed commits over a simulated network.
+type Coordinator struct {
+	net *transport.Network
+}
+
+// NewCoordinator returns a coordinator charging traffic to net (nil = free).
+func NewCoordinator(net *transport.Network) *Coordinator {
+	return &Coordinator{net: net}
+}
+
+// Prepare runs the voting phase: parallel prepare requests to every
+// participant. On success every participant is in the uncertain phase with
+// its locks held, and the element-wise max of their snapshots is returned.
+// On failure the prepared participants are aborted.
+func (c *Coordinator) Prepare(txnID uint64, work map[int]Work, sites map[int]Participant) (vclock.Vector, error) {
+	type result struct {
+		id   int
+		snap vclock.Vector
+		err  error
+	}
+	results := make(chan result, len(work))
+	for id, w := range work {
+		go func(id int, w Work) {
+			c.net.RoundTrip(transport.Cat2PC,
+				transport.MsgOverhead+transport.SizeOfRefs(w.WriteSet),
+				transport.MsgOverhead+transport.SizeOfVector(nil))
+			snap, err := sites[id].Prepare(txnID, w.WriteSet)
+			results <- result{id, snap, err}
+		}(id, w)
+	}
+	var (
+		snap     vclock.Vector
+		firstErr error
+		prepared []int
+	)
+	for range work {
+		r := <-results
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		prepared = append(prepared, r.id)
+		snap = snap.MaxInto(r.snap)
+	}
+	if firstErr != nil {
+		c.abort(txnID, prepared, sites)
+		return nil, fmt.Errorf("twopc: prepare: %w", firstErr)
+	}
+	return snap, nil
+}
+
+// Commit runs the decision phase after a successful Prepare: parallel
+// commit requests carrying each participant's writes. It returns the
+// element-wise max of the participants' commit vectors.
+func (c *Coordinator) Commit(txnID uint64, work map[int]Work, sites map[int]Participant) (vclock.Vector, error) {
+	type result struct {
+		tvv vclock.Vector
+		err error
+	}
+	results := make(chan result, len(work))
+	for id, w := range work {
+		go func(id int, w Work) {
+			c.net.RoundTrip(transport.Cat2PC,
+				transport.MsgOverhead+transport.SizeOfWrites(w.Writes),
+				transport.MsgOverhead+transport.SizeOfVector(nil))
+			tvv, err := sites[id].CommitPrepared(txnID, w.Writes)
+			results <- result{tvv, err}
+		}(id, w)
+	}
+	var (
+		out      vclock.Vector
+		firstErr error
+	)
+	for range work {
+		r := <-results
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		out = out.MaxInto(r.tvv)
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("twopc: commit: %w", firstErr)
+	}
+	return out, nil
+}
+
+// abort sends parallel aborts to the given participants.
+func (c *Coordinator) abort(txnID uint64, ids []int, sites map[int]Participant) {
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c.net.RoundTrip(transport.Cat2PC, transport.MsgOverhead, transport.MsgOverhead)
+			sites[id].AbortPrepared(txnID)
+		}(id)
+	}
+	wg.Wait()
+}
+
+// Abort aborts a transaction at every participant (exported for callers
+// that fail between Prepare and Commit).
+func (c *Coordinator) Abort(txnID uint64, work map[int]Work, sites map[int]Participant) {
+	ids := make([]int, 0, len(work))
+	for id := range work {
+		ids = append(ids, id)
+	}
+	c.abort(txnID, ids, sites)
+}

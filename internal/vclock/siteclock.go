@@ -1,0 +1,92 @@
+package vclock
+
+import (
+	"sync"
+)
+
+// SiteClock is an internally synchronized site version vector with waiters.
+// Data sites use it as svv_i: local commits advance the site's own
+// dimension, refresh application advances remote dimensions, and
+// transactions block on WaitDominatesEq until session-freshness or grant
+// preconditions hold.
+type SiteClock struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	site int
+	vv   Vector
+}
+
+// NewSiteClock returns a clock for site index site in an m-site system.
+func NewSiteClock(site, m int) *SiteClock {
+	c := &SiteClock{site: site, vv: New(m)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Site returns the owning site's index.
+func (c *SiteClock) Site() int { return c.site }
+
+// Now returns a snapshot copy of the current vector.
+func (c *SiteClock) Now() Vector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vv.Clone()
+}
+
+// TickLocal atomically increments the site's own dimension and returns the
+// resulting vector; the returned vector is the committing transaction's
+// commit timestamp basis (tvv[i] = returned[i]).
+func (c *SiteClock) TickLocal() Vector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.vv[c.site]++
+	out := c.vv.Clone()
+	c.cond.Broadcast()
+	return out
+}
+
+// Advance sets dimension k to seq if seq is greater than the current value
+// and wakes waiters. Refresh application uses it to publish remote commits.
+func (c *SiteClock) Advance(k int, seq uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if k < len(c.vv) && c.vv[k] < seq {
+		c.vv[k] = seq
+		c.cond.Broadcast()
+	}
+}
+
+// Get returns dimension k of the current vector.
+func (c *SiteClock) Get(k int) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if k >= len(c.vv) {
+		return 0
+	}
+	return c.vv[k]
+}
+
+// WaitDominatesEq blocks until the clock dominates min elementwise, then
+// returns a snapshot of the clock. It implements both the SSSI freshness
+// rule (svv >= cvv) and the grant rule (destination has applied the
+// releasing site's updates to the release point).
+func (c *SiteClock) WaitDominatesEq(min Vector) Vector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for !c.vv.DominatesEq(min) {
+		c.cond.Wait()
+	}
+	return c.vv.Clone()
+}
+
+// WaitDimAtLeast blocks until dimension k reaches at least seq and returns a
+// snapshot. The refresh applier uses it to wait for the predecessor
+// transaction from the same origin.
+func (c *SiteClock) WaitDimAtLeast(k int, seq uint64) Vector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k < len(c.vv) && c.vv[k] < seq {
+		c.cond.Wait()
+	}
+	return c.vv.Clone()
+}

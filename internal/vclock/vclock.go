@@ -1,0 +1,200 @@
+// Package vclock implements the version-vector algebra that DynaMast uses to
+// order transactions across sites.
+//
+// A replicated system with m sites tracks three kinds of m-dimensional
+// vectors of counters:
+//
+//   - site version vectors (svv): svv[j] is the number of update
+//     transactions originating at site j whose effects site i has applied
+//     (locally committed transactions for j == i, refresh transactions
+//     otherwise);
+//   - transaction version vectors (tvv): a transaction's begin timestamp is
+//     the executing site's svv at begin, and its commit timestamp is the
+//     begin vector with the executing site's own dimension advanced to the
+//     transaction's local commit sequence number;
+//   - client version vectors (cvv): the freshest state a client session has
+//     observed, used to enforce strong-session snapshot isolation.
+//
+// All three are represented by the Vector type.
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vector is an m-dimensional version vector. Index j counts committed update
+// transactions that originated at site j. The zero-length Vector is a valid
+// empty vector.
+//
+// Vector values are not safe for concurrent mutation; callers synchronize
+// externally (see SiteClock for an internally synchronized site vector).
+type Vector []uint64
+
+// New returns a zeroed vector for a system of m sites.
+func New(m int) Vector {
+	return make(Vector, m)
+}
+
+// Clone returns a copy of v that shares no storage with v.
+func (v Vector) Clone() Vector {
+	if v == nil {
+		return nil
+	}
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Len returns the dimensionality of v.
+func (v Vector) Len() int { return len(v) }
+
+// DominatesEq reports whether v[k] >= o[k] for every dimension k.
+// Vectors of different lengths are compared over the shorter length, with
+// missing trailing dimensions of either side treated as zero.
+func (v Vector) DominatesEq(o Vector) bool {
+	for k := range o {
+		var vk uint64
+		if k < len(v) {
+			vk = v[k]
+		}
+		if vk < o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and o agree in every dimension, treating missing
+// trailing dimensions as zero.
+func (v Vector) Equal(o Vector) bool {
+	n := len(v)
+	if len(o) > n {
+		n = len(o)
+	}
+	for k := 0; k < n; k++ {
+		var vk, ok uint64
+		if k < len(v) {
+			vk = v[k]
+		}
+		if k < len(o) {
+			ok = o[k]
+		}
+		if vk != ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Less reports whether v < o in every dimension (the strict ordering used by
+// the paper's proofs: v[k] < o[k] for all k).
+func (v Vector) Less(o Vector) bool {
+	if len(o) == 0 {
+		return false
+	}
+	for k := range o {
+		var vk uint64
+		if k < len(v) {
+			vk = v[k]
+		}
+		if vk >= o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxInto sets v[k] = max(v[k], o[k]) for every dimension, growing v if o is
+// longer, and returns the (possibly reallocated) result. The elementwise max
+// of release/grant vectors gives the minimum version a remastered
+// transaction must observe (Algorithm 1, line 9).
+func (v Vector) MaxInto(o Vector) Vector {
+	if len(o) > len(v) {
+		g := make(Vector, len(o))
+		copy(g, v)
+		v = g
+	}
+	for k := range o {
+		if o[k] > v[k] {
+			v[k] = o[k]
+		}
+	}
+	return v
+}
+
+// Max returns the elementwise maximum of a and b as a new vector.
+func Max(a, b Vector) Vector {
+	return a.Clone().MaxInto(b)
+}
+
+// LagBehind returns the L1 distance max(0, o[k]-v[k]) summed over k: the
+// number of refresh transactions v must still apply to dominate o. It is the
+// quantity inside Equation 5's f_refresh_delay.
+func (v Vector) LagBehind(o Vector) uint64 {
+	var lag uint64
+	for k := range o {
+		var vk uint64
+		if k < len(v) {
+			vk = v[k]
+		}
+		if o[k] > vk {
+			lag += o[k] - vk
+		}
+	}
+	return lag
+}
+
+// Sum returns the total number of transactions reflected in v.
+func (v Vector) Sum() uint64 {
+	var s uint64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// CanApply reports whether a site with state svv may apply a refresh
+// transaction with commit vector tvv originating at site origin, per the
+// paper's update application rule (Equation 1):
+//
+//	svv[k] >= tvv[k] for all k != origin, and svv[origin] == tvv[origin]-1.
+//
+// The rule guarantees a refresh transaction is applied only after every
+// transaction it depends on has been applied, and in per-origin commit
+// order.
+func CanApply(svv, tvv Vector, origin int) bool {
+	if origin < 0 || origin >= len(tvv) {
+		return false
+	}
+	for k := range tvv {
+		var sk uint64
+		if k < len(svv) {
+			sk = svv[k]
+		}
+		if k == origin {
+			if tvv[k] == 0 || sk != tvv[k]-1 {
+				return false
+			}
+			continue
+		}
+		if sk < tvv[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders v as "[a b c]".
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for k, x := range v {
+		if k > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package wal
+
+import (
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"dynamast/internal/storage"
+	"dynamast/internal/vclock"
+)
+
+// Property: any sequence of appended entries replays from disk byte-exact
+// and in order.
+func TestQuickFileReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	n := 0
+	f := func(kinds []uint8, payload []byte) bool {
+		n++
+		path := filepath.Join(dir, "log-"+string(rune('a'+n%26))+itoa(n)+".wal")
+		l, err := Open(path)
+		if err != nil {
+			return false
+		}
+		var want []Entry
+		for i, k := range kinds {
+			if i >= 16 {
+				break
+			}
+			e := Entry{
+				Kind:   Kind(k%3) + 1,
+				Origin: int(k) % 7,
+				TVV:    vclock.Vector{uint64(i + 1), uint64(k)},
+			}
+			if e.Kind == KindUpdate {
+				e.Writes = []storage.Write{{
+					Ref:  storage.RowRef{Table: "t", Key: uint64(i)},
+					Data: append([]byte(nil), payload...),
+				}}
+			} else {
+				e.Partitions = []uint64{uint64(i), uint64(k)}
+				e.Peer = int(k) % 5
+			}
+			if _, err := l.Append(e); err != nil {
+				return false
+			}
+			want = append(want, e)
+		}
+		l.Close()
+
+		r, err := Open(path)
+		if err != nil {
+			return false
+		}
+		defer r.Close()
+		if r.Len() != uint64(len(want)) {
+			return false
+		}
+		for i, w := range want {
+			got, ok := r.Get(uint64(i))
+			if !ok || got.Kind != w.Kind || got.Origin != w.Origin ||
+				!got.TVV.Equal(w.TVV) || len(got.Writes) != len(w.Writes) ||
+				len(got.Partitions) != len(w.Partitions) || got.Peer != w.Peer {
+				return false
+			}
+			if len(w.Writes) == 1 && string(got.Writes[0].Data) != string(w.Writes[0].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Property: cursors never skip or duplicate entries regardless of the
+// interleaving of appends and reads.
+func TestQuickCursorExactlyOnce(t *testing.T) {
+	f := func(batchSizes []uint8) bool {
+		l := New()
+		c := l.Subscribe(0)
+		next := 0
+		for _, b := range batchSizes {
+			k := int(b % 5)
+			for i := 0; i < k; i++ {
+				l.Append(Entry{Origin: next + i})
+			}
+			for {
+				e, ok := c.TryNext()
+				if !ok {
+					break
+				}
+				if e.Origin != next {
+					return false
+				}
+				next++
+			}
+		}
+		return uint64(next) == l.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+package wal
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"dynamast/internal/storage"
+	"dynamast/internal/vclock"
+)
+
+func TestAppendAssignsDenseOffsets(t *testing.T) {
+	l := New()
+	for i := 0; i < 5; i++ {
+		off, err := l.Append(Entry{Kind: KindUpdate, Origin: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != uint64(i) {
+			t.Fatalf("offset %d, want %d", off, i)
+		}
+	}
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	e, ok := l.Get(3)
+	if !ok || e.Offset != 3 {
+		t.Fatalf("Get(3) = %+v %v", e, ok)
+	}
+	if _, ok := l.Get(99); ok {
+		t.Fatal("Get past end succeeded")
+	}
+}
+
+func TestCursorOrderedDelivery(t *testing.T) {
+	l := New()
+	c := l.Subscribe(0)
+	for i := 0; i < 10; i++ {
+		l.Append(Entry{Kind: KindUpdate, Origin: i})
+	}
+	for i := 0; i < 10; i++ {
+		e, ok := c.TryNext()
+		if !ok || e.Origin != i {
+			t.Fatalf("entry %d: %+v %v", i, e, ok)
+		}
+	}
+	if _, ok := c.TryNext(); ok {
+		t.Fatal("TryNext past end succeeded")
+	}
+	if c.Offset() != 10 {
+		t.Fatalf("Offset = %d", c.Offset())
+	}
+}
+
+func TestCursorBlockingNext(t *testing.T) {
+	l := New()
+	c := l.Subscribe(0)
+	got := make(chan Entry, 1)
+	go func() {
+		e, ok := c.Next()
+		if ok {
+			got <- e
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("Next returned before append")
+	case <-time.After(10 * time.Millisecond):
+	}
+	l.Append(Entry{Kind: KindGrant, Peer: 2})
+	select {
+	case e := <-got:
+		if e.Kind != KindGrant || e.Peer != 2 {
+			t.Fatalf("got %+v", e)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next never woke")
+	}
+}
+
+func TestCursorSubscribeMidStream(t *testing.T) {
+	l := New()
+	for i := 0; i < 5; i++ {
+		l.Append(Entry{Origin: i})
+	}
+	c := l.Subscribe(3)
+	e, ok := c.TryNext()
+	if !ok || e.Origin != 3 {
+		t.Fatalf("mid-stream cursor read %+v %v", e, ok)
+	}
+}
+
+func TestCloseWakesCursors(t *testing.T) {
+	l := New()
+	c := l.Subscribe(0)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := c.Next()
+		done <- ok
+	}()
+	time.Sleep(5 * time.Millisecond)
+	l.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Next returned an entry from an empty closed log")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next not woken by Close")
+	}
+	if _, err := l.Append(Entry{}); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+}
+
+func TestCloseDrainsBeforeEOF(t *testing.T) {
+	l := New()
+	l.Append(Entry{Origin: 7})
+	l.Close()
+	c := l.Subscribe(0)
+	e, ok := c.Next()
+	if !ok || e.Origin != 7 {
+		t.Fatalf("drain read %+v %v", e, ok)
+	}
+	if _, ok := c.Next(); ok {
+		t.Fatal("read past drained closed log")
+	}
+}
+
+func TestFileBackedReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "site-0.wal")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := []storage.Write{{Ref: storage.RowRef{Table: "t", Key: 9}, Data: []byte("hello")}}
+	l.Append(Entry{Kind: KindUpdate, Origin: 2, TVV: vclock.Vector{0, 0, 3}, Writes: writes})
+	l.Append(Entry{Kind: KindRelease, Origin: 2, Partitions: []uint64{4, 5}, Peer: 1})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 2 {
+		t.Fatalf("replayed Len = %d", r.Len())
+	}
+	e, _ := r.Get(0)
+	if e.Kind != KindUpdate || !e.TVV.Equal(vclock.Vector{0, 0, 3}) ||
+		len(e.Writes) != 1 || string(e.Writes[0].Data) != "hello" {
+		t.Fatalf("replayed entry 0 = %+v", e)
+	}
+	e, _ = r.Get(1)
+	if e.Kind != KindRelease || len(e.Partitions) != 2 || e.Peer != 1 {
+		t.Fatalf("replayed entry 1 = %+v", e)
+	}
+	// Appends continue from the replayed offset.
+	off, err := r.Append(Entry{Kind: KindGrant})
+	if err != nil || off != 2 {
+		t.Fatalf("post-replay append = %d, %v", off, err)
+	}
+}
+
+func TestConcurrentAppendersAndSubscriber(t *testing.T) {
+	l := New()
+	const appenders, per = 4, 50
+	var wg sync.WaitGroup
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := l.Append(Entry{Origin: a}); err != nil {
+					panic(err)
+				}
+			}
+		}(a)
+	}
+	c := l.Subscribe(0)
+	seen := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for seen < appenders*per {
+			e, ok := c.Next()
+			if !ok {
+				return
+			}
+			if e.Offset != uint64(seen) {
+				panic("out of order delivery")
+			}
+			seen++
+		}
+	}()
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("subscriber saw %d/%d", seen, appenders*per)
+	}
+}
+
+func TestBroker(t *testing.T) {
+	b := NewBroker(3)
+	if b.Sites() != 3 {
+		t.Fatalf("Sites = %d", b.Sites())
+	}
+	b.Log(1).Append(Entry{Origin: 1})
+	if b.Log(1).Len() != 1 || b.Log(0).Len() != 0 {
+		t.Fatal("broker logs not independent")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenBrokerRecovers(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenBroker(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Log(0).Append(Entry{Kind: KindUpdate, Origin: 0})
+	b.Log(1).Append(Entry{Kind: KindUpdate, Origin: 1})
+	b.Log(1).Append(Entry{Kind: KindGrant, Origin: 1})
+	b.Close()
+
+	r, err := OpenBroker(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Log(0).Len() != 1 || r.Log(1).Len() != 2 {
+		t.Fatalf("recovered lens = %d, %d", r.Log(0).Len(), r.Log(1).Len())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindUpdate.String() != "update" || KindRelease.String() != "release" ||
+		KindGrant.String() != "grant" || Kind(9).String() != "kind(9)" {
+		t.Fatal("Kind.String broken")
+	}
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf draws from a Zipfian distribution over [0, n) with the YCSB-style
+// skew parameter theta in (0, 1) — the paper's skewed workloads use
+// theta = 0.75. (math/rand's Zipf requires exponent > 1, so this is the
+// classic Gray et al. generator supporting theta < 1.)
+type Zipf struct {
+	r                *rand.Rand
+	n                uint64
+	theta            float64
+	alpha, zetan     float64
+	eta, zeta2, half float64
+}
+
+// NewZipf builds a generator over [0, n) with the given theta.
+func NewZipf(r *rand.Rand, n uint64, theta float64) *Zipf {
+	z := &Zipf{r: r, n: n, theta: theta}
+	z.zeta2 = zeta(2, theta)
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	z.half = 1 + math.Pow(0.5, theta)
+	return z
+}
+
+// zeta computes the generalized harmonic number H_{n,theta}.
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	// Cap the exact sum for very large n; the tail contributes little and
+	// the workloads here use n <= ~1M.
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next value in [0, n). Rank 0 is the hottest.
+func (z *Zipf) Next() uint64 {
+	u := z.r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.half {
+		return 1
+	}
+	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// Binomial draws the number of successes in trials Bernoulli(p) trials —
+// the paper's neighbour-partition selector samples Binomial(5, 0.5) and
+// offsets from its center (Appendix C).
+func Binomial(r *rand.Rand, trials int, p float64) int {
+	s := 0
+	for i := 0; i < trials; i++ {
+		if r.Float64() < p {
+			s++
+		}
+	}
+	return s
+}
+
+// NeighborOffset draws the paper's neighbour-partition offset
+// (Appendix C): a Binomial(5, 0.5) sample re-centred so that three
+// successes select the base partition, one success selects two partitions
+// before it, and five successes two after (the paper's Figure 6a example).
+func NeighborOffset(r *rand.Rand) int {
+	return Binomial(r, 5, 0.5) - 3
+}
+
+// clampPartition wraps an offset base partition into [0, n).
+func clampPartition(base int64, n uint64) uint64 {
+	m := int64(n)
+	v := base % m
+	if v < 0 {
+		v += m
+	}
+	return uint64(v)
+}

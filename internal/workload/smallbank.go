@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dynamast/internal/sitemgr"
+	"dynamast/internal/storage"
+	"dynamast/internal/systems"
+)
+
+// SmallBank table names: each customer has a checking and a savings row.
+const (
+	TableChecking = "checking"
+	TableSavings  = "savings"
+)
+
+// SmallBankConfig parameterizes the banking workload used to stress short
+// transactions (Appendix F): 45% single-row updates, 40% two-row updates
+// (SendPayment), 15% two-row read-only Balance.
+type SmallBankConfig struct {
+	// Customers is the account count (default 20_000).
+	Customers uint64
+	// PartitionSize groups customers into partitions (default 100).
+	PartitionSize uint64
+	// SinglePercent / MultiPercent set the update mix; the remainder is
+	// Balance. Defaults 45/40.
+	SinglePercent int
+	MultiPercent  int
+	// Hotspot, if nonzero, draws customers from the first Hotspot
+	// accounts with 90% probability (contention studies).
+	Hotspot uint64
+}
+
+func (c SmallBankConfig) withDefaults() SmallBankConfig {
+	if c.Customers == 0 {
+		c.Customers = 20_000
+	}
+	if c.PartitionSize == 0 {
+		c.PartitionSize = 100
+	}
+	if c.SinglePercent == 0 && c.MultiPercent == 0 {
+		c.SinglePercent, c.MultiPercent = 45, 40
+	}
+	return c
+}
+
+// SmallBank implements Workload.
+type SmallBank struct {
+	cfg   SmallBankConfig
+	parts uint64
+}
+
+// NewSmallBank builds the workload.
+func NewSmallBank(cfg SmallBankConfig) *SmallBank {
+	cfg = cfg.withDefaults()
+	return &SmallBank{cfg: cfg, parts: cfg.Customers / cfg.PartitionSize}
+}
+
+// Name implements Workload.
+func (w *SmallBank) Name() string { return "smallbank" }
+
+// Tables implements Workload.
+func (w *SmallBank) Tables() []string { return []string{TableChecking, TableSavings} }
+
+// LoadRows implements Workload.
+func (w *SmallBank) LoadRows() []systems.LoadRow {
+	rows := make([]systems.LoadRow, 0, 2*w.cfg.Customers)
+	for c := uint64(0); c < w.cfg.Customers; c++ {
+		bal := make([]byte, 8)
+		putU64(bal, 0, 10_000)
+		rows = append(rows,
+			systems.LoadRow{Ref: storage.RowRef{Table: TableChecking, Key: c}, Data: bal},
+			systems.LoadRow{Ref: storage.RowRef{Table: TableSavings, Key: c}, Data: bal},
+		)
+	}
+	return rows
+}
+
+// Partitioner implements Workload: a customer's checking and savings rows
+// share a partition of PartitionSize contiguous customers.
+func (w *SmallBank) Partitioner() sitemgr.Partitioner {
+	size := w.cfg.PartitionSize
+	return func(ref storage.RowRef) uint64 { return ref.Key / size }
+}
+
+// Placement implements Workload: blocks of ten customer partitions
+// round-robin across sites (SendPayment pairs accounts uniformly, so any
+// balanced placement leaves the same cross-site fraction).
+func (w *SmallBank) Placement(m int) func(part uint64) int {
+	return func(part uint64) int {
+		return int(part/10) % m
+	}
+}
+
+// ReplicatedTables implements Workload.
+func (w *SmallBank) ReplicatedTables() map[string]bool { return nil }
+
+type smallBankGen struct {
+	w *SmallBank
+	r *rand.Rand
+}
+
+// NewGenerator implements Workload.
+func (w *SmallBank) NewGenerator(client int, seed int64) Generator {
+	return &smallBankGen{w: w, r: rand.New(rand.NewSource(seed ^ int64(client)*0x5851F42D4C957F2D))}
+}
+
+// customer draws an account id, respecting the hotspot if configured.
+func (g *smallBankGen) customer() uint64 {
+	cfg := g.w.cfg
+	if cfg.Hotspot > 0 && g.r.Intn(100) < 90 {
+		return uint64(g.r.Intn(int(cfg.Hotspot)))
+	}
+	return uint64(g.r.Intn(int(cfg.Customers)))
+}
+
+// Next implements Generator.
+func (g *smallBankGen) Next() Txn {
+	p := g.r.Intn(100)
+	switch {
+	case p < g.w.cfg.SinglePercent:
+		return g.depositChecking()
+	case p < g.w.cfg.SinglePercent+g.w.cfg.MultiPercent:
+		return g.sendPayment()
+	default:
+		return g.balance()
+	}
+}
+
+// depositChecking is the single-row update class: add money to a
+// customer's checking account.
+func (g *smallBankGen) depositChecking() Txn {
+	c := g.customer()
+	amount := uint64(1 + g.r.Intn(100))
+	ref := storage.RowRef{Table: TableChecking, Key: c}
+	return Txn{
+		Kind:     "single-update",
+		Update:   true,
+		WriteSet: []storage.RowRef{ref},
+		Run: func(tx systems.Tx) error {
+			row, ok := tx.Read(ref)
+			if !ok {
+				return fmt.Errorf("smallbank: account %d missing", c)
+			}
+			out := make([]byte, 8)
+			putU64(out, 0, getU64(row, 0)+amount)
+			return tx.Write(ref, out)
+		},
+	}
+}
+
+// sendPayment is the two-row update class: atomically transfer between two
+// customers' checking accounts (usually in different partitions).
+func (g *smallBankGen) sendPayment() Txn {
+	src := g.customer()
+	dst := g.customer()
+	for dst == src {
+		dst = g.customer()
+	}
+	amount := uint64(1 + g.r.Intn(50))
+	srcRef := storage.RowRef{Table: TableChecking, Key: src}
+	dstRef := storage.RowRef{Table: TableChecking, Key: dst}
+	return Txn{
+		Kind:     "multi-update",
+		Update:   true,
+		WriteSet: []storage.RowRef{srcRef, dstRef},
+		Run: func(tx systems.Tx) error {
+			srow, ok := tx.Read(srcRef)
+			if !ok {
+				return fmt.Errorf("smallbank: account %d missing", src)
+			}
+			drow, ok := tx.Read(dstRef)
+			if !ok {
+				return fmt.Errorf("smallbank: account %d missing", dst)
+			}
+			sbal := getU64(srow, 0)
+			if sbal < amount {
+				amount = sbal // insufficient funds: transfer what's there
+			}
+			sout := make([]byte, 8)
+			putU64(sout, 0, sbal-amount)
+			if err := tx.Write(srcRef, sout); err != nil {
+				return err
+			}
+			dout := make([]byte, 8)
+			putU64(dout, 0, getU64(drow, 0)+amount)
+			return tx.Write(dstRef, dout)
+		},
+	}
+}
+
+// balance is the read-only class: the sum of a customer's checking and
+// savings rows.
+func (g *smallBankGen) balance() Txn {
+	c := g.customer()
+	return Txn{
+		Kind:     "balance",
+		ReadHint: []storage.RowRef{{Table: TableChecking, Key: c}},
+		Run: func(tx systems.Tx) error {
+			crow, ok := tx.Read(storage.RowRef{Table: TableChecking, Key: c})
+			if !ok {
+				return fmt.Errorf("smallbank: checking %d missing", c)
+			}
+			srow, ok := tx.Read(storage.RowRef{Table: TableSavings, Key: c})
+			if !ok {
+				return fmt.Errorf("smallbank: savings %d missing", c)
+			}
+			_ = getU64(crow, 0) + getU64(srow, 0)
+			return nil
+		},
+	}
+}

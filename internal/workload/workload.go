@@ -1,0 +1,83 @@
+// Package workload implements the paper's three benchmark workloads — the
+// access-correlated YCSB variant of Appendix C, TPC-C (New-Order, Payment,
+// Stock-Level), and SmallBank — as system-agnostic transaction generators
+// that drive any systems.System.
+package workload
+
+import (
+	"dynamast/internal/sitemgr"
+	"dynamast/internal/storage"
+	"dynamast/internal/systems"
+)
+
+// Txn is one generated transaction: a declared write set (empty for
+// read-only transactions) plus the stored procedure to execute.
+type Txn struct {
+	// Kind labels the transaction class for per-class latency reporting
+	// (e.g. "rmw", "scan", "neworder", "payment", "stocklevel").
+	Kind string
+	// Update reports whether the transaction writes.
+	Update bool
+	// WriteSet is the declared write set (the system model assumes write
+	// sets are known at submission, via reconnaissance if necessary).
+	WriteSet []storage.RowRef
+	// ReadHint names representative rows a read-only transaction will
+	// access, so partitioned systems can route it to the data's owner.
+	ReadHint []storage.RowRef
+	// Run is the transaction logic.
+	Run func(tx systems.Tx) error
+}
+
+// Generator produces a client's transaction stream. Generators are used by
+// one goroutine at a time.
+type Generator interface {
+	Next() Txn
+}
+
+// Workload describes a benchmark: schema, initial data, partitioning, the
+// oracle static placement for the partitioned baselines, and per-client
+// generators.
+type Workload interface {
+	// Name identifies the workload.
+	Name() string
+	// Tables lists the tables to create.
+	Tables() []string
+	// LoadRows produces the initial data set.
+	LoadRows() []systems.LoadRow
+	// Partitioner maps rows to partitions; shared by every system.
+	Partitioner() sitemgr.Partitioner
+	// Placement returns the oracle static placement over m sites (range
+	// partitioning for YCSB, warehouse partitioning for TPC-C), used by
+	// the partitioned baselines.
+	Placement(m int) func(part uint64) int
+	// ReplicatedTables lists static read-only tables that partitioned
+	// systems replicate everywhere.
+	ReplicatedTables() map[string]bool
+	// NewGenerator returns client's transaction stream with the given
+	// seed.
+	NewGenerator(client int, seed int64) Generator
+}
+
+// Execute runs one generated transaction against a client session.
+func Execute(cl systems.Client, t Txn) error {
+	if t.Update {
+		return cl.Update(t.WriteSet, t.Run)
+	}
+	return cl.Read(t.ReadHint, t.Run)
+}
+
+// putU64 encodes v into an 8-byte big-endian slice at data[off:].
+func putU64(data []byte, off int, v uint64) {
+	for i := 0; i < 8; i++ {
+		data[off+i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// getU64 decodes an 8-byte big-endian value at data[off:].
+func getU64(data []byte, off int) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(data[off+i])
+	}
+	return v
+}
