@@ -14,6 +14,10 @@
 //	txn <table> <key1,key2,...>        atomically increment several keys
 //	bench <table> <keys> <ops>         quick closed-loop load generator
 //	stats                              cluster statistics snapshot
+//	metrics [prom] [traces N]          full observability snapshot; "prom"
+//	                                   switches to Prometheus exposition
+//	                                   format, "traces N" appends the N most
+//	                                   recent transaction lifecycle traces
 package main
 
 import (
@@ -153,6 +157,43 @@ func run(cl *server.Client, cmd string, args []string) error {
 		fmt.Printf("remastered:     %d txns, %d partitions moved\n", st.RemasterTxns, st.PartsMoved)
 		for i, vv := range st.SiteVectors {
 			fmt.Printf("site %d vector:  %v\n", i, vv)
+		}
+		return nil
+
+	case "metrics":
+		prom := false
+		traces := 0
+		for i := 0; i < len(args); i++ {
+			switch args[i] {
+			case "prom":
+				prom = true
+			case "traces":
+				if i+1 >= len(args) {
+					return fmt.Errorf("usage: metrics [prom] [traces N]")
+				}
+				i++
+				traces = int(u64(args[i]))
+			default:
+				return fmt.Errorf("usage: metrics [prom] [traces N]")
+			}
+		}
+		m, err := cl.Metrics(traces)
+		if err != nil {
+			return err
+		}
+		if prom {
+			m.Snapshot.WritePrometheus(os.Stdout)
+		} else {
+			m.Snapshot.WriteText(os.Stdout)
+		}
+		for _, tr := range m.Traces {
+			fmt.Printf("trace %d client=%d site=%d seq=%d remastered=%v total=%s\n",
+				tr.ID, tr.Client, tr.Site, tr.Seq, tr.Remastered, tr.Total)
+			for _, st := range []string{"route", "remaster", "execute", "commit", "wal_publish", "refresh_apply"} {
+				if ns, ok := tr.Stages[st]; ok {
+					fmt.Printf("  %-13s %s\n", st, time.Duration(ns))
+				}
+			}
 		}
 		return nil
 

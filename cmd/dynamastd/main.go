@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	dynamastd -listen :7070 -sites 4 -partition-size 100 -wal-dir /var/lib/dynamast
+//	dynamastd -listen :7070 -sites 4 -partition-size 100 -wal-dir /var/lib/dynamast \
+//	          -metrics-listen :9090
+//
+// With -metrics-listen set, the daemon serves Prometheus-format metrics on
+// /metrics and recent transaction lifecycle traces on /debug/traces (see
+// internal/obs). The same snapshot is available through `dynactl metrics`
+// over the RPC port, and is printed on shutdown.
 //
 // A quick session with the bundled client protocol:
 //
@@ -18,25 +24,31 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"dynamast"
+	"dynamast/internal/obs"
 	"dynamast/internal/server"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "address to serve on")
+	metricsListen := flag.String("metrics-listen", "", "address for the /metrics and /debug/traces HTTP endpoints (empty = disabled)")
 	sites := flag.Int("sites", 4, "number of data sites")
 	partitionSize := flag.Uint64("partition-size", 100, "keys per partition group")
 	walDir := flag.String("wal-dir", "", "directory for durable update logs (empty = in-memory)")
+	traceRing := flag.Int("trace-ring", obs.DefaultTraceRing, "recent transaction traces retained for /debug/traces")
 	flag.Parse()
 
 	cluster, err := dynamast.New(dynamast.Config{
 		Sites:       *sites,
 		Partitioner: dynamast.PartitionByRange(*partitionSize),
 		WALDir:      *walDir,
+		TraceRing:   *traceRing,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -51,11 +63,22 @@ func main() {
 	fmt.Printf("dynamastd: %d sites, partition size %d, serving on %s\n",
 		*sites, *partitionSize, addr)
 
+	if *metricsListen != "" {
+		ln, err := net.Listen("tcp", *metricsListen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		go http.Serve(ln, obs.Handler(cluster.Obs(), cluster.Tracer()))
+		fmt.Printf("dynamastd: metrics on http://%s/metrics, traces on http://%s/debug/traces\n",
+			ln.Addr(), ln.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	m := cluster.Selector().Metrics()
-	st := cluster.Stats()
-	fmt.Printf("\ndynamastd: shutting down — %d commits (%v per site), %d/%d txns remastered\n",
-		st.Commits, st.PerSiteCommits, m.RemasterTxns, m.WriteTxns)
+	// Shutdown report: render the same registry snapshot /metrics serves,
+	// so the console and the endpoint can never disagree.
+	fmt.Printf("\ndynamastd: shutting down — final metrics snapshot:\n")
+	cluster.Obs().Snapshot().WriteText(os.Stdout)
 }

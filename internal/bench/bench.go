@@ -6,11 +6,11 @@ package bench
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dynamast/internal/obs"
 	"dynamast/internal/systems"
 	"dynamast/internal/workload"
 )
@@ -38,24 +38,18 @@ type Latency struct {
 	P50, P90, P99, Max time.Duration
 }
 
-// summarize computes the summary of a sample set (which it sorts).
-func summarize(samples []time.Duration) Latency {
-	l := Latency{Count: len(samples)}
-	if len(samples) == 0 {
+// latencyFrom summarizes a streaming histogram. Quantiles are interpolated
+// within the histogram's log-spaced buckets rather than read from retained
+// samples, keeping the harness's memory constant regardless of run length.
+func latencyFrom(h *obs.Histogram) Latency {
+	l := Latency{Count: int(h.Count())}
+	if l.Count == 0 {
 		return l
 	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	var sum time.Duration
-	for _, s := range samples {
-		sum += s
-	}
-	pct := func(p float64) time.Duration {
-		i := int(p * float64(len(samples)-1))
-		return samples[i]
-	}
-	l.Avg = sum / time.Duration(len(samples))
-	l.P50, l.P90, l.P99 = pct(0.50), pct(0.90), pct(0.99)
-	l.Max = samples[len(samples)-1]
+	sec := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	l.Avg = sec(h.Avg())
+	l.P50, l.P90, l.P99 = sec(h.Quantile(0.50)), sec(h.Quantile(0.90)), sec(h.Quantile(0.99))
+	l.Max = sec(h.Max())
 	return l
 }
 
@@ -88,11 +82,21 @@ func Run(sys systems.System, wl workload.Workload, opts Options) Result {
 	if opts.Clients <= 0 {
 		opts.Clients = 1
 	}
-	type sample struct {
-		kind string
-		d    time.Duration
+	// Latency distributions stream into shared lock-free histograms; the
+	// per-kind map itself is guarded, and each client caches its lookups.
+	overall := obs.NewHistogram()
+	var kindMu sync.Mutex
+	byKind := make(map[string]*obs.Histogram)
+	kindHist := func(kind string) *obs.Histogram {
+		kindMu.Lock()
+		defer kindMu.Unlock()
+		h := byKind[kind]
+		if h == nil {
+			h = obs.NewHistogram()
+			byKind[kind] = h
+		}
+		return h
 	}
-	perClient := make([][]sample, opts.Clients)
 	var txns, errs atomic.Uint64
 
 	var timeline []atomic.Uint64
@@ -112,7 +116,7 @@ func Run(sys systems.System, wl workload.Workload, opts Options) Result {
 			defer wg.Done()
 			gen := wl.NewGenerator(c, opts.Seed)
 			cl := sys.NewClient(c)
-			local := make([]sample, 0, 4096)
+			local := make(map[string]*obs.Histogram, 4)
 			for {
 				now := time.Now()
 				if now.After(deadline) {
@@ -130,7 +134,13 @@ func Run(sys systems.System, wl workload.Workload, opts Options) Result {
 					continue
 				}
 				txns.Add(1)
-				local = append(local, sample{txn.Kind, d})
+				overall.ObserveDuration(d)
+				h := local[txn.Kind]
+				if h == nil {
+					h = kindHist(txn.Kind)
+					local[txn.Kind] = h
+				}
+				h.ObserveDuration(d)
 				if timeline != nil {
 					b := int(time.Since(measureStart) / opts.TimelineBucket)
 					if b >= 0 && b < len(timeline) {
@@ -138,19 +148,10 @@ func Run(sys systems.System, wl workload.Workload, opts Options) Result {
 					}
 				}
 			}
-			perClient[c] = local
 		}(c)
 	}
 	wg.Wait()
 
-	all := make([]time.Duration, 0, 1024)
-	byKind := make(map[string][]time.Duration)
-	for _, samples := range perClient {
-		for _, s := range samples {
-			all = append(all, s.d)
-			byKind[s.kind] = append(byKind[s.kind], s.d)
-		}
-	}
 	res := Result{
 		System:   sys.Name(),
 		Workload: wl.Name(),
@@ -158,13 +159,13 @@ func Run(sys systems.System, wl workload.Workload, opts Options) Result {
 		Duration: opts.Duration,
 		Txns:     txns.Load(),
 		Errors:   errs.Load(),
-		Overall:  summarize(all),
+		Overall:  latencyFrom(overall),
 		PerKind:  make(map[string]Latency, len(byKind)),
 		Stats:    sys.Stats(),
 	}
 	res.Throughput = float64(res.Txns) / opts.Duration.Seconds()
-	for k, samples := range byKind {
-		res.PerKind[k] = summarize(samples)
+	for k, h := range byKind {
+		res.PerKind[k] = latencyFrom(h)
 	}
 	for i := range timeline {
 		res.Timeline = append(res.Timeline, timeline[i].Load())

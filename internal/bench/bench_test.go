@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"dynamast/internal/obs"
 	"dynamast/internal/storage"
 	"dynamast/internal/systems"
 	"dynamast/internal/workload"
@@ -110,23 +111,35 @@ func TestRunTimeline(t *testing.T) {
 	}
 }
 
-func TestSummarizePercentiles(t *testing.T) {
-	samples := make([]time.Duration, 100)
-	for i := range samples {
-		samples[i] = time.Duration(i+1) * time.Millisecond
+func TestLatencyFromHistogram(t *testing.T) {
+	h := obs.NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.ObserveDuration(time.Duration(i) * time.Millisecond)
 	}
-	l := summarize(samples)
-	if l.Count != 100 || l.P50 != 50*time.Millisecond || l.P90 != 90*time.Millisecond ||
-		l.P99 != 99*time.Millisecond || l.Max != 100*time.Millisecond {
-		t.Fatalf("summary = %+v", l)
+	l := latencyFrom(h)
+	if l.Count != 100 {
+		t.Fatalf("count = %d", l.Count)
+	}
+	// The histogram's log-spaced buckets bound quantile error by one
+	// factor-2 bucket; percentiles must land within the enclosing bucket.
+	within := func(name string, got, exact time.Duration) {
+		if got < exact/2 || got > exact*2 {
+			t.Fatalf("%s = %v, exact %v (off by more than one bucket)", name, got, exact)
+		}
+	}
+	within("p50", l.P50, 50*time.Millisecond)
+	within("p90", l.P90, 90*time.Millisecond)
+	within("p99", l.P99, 99*time.Millisecond)
+	if l.Max != 100*time.Millisecond {
+		t.Fatalf("max = %v", l.Max)
 	}
 	if l.Avg != 50500*time.Microsecond {
 		t.Fatalf("avg = %v", l.Avg)
 	}
-	if empty := summarize(nil); empty.Count != 0 || empty.Avg != 0 {
+	if empty := latencyFrom(obs.NewHistogram()); empty.Count != 0 || empty.Avg != 0 {
 		t.Fatalf("empty summary = %+v", empty)
 	}
-	if !strings.Contains(l.String(), "p99=99ms") {
+	if !strings.Contains(l.String(), "n=100 avg=50.5ms") {
 		t.Fatalf("String() = %q", l.String())
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dynamast/internal/obs"
 	"dynamast/internal/selector"
 	"dynamast/internal/sitemgr"
 	"dynamast/internal/storage"
@@ -53,6 +54,12 @@ type Config struct {
 	SelectorReplicas int
 	// Seed drives read-routing randomization.
 	Seed int64
+	// Obs receives the cluster's metrics; nil creates a private registry
+	// (reachable through Cluster.Obs).
+	Obs *obs.Registry
+	// TraceRing caps the in-memory ring of recent transaction lifecycle
+	// traces (0 = obs.DefaultTraceRing).
+	TraceRing int
 }
 
 // Cluster is a running DynaMast deployment.
@@ -66,6 +73,13 @@ type Cluster struct {
 
 	breakdown Breakdown
 	sessions  atomic.Uint64
+
+	obs    *obs.Registry
+	tracer *obs.Tracer
+	// Session-level instruments (see instrument).
+	updateDur *obs.Histogram
+	readDur   *obs.Histogram
+	stageDur  [obs.NumStages]*obs.Histogram
 }
 
 // NewCluster builds and starts a DynaMast cluster.
@@ -80,6 +94,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg.Weights = selector.YCSBWeights()
 	}
 	c := &Cluster{cfg: cfg, net: transport.NewNetwork(cfg.Network)}
+	c.obs = cfg.Obs
+	if c.obs == nil {
+		c.obs = obs.NewRegistry()
+	}
+	c.tracer = obs.NewTracer(cfg.TraceRing)
+	c.net.Instrument(c.obs)
 
 	var err error
 	if cfg.WALDir != "" {
@@ -90,6 +110,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	} else {
 		c.broker = wal.NewBroker(cfg.Sites)
 	}
+	c.broker.Instrument(c.obs)
 
 	c.sites = make([]*sitemgr.Site, cfg.Sites)
 	dsites := make([]selector.DataSite, cfg.Sites)
@@ -104,6 +125,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Replicate:   true,
 			ExecSlots:   cfg.ExecSlots,
 			Costs:       cfg.Costs,
+			Obs:         c.obs,
+			Tracer:      c.tracer,
 		})
 		if err != nil {
 			c.broker.Close()
@@ -129,6 +152,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Stats:         cfg.Stats,
 		Net:           c.net,
 		Seed:          cfg.Seed,
+		Obs:           c.obs,
 	})
 	if err != nil {
 		c.broker.Close()
@@ -136,12 +160,41 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 
 	c.repl = selector.NewReplicated(c.sel, cfg.SelectorReplicas, c.net)
+	c.instrument()
 
 	for _, s := range c.sites {
 		s.Start()
 	}
 	return c, nil
 }
+
+// instrument registers the cluster-level instruments: end-to-end session
+// latency, per-lifecycle-stage latency, and per-site commit gauges.
+func (c *Cluster) instrument() {
+	reg := c.obs
+	reg.Help("dynamast_txn_seconds", "Client-observed transaction latency by type.")
+	reg.Help("dynamast_txn_stage_seconds", "Update-transaction lifecycle stage latency.")
+	reg.Help("dynamast_site_commits", "Committed update transactions per site (gauge re-export).")
+	reg.Help("dynamast_sessions", "Sessions opened against the cluster.")
+	c.updateDur = reg.Histogram("dynamast_txn_seconds", obs.L("type", "update"))
+	c.readDur = reg.Histogram("dynamast_txn_seconds", obs.L("type", "read"))
+	for _, st := range obs.Stages() {
+		c.stageDur[st] = reg.Histogram("dynamast_txn_stage_seconds", obs.L("stage", st.String()))
+	}
+	for i, s := range c.sites {
+		s := s
+		reg.Func("dynamast_site_commits", obs.KindGauge,
+			func() float64 { return float64(s.Commits()) }, obs.Site(i))
+	}
+	reg.Func("dynamast_sessions", obs.KindGauge,
+		func() float64 { return float64(c.sessions.Load()) })
+}
+
+// Obs exposes the cluster's metrics registry.
+func (c *Cluster) Obs() *obs.Registry { return c.obs }
+
+// Tracer exposes the transaction-lifecycle trace ring.
+func (c *Cluster) Tracer() *obs.Tracer { return c.tracer }
 
 // Name implements systems.System.
 func (c *Cluster) Name() string { return "dynamast" }

@@ -35,6 +35,23 @@ func TestConsistencyAtomicPairsUnderConcurrency(t *testing.T) {
 	const workers = 6
 	const iters = 30
 
+	// The loaded values of a pair's halves differ (byte(p) vs byte(p+500)),
+	// so the pair invariant only holds after a pair's first co-write. Seed
+	// every pair once, synchronously, before any reader starts.
+	setup := c.Session(500)
+	for p := uint64(0); p < pairs; p++ {
+		a, b := ref(p), ref(p+500)
+		if err := setup.Update([]storage.RowRef{a, b}, func(tx systems.Tx) error {
+			av, _ := tx.Read(a)
+			if err := tx.Write(a, []byte{av[0] + 1}); err != nil {
+				return err
+			}
+			return tx.Write(b, []byte{av[0] + 1})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 	violations := make(chan string, 64)
@@ -115,7 +132,7 @@ func TestConsistencyAtomicPairsUnderConcurrency(t *testing.T) {
 	writersDone := make(chan struct{})
 	go func() {
 		// Writers exit on their own; poll commit count.
-		for c.Stats().Commits < workers*iters {
+		for c.Stats().Commits < workers*iters+pairs {
 			select {
 			case <-done:
 				close(writersDone)
@@ -166,14 +183,14 @@ func TestConsistencyAtomicPairsUnderConcurrency(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// The first write to a pair reads the loaded value (byte(k)); the
-	// counters therefore start at byte(p) for ref(p). Account for offsets.
+	// The seeding pass read the loaded value byte(p) of ref(p) and wrote
+	// byte(p)+1 to both halves; the counters therefore start at byte(p)+1.
 	expected := 0
 	for p := uint64(0); p < pairs; p++ {
-		expected += int(byte(p)) // initial loaded value of ref(p)
+		expected += int(byte(p)) + 1
 	}
-	if got := c.Stats().Commits; got != workers*iters {
-		t.Fatalf("commits = %d, want %d", got, workers*iters)
+	if got := c.Stats().Commits; got != workers*iters+pairs {
+		t.Fatalf("commits = %d, want %d", got, workers*iters+pairs)
 	}
 	if total < expected || total > expected+workers*iters {
 		t.Fatalf("total counter mass %d outside [%d, %d]", total, expected, expected+workers*iters)

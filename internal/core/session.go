@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dynamast/internal/obs"
 	"dynamast/internal/selector"
 	"dynamast/internal/sitemgr"
 	"dynamast/internal/storage"
@@ -141,8 +142,44 @@ func (s *Session) Update(writeSet []storage.RowRef, fn func(systems.Tx) error) e
 		bd.record(phaseLogic, t6.Sub(t5))
 		bd.record(phaseCommit, t7.Sub(t6))
 		bd.count.Add(1)
+		c.trace(s.id, route, tvv, t0, t1, t2, t4, t6, t7, t8, tx.WALPublish())
 		return nil
 	}
+}
+
+// trace assembles the transaction's lifecycle trace, records it in the
+// trace ring, and feeds the per-stage histograms. The refresh-apply stage
+// is completed later by the replicas' appliers (see sitemgr.applyLoop).
+func (c *Cluster) trace(client int, route selector.Route, tvv vclock.Vector,
+	t0, t1, t2, t4, t6, t7, t8 time.Time, walPublish time.Duration) {
+	clamp := func(d time.Duration) time.Duration {
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+	tr := obs.Trace{
+		Client:     client,
+		Site:       route.Site,
+		Seq:        tvv[route.Site],
+		Remastered: route.Remastered,
+		PartsMoved: route.PartsMoved,
+		Start:      t0,
+		Total:      t8.Sub(t0),
+	}
+	tr.Stages[obs.StageRoute] = clamp(t2.Sub(t1) - route.RemasterWait)
+	tr.Stages[obs.StageRemaster] = route.RemasterWait
+	tr.Stages[obs.StageExecute] = t6.Sub(t4)
+	tr.Stages[obs.StageCommit] = clamp(t7.Sub(t6) - walPublish)
+	tr.Stages[obs.StageWALPublish] = walPublish
+	c.tracer.Record(tr)
+	for st, d := range tr.Stages {
+		if obs.Stage(st) == obs.StageRefreshApply {
+			continue // observed by the appliers when it happens
+		}
+		c.stageDur[st].ObserveDuration(d)
+	}
+	c.updateDur.ObserveDuration(tr.Total)
 }
 
 // Read executes fn as a read-only transaction at a replica satisfying the
@@ -150,6 +187,7 @@ func (s *Session) Update(writeSet []storage.RowRef, fn func(systems.Tx) error) e
 // synchronization occurs.
 func (s *Session) Read(fn func(systems.Tx) error) error {
 	c := s.c
+	start := time.Now()
 	c.net.Send(transport.CatRoute, transport.MsgOverhead)
 	route := s.router.RouteRead(s.id, s.cvv)
 	c.net.Send(transport.CatRoute, transport.MsgOverhead)
@@ -172,6 +210,7 @@ func (s *Session) Read(fn func(systems.Tx) error) error {
 	}
 	c.net.Send(transport.CatTxn, transport.MsgOverhead)
 	s.cvv = s.cvv.MaxInto(snap)
+	c.readDur.ObserveDuration(time.Since(start))
 	return nil
 }
 

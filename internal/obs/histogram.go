@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram buckets are fixed and log-spaced (factor 2) from 1µs to ~67s,
+// chosen to cover everything this system times — sub-microsecond lock
+// holds round into the first bucket, and nothing in the simulation runs
+// longer than a minute. Fixed buckets keep Observe lock-free (one atomic
+// add) and make every histogram in the process mergeable and renderable as
+// the same Prometheus le-series.
+const (
+	histBuckets = 27
+	histMinUnit = 1e-6 // first upper bound, seconds
+)
+
+// bucketBounds holds the shared upper bounds in seconds:
+// 1µs, 2µs, 4µs, ..., 2^26 µs (≈ 67.1s). Observations above the last bound
+// land in the overflow bucket.
+var bucketBounds = func() [histBuckets]float64 {
+	var b [histBuckets]float64
+	v := histMinUnit
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// bucketIndex returns the index of the smallest bound ≥ v, or histBuckets
+// for overflow. The bounds are powers of two times 1e-6, so the index is a
+// log2 — computed with Frexp rather than a scan.
+func bucketIndex(v float64) int {
+	if v <= histMinUnit {
+		return 0
+	}
+	// v = f * 2^exp µs with f in [0.5, 1); bound i is 2^i µs, so the index
+	// is ceil(log2(v/1µs)) — exp, except exact powers of two (f == 0.5)
+	// where exp lands one too high.
+	f, exp := math.Frexp(v / histMinUnit)
+	i := exp
+	if f == 0.5 {
+		i--
+	}
+	if i >= histBuckets {
+		return histBuckets
+	}
+	if i < 0 {
+		return 0
+	}
+	return i
+}
+
+// Histogram is a lock-free streaming histogram: fixed log-spaced buckets,
+// exact count/sum/max, and quantile extraction by interpolation within the
+// matched bucket. The zero value is NOT ready; use NewHistogram (or
+// Registry.Histogram). A nil *Histogram no-ops.
+type Histogram struct {
+	buckets [histBuckets + 1]atomic.Uint64 // +1 overflow
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-add
+	maxBits atomic.Uint64 // float64 bits, CAS-max
+}
+
+// NewHistogram returns an empty histogram with the package's shared
+// log-spaced bucket layout.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records a value in seconds.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations in seconds.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Max returns the largest observation in seconds (exact).
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Avg returns the mean observation in seconds.
+func (h *Histogram) Avg() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the p-quantile (0 ≤ p ≤ 1) in seconds by locating the
+// bucket holding the rank and interpolating linearly inside it. The
+// overflow bucket reports the exact max. Concurrent Observe calls can make
+// the scan see a slightly torn state; the estimate degrades gracefully (a
+// quantile between the pre- and post-update values), which is fine for
+// monitoring.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(math.Ceil(p * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i <= histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		if i == histBuckets {
+			return h.Max()
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bucketBounds[i-1]
+		}
+		hi := bucketBounds[i]
+		if m := h.Max(); m < hi && m >= lo {
+			hi = m // tighten the last partially filled bucket
+		}
+		frac := float64(rank-cum) / float64(n)
+		return lo + (hi-lo)*frac
+	}
+	return h.Max()
+}
+
+// cumulativeBuckets renders the Prometheus-style cumulative bucket counts,
+// ending with the +Inf bucket.
+func (h *Histogram) cumulativeBuckets() []BucketCount {
+	out := make([]BucketCount, 0, histBuckets+1)
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		out = append(out, BucketCount{UpperBound: bucketBounds[i], Count: cum})
+	}
+	cum += h.buckets[histBuckets].Load()
+	out = append(out, BucketCount{UpperBound: math.Inf(1), Count: cum})
+	return out
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler serves the observability endpoints over HTTP:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/debug/traces   JSON dump of recent transaction traces
+//	                (?n=50 limits, ?sort=slow orders by total latency)
+//
+// dynamastd mounts it behind the -metrics-listen flag.
+func Handler(r *Registry, t *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+		n, _ := strconv.Atoi(req.URL.Query().Get("n"))
+		var traces []Trace
+		if req.URL.Query().Get("sort") == "slow" {
+			traces = t.Slowest(n)
+		} else {
+			traces = t.Recent(n)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(TracesJSON(traces))
+	})
+	return mux
+}
+
+// TraceJSON is the wire form of a Trace: stage durations keyed by name, in
+// nanoseconds, plus rounded human-readable totals.
+type TraceJSON struct {
+	ID         uint64           `json:"id"`
+	Client     int              `json:"client"`
+	Site       int              `json:"site"`
+	Seq        uint64           `json:"seq"`
+	Remastered bool             `json:"remastered"`
+	PartsMoved int              `json:"parts_moved"`
+	Start      time.Time        `json:"start"`
+	TotalNS    int64            `json:"total_ns"`
+	Total      string           `json:"total"`
+	Stages     map[string]int64 `json:"stages_ns"`
+}
+
+// TracesJSON converts traces to their wire form.
+func TracesJSON(traces []Trace) []TraceJSON {
+	out := make([]TraceJSON, len(traces))
+	for i, tr := range traces {
+		stages := make(map[string]int64, NumStages)
+		for s, d := range tr.Stages {
+			stages[Stage(s).String()] = int64(d)
+		}
+		out[i] = TraceJSON{
+			ID:         tr.ID,
+			Client:     tr.Client,
+			Site:       tr.Site,
+			Seq:        tr.Seq,
+			Remastered: tr.Remastered,
+			PartsMoved: tr.PartsMoved,
+			Start:      tr.Start,
+			TotalNS:    int64(tr.Total),
+			Total:      tr.Total.Round(time.Microsecond).String(),
+			Stages:     stages,
+		}
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+package obs
+
+import "testing"
+
+func TestQuantileNeverExceedsMax(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 5; i++ {
+		h.Observe(0)
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99, 1} {
+		if q := h.Quantile(p); q > h.Max() {
+			t.Fatalf("Quantile(%v) = %v > Max %v", p, q, h.Max())
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentRegistry hammers every instrument type from parallel writers
+// while readers snapshot and render; it exists to run under -race and to
+// check the final counts are exact (no lost updates).
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(64)
+	const (
+		writers = 8
+		perG    = 2000
+	)
+	stop := make(chan struct{})
+	var readers, writerWG sync.WaitGroup
+
+	// Readers: snapshot, render, and query quantiles continuously until the
+	// writers are done.
+	for i := 0; i < 3; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := r.Snapshot()
+				s.WritePrometheus(io.Discard)
+				s.WriteText(io.Discard)
+				r.Histogram("lat_seconds").Quantile(0.99)
+				tr.Recent(10)
+				tr.Slowest(5)
+			}
+		}()
+	}
+
+	for g := 0; g < writers; g++ {
+		writerWG.Add(1)
+		go func(g int) {
+			defer writerWG.Done()
+			c := r.Counter("ops_total", Site(g%2))
+			ga := r.Gauge("level", Site(g%2))
+			h := r.Histogram("lat_seconds")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				ga.Set(float64(i))
+				ga.Add(0.5)
+				h.Observe(float64(i%100) / 1e4)
+				tr.Record(Trace{Site: g, Seq: uint64(i + 1),
+					Total: time.Duration(i) * time.Microsecond})
+				tr.RefreshApplied(g, uint64(i+1), time.Microsecond)
+				// Re-registration races with other writers and readers.
+				r.Func("collected", KindGauge, func() float64 { return float64(i) })
+			}
+		}(g)
+	}
+	writerWG.Wait()
+	close(stop)
+	readers.Wait()
+
+	s := r.Snapshot()
+	var total float64
+	for _, site := range []int{0, 1} {
+		v, ok := s.Value("ops_total", Site(site))
+		if !ok {
+			t.Fatalf("ops_total{site=%d} missing", site)
+		}
+		total += v
+	}
+	if want := float64(writers * perG); total != want {
+		t.Fatalf("ops_total = %g, want %g (lost updates)", total, want)
+	}
+	h := r.Histogram("lat_seconds")
+	if h.Count() != writers*perG {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+	if tr.Count() != writers*perG {
+		t.Fatalf("tracer count = %d", tr.Count())
+	}
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stage is one phase of an update transaction's lifecycle, in execution
+// order. The stages mirror the paper's latency-breakdown categories
+// (Figure 7) extended with the asynchronous tail: WAL publication and the
+// replicas' refresh application.
+type Stage int
+
+const (
+	// StageRoute is the selector's routing decision, excluding any
+	// remastering wait.
+	StageRoute Stage = iota
+	// StageRemaster is the release/grant RPC wait, zero when the write set
+	// was already single-sited.
+	StageRemaster
+	// StageExecute is the stored procedure (begin + logic, including
+	// session-freshness waits and modelled CPU).
+	StageExecute
+	// StageCommit is the local commit critical section, excluding the
+	// update-log append.
+	StageCommit
+	// StageWALPublish is the update-log append (redo + propagation
+	// publish).
+	StageWALPublish
+	// StageRefreshApply is the asynchronous tail: time from log publish
+	// until a replica applied the transaction as a refresh transaction
+	// (the slowest replica observed so far).
+	StageRefreshApply
+
+	NumStages
+)
+
+// stageNames holds the label values used in metrics and trace JSON.
+var stageNames = [NumStages]string{
+	"route", "remaster", "execute", "commit", "wal_publish", "refresh_apply",
+}
+
+// String names the stage.
+func (s Stage) String() string {
+	if s < 0 || s >= NumStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// Stages lists all lifecycle stages in order.
+func Stages() []Stage {
+	out := make([]Stage, NumStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// Trace is one update transaction's recorded lifecycle.
+type Trace struct {
+	// ID is assigned by the tracer, dense from 1.
+	ID uint64
+	// Client is the session/client id.
+	Client int
+	// Site is the execution site.
+	Site int
+	// Seq is the transaction's commit sequence number at Site; (Site, Seq)
+	// is the commit stamp replicas key refresh application on.
+	Seq uint64
+	// Remastered reports whether routing required mastership transfers.
+	Remastered bool
+	// PartsMoved is the number of partitions transferred.
+	PartsMoved int
+	// Start is the submission time.
+	Start time.Time
+	// Stages holds the per-stage durations.
+	Stages [NumStages]time.Duration
+	// Total is the client-observed latency (includes network time not
+	// attributed to any stage).
+	Total time.Duration
+}
+
+// StageMap renders the stage durations keyed by stage name.
+func (t Trace) StageMap() map[string]time.Duration {
+	out := make(map[string]time.Duration, NumStages)
+	for i, d := range t.Stages {
+		out[Stage(i).String()] = d
+	}
+	return out
+}
+
+// Tracer keeps a bounded in-memory ring of recent transaction traces for
+// slow-query inspection, with late completion of the asynchronous
+// refresh-apply stage. A nil *Tracer no-ops.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []Trace
+	have    int // traces currently in the ring
+	next    int // next write slot
+	seq     uint64
+	byStamp map[traceStamp]int // commit stamp -> ring slot, for refresh completion
+}
+
+type traceStamp struct {
+	site int
+	seq  uint64
+}
+
+// DefaultTraceRing is the default ring capacity.
+const DefaultTraceRing = 256
+
+// NewTracer returns a tracer retaining the last capacity traces
+// (capacity <= 0 selects DefaultTraceRing).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceRing
+	}
+	return &Tracer{
+		ring:    make([]Trace, capacity),
+		byStamp: make(map[traceStamp]int, capacity),
+	}
+}
+
+// Record inserts a completed (up to WAL publish) trace, assigns its ID, and
+// returns it. The oldest trace is evicted when the ring is full.
+func (t *Tracer) Record(tr Trace) Trace {
+	if t == nil {
+		return tr
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	tr.ID = t.seq
+	slot := t.next
+	if old := t.ring[slot]; old.ID != 0 {
+		delete(t.byStamp, traceStamp{old.Site, old.Seq})
+	}
+	t.ring[slot] = tr
+	if tr.Seq != 0 {
+		t.byStamp[traceStamp{tr.Site, tr.Seq}] = slot
+	}
+	t.next = (t.next + 1) % len(t.ring)
+	if t.have < len(t.ring) {
+		t.have++
+	}
+	return tr
+}
+
+// RefreshApplied completes the refresh-apply stage of the trace committed
+// at (site, seq), if it is still in the ring: the stage records the slowest
+// replica apply observed so far.
+func (t *Tracer) RefreshApplied(site int, seq uint64, lag time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	slot, ok := t.byStamp[traceStamp{site, seq}]
+	if !ok {
+		return
+	}
+	if lag > t.ring[slot].Stages[StageRefreshApply] {
+		t.ring[slot].Stages[StageRefreshApply] = lag
+	}
+}
+
+// Count returns the number of traces recorded so far (lifetime, not ring
+// occupancy).
+func (t *Tracer) Count() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Recent returns up to n traces, newest first (n <= 0 means the whole
+// ring).
+func (t *Tracer) Recent(n int) []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > t.have {
+		n = t.have
+	}
+	out := make([]Trace, 0, n)
+	for i := 0; i < n; i++ {
+		slot := ((t.next-1-i)%len(t.ring) + len(t.ring)) % len(t.ring)
+		out = append(out, t.ring[slot])
+	}
+	return out
+}
+
+// Slowest returns up to n retained traces ordered by total latency,
+// slowest first.
+func (t *Tracer) Slowest(n int) []Trace {
+	all := t.Recent(0)
+	sort.Slice(all, func(i, j int) bool { return all[i].Total > all[j].Total })
+	if n > 0 && n < len(all) {
+		all = all[:n]
+	}
+	return all
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dynamast/internal/obs"
 	"dynamast/internal/sitemgr"
 	"dynamast/internal/storage"
 	"dynamast/internal/transport"
@@ -43,6 +44,9 @@ type Config struct {
 	Net *transport.Network
 	// Seed drives read-routing randomization.
 	Seed int64
+	// Obs receives the selector's metrics (routing counters, remaster
+	// latency, strategy feature scores); nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // Route is a routing decision returned to the client.
@@ -56,6 +60,12 @@ type Route struct {
 	// Remastered reports whether the decision required mastership
 	// transfers.
 	Remastered bool
+	// PartsMoved is the number of partitions transferred.
+	PartsMoved int
+	// RemasterWait is the time spent in the release/grant RPC chains
+	// (zero when no remastering happened); lifecycle traces subtract it
+	// from the routing stage.
+	RemasterWait time.Duration
 }
 
 // partInfo is the per-partition-group metadata of §V-B: current master
@@ -102,6 +112,52 @@ type Selector struct {
 	partsMoved  atomic.Uint64 // partitions transferred
 	routeNanos  atomic.Int64  // cumulative routing decision time
 	remastNanos atomic.Int64  // cumulative remastering wait time
+
+	ob selectorInstruments
+}
+
+// selectorInstruments are the selector's registered metrics (nil-safe
+// no-ops when built without a registry).
+type selectorInstruments struct {
+	writeTxns  *obs.Counter
+	readTxns   *obs.Counter
+	remasters  *obs.Counter
+	partsMoved *obs.Counter
+	routed     []*obs.Counter
+	routeDur   *obs.Histogram
+	remastDur  *obs.Histogram
+	// Last winning remaster decision's Equation 8 feature scores.
+	featBalance, featDelay, featIntra, featInter *obs.Gauge
+}
+
+// instrument registers the selector's metrics.
+func (s *Selector) instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Help("dynamast_route_total", "Routing decisions by transaction type.")
+	reg.Help("dynamast_routed_total", "Write transactions routed per destination site.")
+	reg.Help("dynamast_remaster_total", "Write transactions that required mastership transfer.")
+	reg.Help("dynamast_remaster_partitions_total", "Partitions whose mastership was transferred.")
+	reg.Help("dynamast_route_seconds", "Routing decision latency (including any remaster wait).")
+	reg.Help("dynamast_remaster_seconds", "Release/grant RPC-chain wait per remastering decision.")
+	reg.Help("dynamast_strategy_feature", "Equation 8 feature scores of the last remaster decision.")
+	s.ob = selectorInstruments{
+		writeTxns:   reg.Counter("dynamast_route_total", obs.L("type", "write")),
+		readTxns:    reg.Counter("dynamast_route_total", obs.L("type", "read")),
+		remasters:   reg.Counter("dynamast_remaster_total"),
+		partsMoved:  reg.Counter("dynamast_remaster_partitions_total"),
+		routed:      make([]*obs.Counter, s.m),
+		routeDur:    reg.Histogram("dynamast_route_seconds"),
+		remastDur:   reg.Histogram("dynamast_remaster_seconds"),
+		featBalance: reg.Gauge("dynamast_strategy_feature", obs.L("feature", "balance")),
+		featDelay:   reg.Gauge("dynamast_strategy_feature", obs.L("feature", "delay")),
+		featIntra:   reg.Gauge("dynamast_strategy_feature", obs.L("feature", "intra")),
+		featInter:   reg.Gauge("dynamast_strategy_feature", obs.L("feature", "inter")),
+	}
+	for i := range s.ob.routed {
+		s.ob.routed[i] = reg.Counter("dynamast_routed_total", obs.Site(i))
+	}
 }
 
 // New constructs a selector.
@@ -128,6 +184,7 @@ func New(cfg Config) (*Selector, error) {
 		siteLoad:    make([]float64, len(cfg.Sites)),
 		routed:      make([]atomic.Uint64, len(cfg.Sites)),
 	}
+	s.instrument(cfg.Obs)
 	return s, nil
 }
 
@@ -267,15 +324,20 @@ func (s *Selector) RouteWrite(client int, writeSet []storage.RowRef, cvv vclock.
 	}
 
 	dest := s.chooseDestination(parts, infos, cvv)
+	remStart := time.Now()
 	minVV, moved, err := s.remaster(parts, infos, dest)
+	wait := time.Since(remStart)
 	if err != nil {
 		return Route{}, err
 	}
 	s.remasterOps.Add(1)
 	s.partsMoved.Add(uint64(moved))
 	s.remastNanos.Add(int64(time.Since(start)))
+	s.ob.remasters.Inc()
+	s.ob.partsMoved.Add(uint64(moved))
+	s.ob.remastDur.ObserveDuration(wait)
 	s.finishWrite(client, parts, dest, start, true)
-	return Route{Site: dest, MinVV: minVV, Remastered: true}, nil
+	return Route{Site: dest, MinVV: minVV, Remastered: true, PartsMoved: moved, RemasterWait: wait}, nil
 }
 
 // finishWrite records statistics and routing counters for a decided write
@@ -287,6 +349,11 @@ func (s *Selector) finishWrite(client int, parts []uint64, site int, start time.
 	s.stats.RecordWrite(client, parts, time.Now())
 	s.bumpLoad(parts, site, remastered)
 	s.routeNanos.Add(int64(time.Since(start)))
+	s.ob.writeTxns.Inc()
+	if s.ob.routed != nil {
+		s.ob.routed[site].Inc()
+	}
+	s.ob.routeDur.ObserveDuration(time.Since(start))
 }
 
 // bumpLoad maintains the materialized per-site load: every access adds the
@@ -359,6 +426,7 @@ func (s *Selector) chooseDestination(parts []uint64, infos []*partInfo, cvv vclo
 	}
 
 	best, bestScore := 0, 0.0
+	var bestFeat [4]float64 // balance, delay, intra, inter of the winner
 	for cand := 0; cand < s.m; cand++ {
 		after := append([]float64(nil), before...)
 		for i, in := range infos {
@@ -386,8 +454,13 @@ func (s *Selector) chooseDestination(parts []uint64, infos []*partInfo, cvv vclo
 		score := s.weights.Benefit(balance, delay, intra, inter)
 		if cand == 0 || score > bestScore {
 			best, bestScore = cand, score
+			bestFeat = [4]float64{balance, delay, intra, inter}
 		}
 	}
+	s.ob.featBalance.Set(bestFeat[0])
+	s.ob.featDelay.Set(bestFeat[1])
+	s.ob.featIntra.Set(bestFeat[2])
+	s.ob.featInter.Set(bestFeat[3])
 	return best
 }
 
@@ -458,6 +531,7 @@ func (s *Selector) remaster(parts []uint64, infos []*partInfo, dest int) (vclock
 // there the shortest time).
 func (s *Selector) RouteRead(client int, cvv vclock.Vector) Route {
 	s.readTxns.Add(1)
+	s.ob.readTxns.Inc()
 	fresh := make([]int, 0, s.m)
 	bestLag, bestSite := uint64(1)<<63, 0
 	for i, site := range s.sites {

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"dynamast/internal/core"
+	"dynamast/internal/obs"
 	"dynamast/internal/storage"
 	"dynamast/internal/systems"
 	"dynamast/internal/transport"
@@ -94,6 +95,7 @@ func Serve(cluster *core.Cluster, addr string) (*Server, net.Addr, error) {
 	transport.Handle(s.rpc, "txn", s.handleTxn)
 	transport.Handle(s.rpc, "create_table", s.handleCreateTable)
 	transport.Handle(s.rpc, "stats", s.handleStats)
+	transport.Handle(s.rpc, "metrics", s.handleMetrics)
 	bound, err := s.rpc.ListenAndServe(addr)
 	if err != nil {
 		return nil, nil, err
@@ -211,6 +213,28 @@ func (s *Server) handleStats(*StatsRequest) (*StatsReply, error) {
 	return reply, nil
 }
 
+// MetricsRequest asks for an observability snapshot. Traces limits how
+// many recent lifecycle traces ride along (0 = none).
+type MetricsRequest struct {
+	Traces int
+}
+
+// MetricsReply carries the full registry snapshot and, when requested,
+// recent transaction lifecycle traces — the same data the /metrics and
+// /debug/traces HTTP endpoints serve.
+type MetricsReply struct {
+	Snapshot obs.Snapshot
+	Traces   []obs.TraceJSON
+}
+
+func (s *Server) handleMetrics(req *MetricsRequest) (*MetricsReply, error) {
+	reply := &MetricsReply{Snapshot: s.cluster.Obs().Snapshot()}
+	if req.Traces > 0 {
+		reply.Traces = obs.TracesJSON(s.cluster.Tracer().Recent(req.Traces))
+	}
+	return reply, nil
+}
+
 // Client is a remote session against a Server.
 type Client struct {
 	rpc *transport.Client
@@ -264,6 +288,16 @@ func (c *Client) Put(table string, key uint64, value []byte) error {
 func (c *Client) Stats() (*StatsReply, error) {
 	var reply StatsReply
 	if err := c.rpc.Call("stats", &StatsRequest{}, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Metrics fetches the cluster's observability snapshot, with up to traces
+// recent lifecycle traces.
+func (c *Client) Metrics(traces int) (*MetricsReply, error) {
+	var reply MetricsReply
+	if err := c.rpc.Call("metrics", &MetricsRequest{Traces: traces}, &reply); err != nil {
 		return nil, err
 	}
 	return &reply, nil

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dynamast/internal/obs"
 	"dynamast/internal/storage"
 	"dynamast/internal/transport"
 	"dynamast/internal/vclock"
@@ -68,6 +69,12 @@ type Config struct {
 	TrackPartitionRows bool
 	// Costs prices transactional work; the zero value charges nothing.
 	Costs CostModel
+	// Obs receives the site's metrics (commit/abort/refresh counters and
+	// latency histograms, freshness gauges); nil disables instrumentation.
+	Obs *obs.Registry
+	// Tracer receives refresh-apply completions for the transaction
+	// lifecycle traces; nil disables them.
+	Tracer *obs.Tracer
 }
 
 // ErrNotMaster is returned when a transaction's write set includes a
@@ -126,8 +133,73 @@ type Site struct {
 
 	// Counters for experiment reporting.
 	commits    atomic.Uint64
+	aborts     atomic.Uint64
 	refreshes  atomic.Uint64
 	remasterIn atomic.Uint64
+
+	// Observability (all instruments are nil-safe no-ops when the site is
+	// built without a registry).
+	ob     siteInstruments
+	tracer *obs.Tracer
+}
+
+// siteInstruments are the site's registered metrics.
+type siteInstruments struct {
+	commits      *obs.Counter
+	aborts       *obs.Counter
+	refreshes    *obs.Counter
+	commitDur    *obs.Histogram // full local commit latency
+	refreshApply *obs.Histogram // one refresh transaction's application work
+	refreshLag   *obs.Histogram // publish -> applied-here delay
+	lastLag      *obs.Gauge     // most recent refresh lag, seconds
+	refreshStage *obs.Histogram // the shared refresh_apply lifecycle stage
+}
+
+// instrument registers the site's metrics and freshness gauges.
+func (s *Site) instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	site := obs.Site(s.id)
+	reg.Help("dynamast_commits_total", "Committed update transactions per executing site.")
+	reg.Help("dynamast_aborts_total", "Aborted update transactions per site.")
+	reg.Help("dynamast_refreshes_total", "Refresh transactions applied per site.")
+	reg.Help("dynamast_commit_seconds", "Local commit latency per site (including WAL publish).")
+	reg.Help("dynamast_refresh_apply_seconds", "Refresh-transaction application work per site.")
+	reg.Help("dynamast_refresh_lag_seconds", "Delay from update publish to application at this site.")
+	reg.Help("dynamast_refresh_lag", "Most recent observed refresh lag per site, seconds.")
+	reg.Help("dynamast_site_svv", "Site version vector: per-origin applied commit sequence.")
+	reg.Help("dynamast_refresh_delay", "Updates published by origin but not yet applied at site.")
+	s.ob = siteInstruments{
+		commits:      reg.Counter("dynamast_commits_total", site),
+		aborts:       reg.Counter("dynamast_aborts_total", site),
+		refreshes:    reg.Counter("dynamast_refreshes_total", site),
+		commitDur:    reg.Histogram("dynamast_commit_seconds", site),
+		refreshApply: reg.Histogram("dynamast_refresh_apply_seconds", site),
+		refreshLag:   reg.Histogram("dynamast_refresh_lag_seconds", site),
+		lastLag:      reg.Gauge("dynamast_refresh_lag", site),
+		refreshStage: reg.Histogram("dynamast_txn_stage_seconds", obs.L("stage", "refresh_apply")),
+	}
+	for origin := 0; origin < s.m; origin++ {
+		origin := origin
+		olbl := obs.L("origin", fmt.Sprint(origin))
+		reg.Func("dynamast_site_svv", obs.KindGauge,
+			func() float64 { return float64(s.clock.Get(origin)) }, site, olbl)
+		if origin == s.id {
+			continue
+		}
+		// Refresh delay: updates origin has published that this site has
+		// not yet applied — the per-site freshness lag the routing
+		// strategies reason about (Equation 5).
+		log := s.cfg.Broker.Log(origin)
+		reg.Func("dynamast_refresh_delay", obs.KindGauge, func() float64 {
+			d := int64(log.LastUpdateSeq()) - int64(s.clock.Get(origin))
+			if d < 0 {
+				d = 0
+			}
+			return float64(d)
+		}, site, olbl)
+	}
 }
 
 // New constructs a data site. Call Start to launch replication.
@@ -163,6 +235,8 @@ func New(cfg Config) (*Site, error) {
 	s.applyPool = newExecPool(cfg.ApplySlots)
 	s.cfg.ApplySlots = cfg.ApplySlots
 	s.pcond = sync.NewCond(&s.pmu)
+	s.tracer = cfg.Tracer
+	s.instrument(cfg.Obs)
 	return s, nil
 }
 
@@ -184,6 +258,9 @@ func (s *Site) Clock() *vclock.SiteClock { return s.clock }
 
 // Commits returns the number of locally committed update transactions.
 func (s *Site) Commits() uint64 { return s.commits.Load() }
+
+// Aborts returns the number of locally aborted update transactions.
+func (s *Site) Aborts() uint64 { return s.aborts.Load() }
 
 // Refreshes returns the number of refresh transactions applied.
 func (s *Site) Refreshes() uint64 { return s.refreshes.Load() }
@@ -208,7 +285,12 @@ func (s *Site) Start() {
 // (or at least the remote sites' logs) before calling Stop; the systems
 // packages tear down in that order.
 func (s *Site) Stop() {
-	s.stopOnce.Do(func() { close(s.stopped) })
+	s.stopOnce.Do(func() {
+		close(s.stopped)
+		// Wake appliers parked on causal dependencies that can no longer
+		// arrive (their producer appliers may already have exited).
+		s.clock.Interrupt()
+	})
 	s.wg.Wait()
 }
 
@@ -259,6 +341,14 @@ func (s *Site) applyLoop(origin int) {
 				s.clock.WaitDimAtLeast(k, want)
 			}
 		}
+		// The waits return unconditionally once the site stops; never apply
+		// an update whose dependencies were not actually satisfied.
+		select {
+		case <-s.stopped:
+			return
+		default:
+		}
+		applyStart := time.Now()
 		s.applyPool.do(func() time.Duration {
 			s.store.Apply(storage.Stamp{Origin: origin, Seq: seq}, e.Writes)
 			s.bumpWatermarks(e.Writes, e.TVV)
@@ -269,6 +359,13 @@ func (s *Site) applyLoop(origin int) {
 			return s.cfg.Costs.RefreshBase + time.Duration(len(e.Writes))*s.cfg.Costs.PerRefreshWrite
 		})
 		s.refreshes.Add(1)
+		s.ob.refreshes.Inc()
+		s.ob.refreshApply.ObserveDuration(time.Since(applyStart))
+		lag := time.Since(e.At)
+		s.ob.refreshLag.ObserveDuration(lag)
+		s.ob.lastLag.Set(lag.Seconds())
+		s.ob.refreshStage.ObserveDuration(lag)
+		s.tracer.RefreshApplied(origin, seq, lag)
 	}
 }
 

@@ -29,7 +29,9 @@ type preparedTxn struct {
 // and votes yes by returning the participant's snapshot at lock
 // acquisition. The locks remain held until CommitPrepared or AbortPrepared.
 func (s *Site) Prepare(txnID uint64, writeSet []storage.RowRef) (vclock.Vector, error) {
-	refs, recs, err := s.store.LockSet(writeSet)
+	// Copy before LockSet's in-place sort: coordinators fan the same write
+	// set out to every participant.
+	refs, recs, err := s.store.LockSet(append([]storage.RowRef(nil), writeSet...))
 	if err != nil {
 		return nil, err
 	}

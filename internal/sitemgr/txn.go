@@ -27,6 +27,10 @@ type Txn struct {
 	finished bool
 	readOnly bool
 
+	// walPublish is the update-log append time measured during Commit;
+	// sessions read it to split the commit stage in lifecycle traces.
+	walPublish time.Duration
+
 	// Operation counts, priced by the site's cost model.
 	nReads   int
 	nWrites  int
@@ -58,7 +62,9 @@ func (s *Site) Begin(minVV vclock.Vector, writeSet []storage.RowRef) (*Txn, erro
 	if err := s.enterWriters(parts); err != nil {
 		return nil, err
 	}
-	refs, recs, err := s.store.LockSet(writeSet)
+	// LockSet sorts in place; work on a copy so callers may reuse (or even
+	// share, read-only) their writeSet slice across transactions.
+	refs, recs, err := s.store.LockSet(append([]storage.RowRef(nil), writeSet...))
 	if err != nil {
 		s.exitWriters(parts)
 		return nil, err
@@ -223,17 +229,20 @@ func (t *Txn) Commit() (vclock.Vector, error) {
 		writes = append(writes, t.writes[ref])
 	}
 
+	start := time.Now()
 	s.commitMu.Lock()
 	seq := s.nextSeq.Add(1)
 	tvv := t.snap.Clone()
 	tvv[s.id] = seq
 	s.store.Apply(storage.Stamp{Origin: s.id, Seq: seq}, writes)
+	walStart := time.Now()
 	_, err := s.log.Append(wal.Entry{
 		Kind:   wal.KindUpdate,
 		Origin: s.id,
 		TVV:    tvv,
 		Writes: writes,
 	})
+	t.walPublish = time.Since(walStart)
 	if err == nil {
 		s.clock.Advance(s.id, seq)
 	}
@@ -251,8 +260,14 @@ func (t *Txn) Commit() (vclock.Vector, error) {
 		return nil, err
 	}
 	s.commits.Add(1)
+	s.ob.commits.Inc()
+	s.ob.commitDur.ObserveDuration(time.Since(start))
 	return tvv, nil
 }
+
+// WALPublish returns the update-log append time of a committed
+// transaction (zero before Commit and for read-only transactions).
+func (t *Txn) WALPublish() time.Duration { return t.walPublish }
 
 // Abort releases the transaction's locks without installing writes.
 func (t *Txn) Abort() {
@@ -265,6 +280,8 @@ func (t *Txn) Abort() {
 	}
 	storage.UnlockAll(t.recs)
 	t.site.exitWriters(t.parts)
+	t.site.aborts.Add(1)
+	t.site.ob.aborts.Inc()
 }
 
 // ReadLocal serves a single-row read at the site's current snapshot; used

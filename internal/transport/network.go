@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"dynamast/internal/obs"
 )
 
 // Category classifies cluster traffic so experiments can break down network
@@ -177,6 +179,24 @@ func (n *Network) Stats() []CategoryStats {
 		}
 	}
 	return out
+}
+
+// Instrument re-exports the per-category message/byte counters through an
+// obs registry (read at snapshot time, so Send/Account stay untouched).
+func (n *Network) Instrument(reg *obs.Registry) {
+	if n == nil || reg == nil {
+		return
+	}
+	reg.Help("dynamast_net_messages_total", "Simulated-wire messages by traffic category.")
+	reg.Help("dynamast_net_bytes_total", "Simulated-wire bytes by traffic category.")
+	for _, cat := range Categories() {
+		c := &n.counters[cat]
+		lbl := obs.L("category", cat.String())
+		reg.Func("dynamast_net_messages_total", obs.KindCounter,
+			func() float64 { return float64(c.msgs.Load()) }, lbl)
+		reg.Func("dynamast_net_bytes_total", obs.KindCounter,
+			func() float64 { return float64(c.bytes.Load()) }, lbl)
+	}
 }
 
 // Reset zeroes all counters.

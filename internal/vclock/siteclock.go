@@ -10,10 +10,11 @@ import (
 // transactions block on WaitDominatesEq until session-freshness or grant
 // preconditions hold.
 type SiteClock struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	site int
-	vv   Vector
+	mu          sync.Mutex
+	cond        *sync.Cond
+	site        int
+	vv          Vector
+	interrupted bool
 }
 
 // NewSiteClock returns a clock for site index site in an m-site system.
@@ -73,7 +74,7 @@ func (c *SiteClock) Get(k int) uint64 {
 func (c *SiteClock) WaitDominatesEq(min Vector) Vector {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for !c.vv.DominatesEq(min) {
+	for !c.interrupted && !c.vv.DominatesEq(min) {
 		c.cond.Wait()
 	}
 	return c.vv.Clone()
@@ -85,8 +86,20 @@ func (c *SiteClock) WaitDominatesEq(min Vector) Vector {
 func (c *SiteClock) WaitDimAtLeast(k int, seq uint64) Vector {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for k < len(c.vv) && c.vv[k] < seq {
+	for !c.interrupted && k < len(c.vv) && c.vv[k] < seq {
 		c.cond.Wait()
 	}
 	return c.vv.Clone()
+}
+
+// Interrupt wakes every waiter and makes all future waits return
+// immediately with the current vector. Sites call it on shutdown: an
+// applier blocked on a causal dependency whose producer applier has already
+// exited would otherwise deadlock Stop. Callers must re-check their stop
+// condition after a wait returns.
+func (c *SiteClock) Interrupt() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.interrupted = true
+	c.cond.Broadcast()
 }

@@ -16,8 +16,10 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"dynamast/internal/obs"
 	"dynamast/internal/storage"
 	"dynamast/internal/vclock"
 )
@@ -74,6 +76,15 @@ type Log struct {
 
 	file *os.File
 	enc  *gob.Encoder
+
+	// updSeq is the origin-dimension commit sequence of the last
+	// KindUpdate entry appended: what a fully caught-up replica's version
+	// vector shows for this site (refresh-delay gauges compare against it).
+	updSeq atomic.Uint64
+
+	// Observability instruments (nil-safe; see Instrument).
+	appendDur  *obs.Histogram
+	kindCounts map[Kind]*obs.Counter
 }
 
 // New returns an in-memory log.
@@ -106,6 +117,9 @@ func Open(path string) (*Log, error) {
 			return nil, fmt.Errorf("wal: %s corrupt: offset %d at position %d", path, e.Offset, len(l.entries))
 		}
 		l.entries = append(l.entries, e)
+		if e.Kind == KindUpdate && e.Origin < len(e.TVV) {
+			l.updSeq.Store(e.TVV[e.Origin])
+		}
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
@@ -119,6 +133,7 @@ func Open(path string) (*Log, error) {
 // Append assigns the next offset to e, appends it, persists it if the log
 // is file-backed, wakes subscribers, and returns the assigned offset.
 func (l *Log) Append(e Entry) (uint64, error) {
+	start := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -126,7 +141,7 @@ func (l *Log) Append(e Entry) (uint64, error) {
 	}
 	e.Offset = uint64(len(l.entries))
 	if e.At.IsZero() {
-		e.At = time.Now()
+		e.At = start
 	}
 	if l.enc != nil {
 		if err := l.enc.Encode(&e); err != nil {
@@ -134,8 +149,40 @@ func (l *Log) Append(e Entry) (uint64, error) {
 		}
 	}
 	l.entries = append(l.entries, e)
+	if e.Kind == KindUpdate && e.Origin < len(e.TVV) {
+		l.updSeq.Store(e.TVV[e.Origin])
+	}
 	l.cond.Broadcast()
+	l.kindCounts[e.Kind].Inc()
+	l.appendDur.ObserveDuration(time.Since(start))
 	return e.Offset, nil
+}
+
+// LastUpdateSeq returns the commit sequence number of the newest update
+// entry published to this log (the origin site's own version-vector
+// dimension when it committed).
+func (l *Log) LastUpdateSeq() uint64 { return l.updSeq.Load() }
+
+// Instrument registers the log's metrics as site siteID's update log:
+// per-kind append counters, an append-latency histogram, and publish-state
+// gauges. Call once, before serving traffic.
+func (l *Log) Instrument(reg *obs.Registry, siteID int) {
+	if reg == nil {
+		return
+	}
+	site := obs.Site(siteID)
+	l.mu.Lock()
+	l.appendDur = reg.Histogram("dynamast_wal_append_seconds", site)
+	l.kindCounts = map[Kind]*obs.Counter{
+		KindUpdate:  reg.Counter("dynamast_wal_entries_total", site, obs.L("kind", KindUpdate.String())),
+		KindRelease: reg.Counter("dynamast_wal_entries_total", site, obs.L("kind", KindRelease.String())),
+		KindGrant:   reg.Counter("dynamast_wal_entries_total", site, obs.L("kind", KindGrant.String())),
+	}
+	l.mu.Unlock()
+	reg.Func("dynamast_wal_entries", obs.KindGauge,
+		func() float64 { return float64(l.Len()) }, site)
+	reg.Func("dynamast_wal_last_update_seq", obs.KindGauge,
+		func() float64 { return float64(l.LastUpdateSeq()) }, site)
 }
 
 // Len returns the number of entries in the log.
@@ -249,6 +296,17 @@ func OpenBroker(dir string, m int) (*Broker, error) {
 
 // Log returns site i's log.
 func (b *Broker) Log(i int) *Log { return b.logs[i] }
+
+// Instrument registers every log's metrics in reg (see Log.Instrument).
+func (b *Broker) Instrument(reg *obs.Registry) {
+	reg.Help("dynamast_wal_entries_total", "Update-log appends by site and entry kind.")
+	reg.Help("dynamast_wal_append_seconds", "Update-log append (publish) latency per site.")
+	reg.Help("dynamast_wal_entries", "Entries currently retained in each site's update log.")
+	reg.Help("dynamast_wal_last_update_seq", "Commit sequence of the newest update published per site.")
+	for i, l := range b.logs {
+		l.Instrument(reg, i)
+	}
+}
 
 // Sites returns the number of logs.
 func (b *Broker) Sites() int { return len(b.logs) }
