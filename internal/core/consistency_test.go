@@ -51,9 +51,20 @@ func TestConsistencyAtomicPairsUnderConcurrency(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// The seeds commit at one master; replicas apply them asynchronously.
+	// The readers below open fresh sessions (empty cvv), and strong-session
+	// SI lets a fresh session read any consistent snapshot — including the
+	// pre-seed loaded state, whose pair halves differ by construction. Wait
+	// for the seeds to replicate so the pair invariant holds cluster-wide
+	// before the first read.
+	if err := c.WaitQuiesced(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
+	var stopOnce sync.Once
+	stopAll := func() { stopOnce.Do(func() { close(stop) }) }
 	violations := make(chan string, 64)
 
 	// Writers: atomically increment both halves of a random pair.
@@ -140,13 +151,13 @@ func TestConsistencyAtomicPairsUnderConcurrency(t *testing.T) {
 			case <-time.After(5 * time.Millisecond):
 			}
 		}
-		close(stop)
+		stopAll()
 		<-done
 		close(writersDone)
 	}()
 	select {
 	case v := <-violations:
-		close(stop)
+		stopAll()
 		t.Fatalf("consistency violation: %s", v)
 	case <-writersDone:
 	}

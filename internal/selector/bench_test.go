@@ -1,6 +1,7 @@
 package selector
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -72,6 +73,52 @@ func BenchmarkRouteWriteRemaster(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRouteWriteParallel drives the single-master fast path from many
+// goroutines at once: the selector's routing hot path under concurrent
+// client load, where partition-map, statistics and load-tracking
+// synchronization costs dominate.
+func BenchmarkRouteWriteParallel(b *testing.B) {
+	sel := benchSelector(b, 4, YCSBWeights())
+	// Materialize 64 partitions at site 0 so every route takes the fast path.
+	for p := uint64(0); p < 64; p++ {
+		if _, err := sel.RouteWrite(0, []storage.RowRef{{Table: "t", Key: p * 100}}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var nextClient atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := int(nextClient.Add(1))
+		i := uint64(client)
+		ws := make([]storage.RowRef, 3)
+		for pb.Next() {
+			i++
+			base := (i * 7) % 64
+			ws[0] = storage.RowRef{Table: "t", Key: base * 100}
+			ws[1] = storage.RowRef{Table: "t", Key: ((base + 1) % 64) * 100}
+			ws[2] = storage.RowRef{Table: "t", Key: ((base + 2) % 64) * 100}
+			if _, err := sel.RouteWrite(client, ws, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRouteReadParallel measures concurrent read routing (RNG and SVV
+// snapshot costs).
+func BenchmarkRouteReadParallel(b *testing.B) {
+	sel := benchSelector(b, 8, YCSBWeights())
+	cvv := vclock.New(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			sel.RouteRead(1, cvv)
+		}
+	})
 }
 
 func BenchmarkRouteRead(b *testing.B) {

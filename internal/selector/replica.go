@@ -115,7 +115,7 @@ func (r *Replica) RouteWrite(client int, writeSet []storage.RowRef, cvv vclock.V
 		// Local decision; record statistics at the master tier so the
 		// strategies keep learning (the paper's replicas feed samples
 		// back asynchronously).
-		r.parent.finishWrite(client, parts, site, time.Now(), false)
+		r.parent.finishWrite(client, parts, site, time.Now())
 		return Route{Site: site}, nil
 	}
 	// Forward to the master selector: one replica->master round trip.

@@ -2,6 +2,7 @@ package selector
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -84,26 +85,51 @@ func (p *partInfo) setMaster(m int) {
 	p.hint.Store(int32(m))
 }
 
+// partShardCount shards the partition map so concurrent routing decisions
+// looking up disjoint partitions do not serialize on one map lock. Must be
+// a power of two.
+const partShardCount = 64
+
+// partShard is one slice of the partition map.
+type partShard struct {
+	mu sync.RWMutex
+	m  map[uint64]*partInfo
+	_  [24]byte // pad shards apart
+}
+
+// shardOf spreads partition ids (often small and dense) across shards with
+// a Fibonacci multiply-shift.
+func shardOf(id uint64) uint64 {
+	return (id * 0x9E3779B97F4A7C15) >> 32 & (partShardCount - 1)
+}
+
 // Selector routes transactions and remasters data (§IV, §V-B).
 type Selector struct {
 	sites       []DataSite
 	m           int
 	partitioner sitemgr.Partitioner
 	initial     func(part uint64) int
-	weights     Weights
+	weights     atomic.Pointer[Weights]
 	stats       *Stats
 	net         *transport.Network
 
-	pmu   sync.RWMutex
-	parts map[uint64]*partInfo
+	shards [partShardCount]partShard
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	// Read-routing RNG: pooled so concurrent RouteRead calls never share
+	// (or lock) one generator. Pool misses seed a fresh generator from
+	// seed ⊕ a split counter, keeping runs with the same Config.Seed
+	// statistically reproducible.
+	rngPool  sync.Pool
+	rngSplit atomic.Uint64
+	seed     int64
 
-	// loadMu guards the materialized per-site load (sum of mastered
-	// partitions' access weights), used by the balance feature.
-	loadMu   sync.Mutex
-	siteLoad []float64
+	// Materialized per-site load (sum of mastered partitions' access
+	// weights), used by the balance feature. Float64 bits in atomics;
+	// bumpLoad CAS-adds and decays when the running total crosses the
+	// stats decay threshold.
+	siteLoad  []atomic.Uint64
+	loadTotal atomic.Uint64
+	decaying  atomic.Bool
 
 	routed      []atomic.Uint64 // per-site routed write transactions
 	writeTxns   atomic.Uint64
@@ -142,6 +168,8 @@ func (s *Selector) instrument(reg *obs.Registry) {
 	reg.Help("dynamast_route_seconds", "Routing decision latency (including any remaster wait).")
 	reg.Help("dynamast_remaster_seconds", "Release/grant RPC-chain wait per remastering decision.")
 	reg.Help("dynamast_strategy_feature", "Equation 8 feature scores of the last remaster decision.")
+	reg.Help("dynamast_selector_partitions", "Partitions tracked in the selector's sharded partition map.")
+	reg.Help("dynamast_selector_shard_max_entries", "Largest partition-map shard (residency skew indicator).")
 	s.ob = selectorInstruments{
 		writeTxns:   reg.Counter("dynamast_route_total", obs.L("type", "write")),
 		readTxns:    reg.Counter("dynamast_route_total", obs.L("type", "read")),
@@ -158,6 +186,29 @@ func (s *Selector) instrument(reg *obs.Registry) {
 	for i := range s.ob.routed {
 		s.ob.routed[i] = reg.Counter("dynamast_routed_total", obs.Site(i))
 	}
+	reg.Func("dynamast_selector_partitions", obs.KindGauge, func() float64 {
+		total, _ := s.shardResidency()
+		return float64(total)
+	})
+	reg.Func("dynamast_selector_shard_max_entries", obs.KindGauge, func() float64 {
+		_, max := s.shardResidency()
+		return float64(max)
+	})
+}
+
+// shardResidency reports the total partition count and the largest shard.
+func (s *Selector) shardResidency() (total, max int) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n := len(sh.m)
+		sh.mu.RUnlock()
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	return total, max
 }
 
 // New constructs a selector.
@@ -176,23 +227,35 @@ func New(cfg Config) (*Selector, error) {
 		m:           len(cfg.Sites),
 		partitioner: cfg.Partitioner,
 		initial:     cfg.InitialMaster,
-		weights:     cfg.Weights,
 		stats:       NewStats(cfg.Stats),
 		net:         cfg.Net,
-		parts:       make(map[uint64]*partInfo),
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
-		siteLoad:    make([]float64, len(cfg.Sites)),
+		seed:        cfg.Seed,
+		siteLoad:    make([]atomic.Uint64, len(cfg.Sites)),
 		routed:      make([]atomic.Uint64, len(cfg.Sites)),
+	}
+	w := cfg.Weights
+	s.weights.Store(&w)
+	for i := range s.shards {
+		s.shards[i].m = make(map[uint64]*partInfo)
+	}
+	s.rngPool.New = func() any {
+		// splitmix64 over a per-generator counter, xored with the seed.
+		z := s.rngSplit.Add(1) * 0x9E3779B97F4A7C15
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return rand.New(rand.NewSource(s.seed ^ int64(z^(z>>31))))
 	}
 	s.instrument(cfg.Obs)
 	return s, nil
 }
 
 // Weights returns the selector's strategy hyperparameters.
-func (s *Selector) Weights() Weights { return s.weights }
+func (s *Selector) Weights() Weights { return *s.weights.Load() }
 
-// SetWeights replaces the strategy hyperparameters (sensitivity sweeps).
-func (s *Selector) SetWeights(w Weights) { s.weights = w }
+// SetWeights replaces the strategy hyperparameters (sensitivity sweeps
+// swap them mid-run; the pointer swap is atomic against concurrent
+// routing decisions).
+func (s *Selector) SetWeights(w Weights) { s.weights.Store(&w) }
 
 // Stats exposes the statistics tracker.
 func (s *Selector) Stats() *Stats { return s.stats }
@@ -202,24 +265,25 @@ func (s *Selector) Stats() *Stats { return s.stats }
 // so transactions can create rows in partitions that did not exist at load
 // time (e.g. freshly allocated key ranges).
 func (s *Selector) part(id uint64) *partInfo {
-	s.pmu.RLock()
-	p := s.parts[id]
-	s.pmu.RUnlock()
+	sh := &s.shards[shardOf(id)]
+	sh.mu.RLock()
+	p := sh.m[id]
+	sh.mu.RUnlock()
 	if p != nil {
 		return p
 	}
-	s.pmu.Lock()
-	if p = s.parts[id]; p != nil {
-		s.pmu.Unlock()
+	sh.mu.Lock()
+	if p = sh.m[id]; p != nil {
+		sh.mu.Unlock()
 		return p
 	}
 	p = &partInfo{}
 	master := s.initial(id)
 	p.setMaster(master)
-	s.parts[id] = p
-	s.pmu.Unlock()
-	// Outside pmu: materialize ownership at the data site (idempotent; a
-	// nil release vector means no catch-up wait).
+	sh.m[id] = p
+	sh.mu.Unlock()
+	// Outside the shard lock: materialize ownership at the data site
+	// (idempotent; a nil release vector means no catch-up wait).
 	if _, err := s.sites[master].Grant([]uint64{id}, nil, master); err != nil {
 		// Grant only fails at shutdown; routing will surface the error.
 		_ = err
@@ -245,7 +309,33 @@ func (s *Selector) MasterOf(id uint64) int {
 }
 
 // writeParts maps a write set to its sorted, deduplicated partition ids.
+// Write sets are small (a handful of partitions), so the common path
+// dedups by linear scan and sorts by insertion — no map, no sort.Slice
+// closure — falling back to the general path for large sets.
 func (s *Selector) writeParts(writeSet []storage.RowRef) []uint64 {
+	if len(writeSet) > 32 {
+		return s.writePartsLarge(writeSet)
+	}
+	parts := make([]uint64, 0, len(writeSet))
+outer:
+	for _, ref := range writeSet {
+		id := s.partitioner(ref)
+		for _, seen := range parts {
+			if seen == id {
+				continue outer
+			}
+		}
+		parts = append(parts, id)
+	}
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return parts
+}
+
+func (s *Selector) writePartsLarge(writeSet []storage.RowRef) []uint64 {
 	seen := make(map[uint64]struct{}, len(writeSet))
 	parts := make([]uint64, 0, len(writeSet))
 	for _, ref := range writeSet {
@@ -292,7 +382,7 @@ func (s *Selector) RouteWrite(client int, writeSet []storage.RowRef, cvv vclock.
 		for _, in := range infos {
 			in.mu.RUnlock()
 		}
-		s.finishWrite(client, parts, master, start, false)
+		s.finishWrite(client, parts, master, start)
 		return Route{Site: master}, nil
 	}
 
@@ -319,7 +409,7 @@ func (s *Selector) RouteWrite(client int, writeSet []storage.RowRef, cvv vclock.
 	}
 	if single {
 		// A concurrent client with a common write set already remastered.
-		s.finishWrite(client, parts, master, start, false)
+		s.finishWrite(client, parts, master, start)
 		return Route{Site: master}, nil
 	}
 
@@ -332,55 +422,94 @@ func (s *Selector) RouteWrite(client int, writeSet []storage.RowRef, cvv vclock.
 	}
 	s.remasterOps.Add(1)
 	s.partsMoved.Add(uint64(moved))
-	s.remastNanos.Add(int64(time.Since(start)))
+	s.remastNanos.Add(int64(wait))
 	s.ob.remasters.Inc()
 	s.ob.partsMoved.Add(uint64(moved))
 	s.ob.remastDur.ObserveDuration(wait)
-	s.finishWrite(client, parts, dest, start, true)
+	s.finishWrite(client, parts, dest, start)
 	return Route{Site: dest, MinVV: minVV, Remastered: true, PartsMoved: moved, RemasterWait: wait}, nil
 }
 
 // finishWrite records statistics and routing counters for a decided write
 // (called by the master's own routing paths and by replica selectors'
 // local decisions).
-func (s *Selector) finishWrite(client int, parts []uint64, site int, start time.Time, remastered bool) {
+func (s *Selector) finishWrite(client int, parts []uint64, site int, start time.Time) {
+	now := time.Now()
+	elapsed := now.Sub(start)
 	s.writeTxns.Add(1)
 	s.routed[site].Add(1)
-	s.stats.RecordWrite(client, parts, time.Now())
-	s.bumpLoad(parts, site, remastered)
-	s.routeNanos.Add(int64(time.Since(start)))
+	s.stats.RecordWrite(client, parts, now)
+	s.bumpLoad(parts, site)
+	s.routeNanos.Add(int64(elapsed))
 	s.ob.writeTxns.Inc()
 	if s.ob.routed != nil {
 		s.ob.routed[site].Inc()
 	}
-	s.ob.routeDur.ObserveDuration(time.Since(start))
+	s.ob.routeDur.Observe(elapsed.Seconds())
 }
 
-// bumpLoad maintains the materialized per-site load: every access adds the
-// partitions' unit weight to their (possibly new) master site. The load
-// decays with the stats tracker's halving implicitly through re-derivation:
-// we approximate by adding 1 per partition access to the master site and
-// halving all site loads when they exceed the stats decay threshold.
-func (s *Selector) bumpLoad(parts []uint64, site int, remastered bool) {
-	s.loadMu.Lock()
-	defer s.loadMu.Unlock()
-	s.siteLoad[site] += float64(len(parts))
-	var total float64
-	for _, l := range s.siteLoad {
-		total += l
+// addFloat CAS-adds d to the float64 bit-cast in a, returning the new value.
+func addFloat(a *atomic.Uint64, d float64) float64 {
+	for {
+		old := a.Load()
+		next := math.Float64frombits(old) + d
+		if a.CompareAndSwap(old, math.Float64bits(next)) {
+			return next
+		}
 	}
-	if total > s.stats.decayThreshold {
-		for i := range s.siteLoad {
-			s.siteLoad[i] /= 2
+}
+
+// loadFloat reads the float64 bit-cast in a.
+func loadFloat(a *atomic.Uint64) float64 { return math.Float64frombits(a.Load()) }
+
+// bumpLoad maintains the materialized per-site load: every access adds the
+// partitions' unit weight to their (possibly new) master site, lock-free.
+// The load decays with the stats tracker's halving implicitly through
+// re-derivation: we approximate by adding 1 per partition access to the
+// master site and halving all site loads when the running total exceeds
+// the stats decay threshold (a single decayer runs at a time; racing adds
+// skew a score at most transiently — the load is a scoring heuristic).
+func (s *Selector) bumpLoad(parts []uint64, site int) {
+	w := float64(len(parts))
+	addFloat(&s.siteLoad[site], w)
+	if addFloat(&s.loadTotal, w) > s.stats.decayThreshold {
+		s.decayLoad()
+	}
+}
+
+// decayLoad halves every site's load; only one goroutine decays at a time.
+func (s *Selector) decayLoad() {
+	if !s.decaying.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.decaying.Store(false)
+	if loadFloat(&s.loadTotal) <= s.stats.decayThreshold {
+		return
+	}
+	for i := range s.siteLoad {
+		a := &s.siteLoad[i]
+		for {
+			old := a.Load()
+			if a.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)/2)) {
+				break
+			}
+		}
+	}
+	for {
+		old := s.loadTotal.Load()
+		if s.loadTotal.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)/2)) {
+			break
 		}
 	}
 }
 
 // siteLoadSnapshot copies the current per-site load.
 func (s *Selector) siteLoadSnapshot() []float64 {
-	s.loadMu.Lock()
-	defer s.loadMu.Unlock()
-	return append([]float64(nil), s.siteLoad...)
+	out := make([]float64, len(s.siteLoad))
+	for i := range s.siteLoad {
+		out[i] = loadFloat(&s.siteLoad[i])
+	}
+	return out
 }
 
 // chooseDestination scores every site as a remastering destination with the
@@ -425,6 +554,7 @@ func (s *Selector) chooseDestination(parts []uint64, infos []*partInfo, cvv vclo
 		need = need.MaxInto(s.sites[in.master].SVV())
 	}
 
+	model := s.Weights()
 	best, bestScore := 0, 0.0
 	var bestFeat [4]float64 // balance, delay, intra, inter of the winner
 	for cand := 0; cand < s.m; cand++ {
@@ -451,7 +581,7 @@ func (s *Selector) chooseDestination(parts []uint64, infos []*partInfo, cvv vclo
 			})
 		}
 
-		score := s.weights.Benefit(balance, delay, intra, inter)
+		score := model.Benefit(balance, delay, intra, inter)
 		if cand == 0 || score > bestScore {
 			best, bestScore = cand, score
 			bestFeat = [4]float64{balance, delay, intra, inter}
@@ -547,9 +677,9 @@ func (s *Selector) RouteRead(client int, cvv vclock.Vector) Route {
 	if len(fresh) == 0 {
 		return Route{Site: bestSite}
 	}
-	s.rngMu.Lock()
-	pick := fresh[s.rng.Intn(len(fresh))]
-	s.rngMu.Unlock()
+	rng := s.rngPool.Get().(*rand.Rand)
+	pick := fresh[rng.Intn(len(fresh))]
+	s.rngPool.Put(rng)
 	return Route{Site: pick}
 }
 
@@ -561,7 +691,7 @@ type Metrics struct {
 	PartsMoved    uint64
 	RoutedPerSite []uint64
 	AvgRouteTime  time.Duration // mean routing decision latency
-	AvgRemaster   time.Duration // mean latency of remastering decisions
+	AvgRemaster   time.Duration // mean release/grant wait of remastering decisions
 }
 
 // Metrics returns a snapshot of routing counters.

@@ -473,7 +473,7 @@ func TestStatsSampling(t *testing.T) {
 	if total == 0 {
 		t.Fatal("sampled co-access empty")
 	}
-	occ := st.occurrences[1]
+	occ := st.occurrencesOf(1)
 	if occ != 10 {
 		t.Fatalf("occurrences = %g, want 10 (sampled 1/10)", occ)
 	}

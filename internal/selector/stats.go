@@ -13,7 +13,26 @@ import (
 // co-access counts (for the localization features). Write sets are sampled
 // into a bounded history queue; when a sample expires its contribution is
 // decremented, letting the statistics track workload change.
+//
+// The tracker is striped by client: every routed write locks only the
+// stripe its client hashes to, so concurrent RecordWrite calls from
+// different clients do not serialize on one mutex (the selector's routing
+// hot path). Each stripe is a complete single-lock tracker with the
+// configured history/decay bounds; readers (AccessWeight, CoAccess)
+// aggregate across stripes. Because inter-transaction correlation is
+// per-client and intra-transaction correlation is per-write-set, striping
+// by client preserves both exactly; a single client's stream behaves
+// identically to the pre-striping global tracker (see
+// TestStripedStatsMatchesReference).
 type Stats struct {
+	stripes []statsStripe
+	// decayThreshold is the configured (per-stripe) decay trigger; the
+	// selector's materialized-load decay reuses it.
+	decayThreshold float64
+}
+
+// statsStripe is one client-hash stripe: the original single-mutex tracker.
+type statsStripe struct {
 	mu sync.Mutex
 
 	// Write access frequency, for f_balance. Counted for every routed
@@ -39,6 +58,8 @@ type Stats struct {
 
 	sampleEvery int // record 1 of every sampleEvery write sets
 	sampleTick  int
+
+	_ [40]byte // pad stripes apart (mutex + hot fields per cache line)
 }
 
 type sample struct {
@@ -46,26 +67,56 @@ type sample struct {
 	interPairs [][2]uint64 // inter-txn pairs this sample contributed
 }
 
+// recentTxn is a client's last write set, held by value (small sets inline)
+// so it never aliases a history sample's arrays — which lets RecordWrite
+// recycle an expired sample's backing arrays for the sample replacing it,
+// keeping the hot path allocation-free once the ring has filled.
 type recentTxn struct {
-	parts []uint64
-	at    time.Time
+	at     time.Time
+	n      int
+	inline [8]uint64
+	spill  []uint64 // write sets larger than inline
+}
+
+func (r *recentTxn) view() []uint64 {
+	if r.spill != nil {
+		return r.spill
+	}
+	return r.inline[:r.n]
+}
+
+func setRecent(m map[int]recentTxn, client int, parts []uint64, at time.Time) {
+	r := recentTxn{at: at, n: len(parts)}
+	if len(parts) <= len(r.inline) {
+		copy(r.inline[:], parts)
+	} else {
+		r.spill = append([]uint64(nil), parts...)
+	}
+	m[client] = r
 }
 
 // StatsConfig tunes the statistics tracker.
 type StatsConfig struct {
-	// HistorySize bounds the sample queue; expiring samples decrement
-	// their counts (default 4096).
+	// HistorySize bounds each stripe's sample queue; expiring samples
+	// decrement their counts (default 4096).
 	HistorySize int
-	// SampleEvery records one in every SampleEvery write sets (default 1:
-	// record everything; the paper samples adaptively to bound overhead).
+	// SampleEvery records one in every SampleEvery write sets per stripe
+	// (default 1: record everything; the paper samples adaptively to bound
+	// overhead).
 	SampleEvery int
 	// InterWindow is Δt for inter-transaction correlations (default 50ms,
 	// scaled to this reproduction's transaction rates).
 	InterWindow time.Duration
-	// DecayThreshold halves access counts when the total exceeds it
-	// (default 100k accesses).
+	// DecayThreshold halves a stripe's access counts when its total
+	// exceeds it (default 100k accesses).
 	DecayThreshold float64
+	// Stripes is the number of client-hash stripes (rounded up to a power
+	// of two; default 16). 1 recovers the single-lock tracker.
+	Stripes int
 }
+
+// defaultStatsStripes is the default client-hash stripe count.
+const defaultStatsStripes = 16
 
 // NewStats returns a tracker with the given configuration.
 func NewStats(cfg StatsConfig) *Stats {
@@ -81,96 +132,126 @@ func NewStats(cfg StatsConfig) *Stats {
 	if cfg.DecayThreshold == 0 {
 		cfg.DecayThreshold = 100_000
 	}
-	return &Stats{
-		access:         make(map[uint64]float64),
-		decayThreshold: cfg.DecayThreshold,
-		intra:          make(map[uint64]map[uint64]float64),
-		inter:          make(map[uint64]map[uint64]float64),
-		occurrences:    make(map[uint64]float64),
-		history:        make([]sample, cfg.HistorySize),
-		recent:         make(map[int]recentTxn),
-		interWindow:    cfg.InterWindow,
-		sampleEvery:    cfg.SampleEvery,
+	if cfg.Stripes == 0 {
+		cfg.Stripes = defaultStatsStripes
 	}
+	n := 1
+	for n < cfg.Stripes {
+		n *= 2
+	}
+	st := &Stats{
+		stripes:        make([]statsStripe, n),
+		decayThreshold: cfg.DecayThreshold,
+	}
+	for i := range st.stripes {
+		sp := &st.stripes[i]
+		sp.access = make(map[uint64]float64)
+		sp.decayThreshold = cfg.DecayThreshold
+		sp.intra = make(map[uint64]map[uint64]float64)
+		sp.inter = make(map[uint64]map[uint64]float64)
+		sp.occurrences = make(map[uint64]float64)
+		sp.history = make([]sample, cfg.HistorySize)
+		sp.recent = make(map[int]recentTxn)
+		sp.interWindow = cfg.InterWindow
+		sp.sampleEvery = cfg.SampleEvery
+	}
+	return st
+}
+
+// Stripes returns the stripe count (a power of two).
+func (st *Stats) Stripes() int { return len(st.stripes) }
+
+// stripe returns the stripe client hashes to. Client ids are small dense
+// integers, so a Fibonacci multiply-shift spreads consecutive ids across
+// stripes.
+func (st *Stats) stripe(client int) *statsStripe {
+	return &st.stripes[st.stripeIndex(client)]
+}
+
+func (st *Stats) stripeIndex(client int) int {
+	return int((uint64(client) * 0x9E3779B97F4A7C15) >> 32 & uint64(len(st.stripes)-1))
 }
 
 // RecordWrite ingests one routed write transaction's partition set for
 // client. Access counts are always updated; co-access statistics are
-// updated for sampled transactions.
+// updated for sampled transactions. Only the client's stripe is locked.
 func (st *Stats) RecordWrite(client int, parts []uint64, now time.Time) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	sp := st.stripe(client)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
 
 	for _, p := range parts {
-		st.access[p]++
+		sp.access[p]++
 	}
-	st.totalAccess += float64(len(parts))
-	if st.totalAccess > st.decayThreshold {
-		for p := range st.access {
-			st.access[p] /= 2
+	sp.totalAccess += float64(len(parts))
+	if sp.totalAccess > sp.decayThreshold {
+		for p := range sp.access {
+			sp.access[p] /= 2
 		}
-		st.totalAccess /= 2
+		sp.totalAccess /= 2
 	}
 
-	st.sampleTick++
-	if st.sampleTick%st.sampleEvery != 0 {
+	sp.sampleTick++
+	if sp.sampleTick%sp.sampleEvery != 0 {
 		return
 	}
 
-	sm := sample{parts: append([]uint64(nil), parts...)}
+	// Expire the sample this one replaces, then recycle its backing arrays
+	// for the new sample (expiry and addition commute, so reordering them
+	// ahead of the increments below leaves every count unchanged).
+	old := sp.history[sp.histNext]
+	if sp.histLen == len(sp.history) {
+		sp.expireLocked(old)
+	} else {
+		sp.histLen++
+	}
+	sm := sample{parts: append(old.parts[:0], parts...), interPairs: old.interPairs[:0]}
 
 	// Intra-transaction pairs.
 	for i, d1 := range parts {
-		st.occurrences[d1]++
+		sp.occurrences[d1]++
 		for j, d2 := range parts {
 			if i == j {
 				continue
 			}
-			addPair(st.intra, d1, d2, 1)
+			addPair(sp.intra, d1, d2, 1)
 		}
 	}
 
 	// Inter-transaction pairs: partitions of this client's previous write
 	// set within Δt correlate with this write set.
-	if prev, ok := st.recent[client]; ok && now.Sub(prev.at) <= st.interWindow {
-		for _, d1 := range prev.parts {
+	if prev, ok := sp.recent[client]; ok && now.Sub(prev.at) <= sp.interWindow {
+		for _, d1 := range prev.view() {
 			for _, d2 := range parts {
 				if d1 == d2 {
 					continue
 				}
-				addPair(st.inter, d1, d2, 1)
+				addPair(sp.inter, d1, d2, 1)
 				sm.interPairs = append(sm.interPairs, [2]uint64{d1, d2})
 			}
 		}
 	}
-	st.recent[client] = recentTxn{parts: sm.parts, at: now}
+	setRecent(sp.recent, client, parts, now)
 
-	// Expire the sample this one replaces.
-	old := st.history[st.histNext]
-	if st.histLen == len(st.history) {
-		st.expireLocked(old)
-	} else {
-		st.histLen++
-	}
-	st.history[st.histNext] = sm
-	st.histNext = (st.histNext + 1) % len(st.history)
+	sp.history[sp.histNext] = sm
+	sp.histNext = (sp.histNext + 1) % len(sp.history)
 }
 
 // expireLocked reverses an old sample's contributions.
-func (st *Stats) expireLocked(old sample) {
+func (sp *statsStripe) expireLocked(old sample) {
 	for i, d1 := range old.parts {
-		if st.occurrences[d1] > 0 {
-			st.occurrences[d1]--
+		if sp.occurrences[d1] > 0 {
+			sp.occurrences[d1]--
 		}
 		for j, d2 := range old.parts {
 			if i == j {
 				continue
 			}
-			addPair(st.intra, d1, d2, -1)
+			addPair(sp.intra, d1, d2, -1)
 		}
 	}
 	for _, pr := range old.interPairs {
-		addPair(st.inter, pr[0], pr[1], -1)
+		addPair(sp.inter, pr[0], pr[1], -1)
 	}
 }
 
@@ -194,29 +275,63 @@ func addPair(m map[uint64]map[uint64]float64, d1, d2 uint64, delta float64) {
 	row[d2] = v
 }
 
-// AccessWeight returns partition p's recent write access count.
+// AccessWeight returns partition p's recent write access count, aggregated
+// across stripes.
 func (st *Stats) AccessWeight(p uint64) float64 {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.access[p]
+	var w float64
+	for i := range st.stripes {
+		sp := &st.stripes[i]
+		sp.mu.Lock()
+		w += sp.access[p]
+		sp.mu.Unlock()
+	}
+	return w
+}
+
+// occurrencesOf returns the aggregate sample count containing partition p
+// (the P(d2|p) denominator); test hook.
+func (st *Stats) occurrencesOf(p uint64) float64 {
+	var n float64
+	for i := range st.stripes {
+		sp := &st.stripes[i]
+		sp.mu.Lock()
+		n += sp.occurrences[p]
+		sp.mu.Unlock()
+	}
+	return n
 }
 
 // CoAccess enumerates, for source partition d1, every correlated partition
 // d2 with its conditional probability P(d2|d1) (intra) and
-// P(d2|d1; T<=Δt) (inter). fn is called under the stats lock; it must not
-// call back into Stats.
+// P(d2|d1; T<=Δt) (inter), aggregated across stripes: the pair counts and
+// the occurrence denominator are summed over stripes before dividing, so
+// the probabilities equal the unstriped tracker's over the same samples.
+// fn is called with no stripe lock held; it may call back into Stats.
 func (st *Stats) CoAccess(d1 uint64, intra bool, fn func(d2 uint64, p float64)) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	n := st.occurrences[d1]
+	var n float64
+	var agg map[uint64]float64
+	for i := range st.stripes {
+		sp := &st.stripes[i]
+		sp.mu.Lock()
+		n += sp.occurrences[d1]
+		src := sp.intra
+		if !intra {
+			src = sp.inter
+		}
+		if row := src[d1]; len(row) > 0 {
+			if agg == nil {
+				agg = make(map[uint64]float64, len(row))
+			}
+			for d2, c := range row {
+				agg[d2] += c
+			}
+		}
+		sp.mu.Unlock()
+	}
 	if n == 0 {
 		return
 	}
-	src := st.intra
-	if !intra {
-		src = st.inter
-	}
-	for d2, c := range src[d1] {
+	for d2, c := range agg {
 		fn(d2, c/n)
 	}
 }

@@ -147,12 +147,13 @@ type Site struct {
 type siteInstruments struct {
 	commits      *obs.Counter
 	aborts       *obs.Counter
-	refreshes    *obs.Counter
-	commitDur    *obs.Histogram // full local commit latency
-	refreshApply *obs.Histogram // one refresh transaction's application work
-	refreshLag   *obs.Histogram // publish -> applied-here delay
-	lastLag      *obs.Gauge     // most recent refresh lag, seconds
-	refreshStage *obs.Histogram // the shared refresh_apply lifecycle stage
+	refreshes      *obs.Counter
+	refreshBatches *obs.Counter   // apply chunks (refreshes/batches = mean batch size)
+	commitDur      *obs.Histogram // full local commit latency
+	refreshApply   *obs.Histogram // one apply chunk's application work
+	refreshLag     *obs.Histogram // publish -> applied-here delay, per refresh
+	lastLag        *obs.Gauge     // most recent refresh lag, seconds
+	refreshStage   *obs.Histogram // the shared refresh_apply lifecycle stage
 }
 
 // instrument registers the site's metrics and freshness gauges.
@@ -170,15 +171,17 @@ func (s *Site) instrument(reg *obs.Registry) {
 	reg.Help("dynamast_refresh_lag", "Most recent observed refresh lag per site, seconds.")
 	reg.Help("dynamast_site_svv", "Site version vector: per-origin applied commit sequence.")
 	reg.Help("dynamast_refresh_delay", "Updates published by origin but not yet applied at site.")
+	reg.Help("dynamast_refresh_batches_total", "Refresh apply chunks per site (refreshes/batches = mean batch size).")
 	s.ob = siteInstruments{
-		commits:      reg.Counter("dynamast_commits_total", site),
-		aborts:       reg.Counter("dynamast_aborts_total", site),
-		refreshes:    reg.Counter("dynamast_refreshes_total", site),
-		commitDur:    reg.Histogram("dynamast_commit_seconds", site),
-		refreshApply: reg.Histogram("dynamast_refresh_apply_seconds", site),
-		refreshLag:   reg.Histogram("dynamast_refresh_lag_seconds", site),
-		lastLag:      reg.Gauge("dynamast_refresh_lag", site),
-		refreshStage: reg.Histogram("dynamast_txn_stage_seconds", obs.L("stage", "refresh_apply")),
+		commits:        reg.Counter("dynamast_commits_total", site),
+		aborts:         reg.Counter("dynamast_aborts_total", site),
+		refreshes:      reg.Counter("dynamast_refreshes_total", site),
+		refreshBatches: reg.Counter("dynamast_refresh_batches_total", site),
+		commitDur:      reg.Histogram("dynamast_commit_seconds", site),
+		refreshApply:   reg.Histogram("dynamast_refresh_apply_seconds", site),
+		refreshLag:     reg.Histogram("dynamast_refresh_lag_seconds", site),
+		lastLag:        reg.Gauge("dynamast_refresh_lag", site),
+		refreshStage:   reg.Histogram("dynamast_txn_stage_seconds", obs.L("stage", "refresh_apply")),
 	}
 	for origin := 0; origin < s.m; origin++ {
 		origin := origin
@@ -294,17 +297,30 @@ func (s *Site) Stop() {
 	s.wg.Wait()
 }
 
-// applyLoop subscribes to origin's update log and applies each committed
-// transaction as a refresh transaction, blocking per the update application
+// maxRefreshBatch bounds how many log entries an applier drains per cursor
+// wake: large enough to amortize wake/lock/slot costs over a backlog, small
+// enough that the site clock advances (and freshness gauges move) at a fine
+// grain while catching up.
+const maxRefreshBatch = 64
+
+// applyLoop subscribes to origin's update log and applies committed
+// transactions as refresh transactions, blocking per the update application
 // rule so that a consistent order is maintained (Equation 1). Entries are
 // delivered per-origin FIFO; the rule's svv[origin] == tvv[origin]-1 clause
 // holds exactly when the previous entry from origin has been applied, so
 // the loop only needs to wait on the cross-origin dependency clauses.
+//
+// The loop drains the log in batches (one cursor wake per backlog, not per
+// entry) and applies each batch in chunks of consecutively-ready entries,
+// amortizing dependency waits, network byte accounting, and apply-pool slot
+// acquisition across the chunk.
 func (s *Site) applyLoop(origin int) {
 	defer s.wg.Done()
 	cur := s.cfg.Broker.Log(origin).Subscribe(0)
+	var batch []wal.Entry
 	for {
-		e, ok := cur.Next()
+		var ok bool
+		batch, ok = cur.NextBatch(batch[:0], maxRefreshBatch)
 		if !ok {
 			return // log closed and drained
 		}
@@ -313,25 +329,44 @@ func (s *Site) applyLoop(origin int) {
 			return
 		default:
 		}
-		if e.Kind != wal.KindUpdate {
-			continue
+		if !s.applyBatch(origin, batch) {
+			return
 		}
-		seq := e.TVV[origin]
-		if seq <= s.clock.Get(origin) {
-			continue // already applied (bootstrap/recovery overlap)
+	}
+}
+
+// applyBatch applies consecutive entries of origin's log, chunking them:
+// the blocking gates (propagation delay, Equation 1 dependency waits) run
+// on the first entry of each chunk only, OUTSIDE any apply-pool slot —
+// holding a slot while parked on a cross-origin dependency could starve
+// the applier that would satisfy it — and the chunk is then greedily
+// extended with entries already applicable under one clock snapshot.
+// Extension is conservative: it requires consecutive same-origin sequence
+// numbers (commit order makes origin's log dense in that dimension, so
+// sequential in-chunk application preserves the svv[origin]==tvv[origin]-1
+// clause) and snapshot-satisfied cross-origin clauses; anything not
+// provably ready ends the chunk and re-enters the blocking gate. Each
+// chunk occupies one apply-pool slot and is charged its summed cost.
+// Returns false when the site stopped.
+func (s *Site) applyBatch(origin int, batch []wal.Entry) bool {
+	i := 0
+	for i < len(batch) {
+		e := &batch[i]
+		if e.Kind != wal.KindUpdate || e.TVV[origin] <= s.clock.Get(origin) {
+			i++ // mastership record, or already applied (bootstrap/recovery overlap)
+			continue
 		}
 		// Model asynchronous propagation: the update becomes available
 		// here only after the pipeline delay.
 		if d := s.cfg.PropagationDelay; d > 0 {
 			if age := time.Since(e.At); age < d {
 				if !s.sleep(d - age) {
-					return
+					return false
 				}
 			}
 		}
-		s.net.Account(transport.CatReplication, transport.MsgOverhead+
-			transport.SizeOfVector(e.TVV)+transport.SizeOfWrites(e.Writes))
-		// Wait until every transaction T depends on has been applied.
+		// Wait until every transaction the chunk head depends on has been
+		// applied.
 		for k, want := range e.TVV {
 			if k == origin {
 				s.clock.WaitDimAtLeast(k, want-1)
@@ -345,28 +380,68 @@ func (s *Site) applyLoop(origin int) {
 		// an update whose dependencies were not actually satisfied.
 		select {
 		case <-s.stopped:
-			return
+			return false
 		default:
 		}
+		// Greedily extend the chunk with entries ready under one snapshot.
+		snap := s.clock.Now()
+		prevSeq := e.TVV[origin]
+		end := i + 1
+	extend:
+		for end < len(batch) {
+			n := &batch[end]
+			if n.Kind != wal.KindUpdate || n.TVV[origin] != prevSeq+1 {
+				break
+			}
+			if d := s.cfg.PropagationDelay; d > 0 && time.Since(n.At) < d {
+				break
+			}
+			for k, want := range n.TVV {
+				if k != origin && want > snap[k] {
+					break extend
+				}
+			}
+			prevSeq = n.TVV[origin]
+			end++
+		}
+		chunk := batch[i:end]
+		var bytes int
+		for j := range chunk {
+			bytes += transport.MsgOverhead +
+				transport.SizeOfVector(chunk[j].TVV) + transport.SizeOfWrites(chunk[j].Writes)
+		}
+		s.net.Account(transport.CatReplication, bytes)
 		applyStart := time.Now()
 		s.applyPool.do(func() time.Duration {
-			s.store.Apply(storage.Stamp{Origin: origin, Seq: seq}, e.Writes)
-			s.bumpWatermarks(e.Writes, e.TVV)
-			s.clock.Advance(origin, seq)
-			if s.cfg.Costs.Zero() {
-				return 0
+			var cost time.Duration
+			for j := range chunk {
+				c := &chunk[j]
+				seq := c.TVV[origin]
+				s.store.Apply(storage.Stamp{Origin: origin, Seq: seq}, c.Writes)
+				s.bumpWatermarks(c.Writes, c.TVV)
+				s.clock.Advance(origin, seq)
+				if !s.cfg.Costs.Zero() {
+					cost += s.cfg.Costs.RefreshBase + time.Duration(len(c.Writes))*s.cfg.Costs.PerRefreshWrite
+				}
 			}
-			return s.cfg.Costs.RefreshBase + time.Duration(len(e.Writes))*s.cfg.Costs.PerRefreshWrite
+			return cost
 		})
-		s.refreshes.Add(1)
-		s.ob.refreshes.Inc()
+		s.refreshes.Add(uint64(len(chunk)))
+		s.ob.refreshBatches.Inc()
 		s.ob.refreshApply.ObserveDuration(time.Since(applyStart))
-		lag := time.Since(e.At)
-		s.ob.refreshLag.ObserveDuration(lag)
-		s.ob.lastLag.Set(lag.Seconds())
-		s.ob.refreshStage.ObserveDuration(lag)
-		s.tracer.RefreshApplied(origin, seq, lag)
+		now := time.Now()
+		for j := range chunk {
+			c := &chunk[j]
+			lag := now.Sub(c.At)
+			s.ob.refreshes.Inc()
+			s.ob.refreshLag.ObserveDuration(lag)
+			s.ob.lastLag.Set(lag.Seconds())
+			s.ob.refreshStage.ObserveDuration(lag)
+			s.tracer.RefreshApplied(origin, c.TVV[origin], lag)
+		}
+		i = end
 	}
+	return true
 }
 
 // sleep waits for d unless the site stops first.

@@ -11,6 +11,7 @@
 package wal
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -68,14 +69,33 @@ type Entry struct {
 
 // Log is one site's ordered update log. The zero value is not usable; use
 // New or Open.
+//
+// File-backed logs persist with group commit: Append encodes the entry
+// into an in-memory buffer under the log mutex, then one appender — the
+// flush leader — writes every buffered byte to the file in a single write
+// while later appenders queue behind it; when the leader returns, all of
+// them are durable at once. Entries become readable by cursors only at
+// the visibility watermark, which trails durability, so subscribers never
+// replicate an update the origin could lose in a crash. In-memory logs
+// advance the watermark immediately.
 type Log struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	entries []Entry
 	closed  bool
 
+	// visible is the subscriber-visibility watermark: cursors read
+	// entries[:visible]. Equal to len(entries) for in-memory logs; for
+	// file-backed logs it advances when a flush makes entries durable.
+	visible uint64
+
 	file *os.File
 	enc  *gob.Encoder
+	buf  bytes.Buffer // enc's target; drained to file by the flush leader
+
+	flushing  bool       // a flush leader is writing outside mu
+	flushCond *sync.Cond // signalled when a flush completes
+	flushErr  error      // sticky: a failed flush poisons the log
 
 	// updSeq is the origin-dimension commit sequence of the last
 	// KindUpdate entry appended: what a fully caught-up replica's version
@@ -85,12 +105,14 @@ type Log struct {
 	// Observability instruments (nil-safe; see Instrument).
 	appendDur  *obs.Histogram
 	kindCounts map[Kind]*obs.Counter
+	flushes    *obs.Counter
 }
 
 // New returns an in-memory log.
 func New() *Log {
 	l := &Log{}
 	l.cond = sync.NewCond(&l.mu)
+	l.flushCond = sync.NewCond(&l.mu)
 	return l
 }
 
@@ -125,19 +147,25 @@ func Open(path string) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
+	l.visible = uint64(len(l.entries))
 	l.file = f
-	l.enc = gob.NewEncoder(f)
+	l.enc = gob.NewEncoder(&l.buf)
 	return l, nil
 }
 
 // Append assigns the next offset to e, appends it, persists it if the log
-// is file-backed, wakes subscribers, and returns the assigned offset.
+// is file-backed (group commit: the append returns once a flush covering
+// it completes, typically batching many concurrent appends into one file
+// write), wakes subscribers, and returns the assigned offset.
 func (l *Log) Append(e Entry) (uint64, error) {
 	start := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, fmt.Errorf("wal: append to closed log")
+	}
+	if l.flushErr != nil {
+		return 0, l.flushErr
 	}
 	e.Offset = uint64(len(l.entries))
 	if e.At.IsZero() {
@@ -152,10 +180,58 @@ func (l *Log) Append(e Entry) (uint64, error) {
 	if e.Kind == KindUpdate && e.Origin < len(e.TVV) {
 		l.updSeq.Store(e.TVV[e.Origin])
 	}
-	l.cond.Broadcast()
+	if l.enc == nil {
+		// In-memory: immediately visible.
+		l.visible = uint64(len(l.entries))
+		l.cond.Broadcast()
+	} else if err := l.waitDurable(e.Offset); err != nil {
+		return 0, err
+	}
 	l.kindCounts[e.Kind].Inc()
 	l.appendDur.ObserveDuration(time.Since(start))
 	return e.Offset, nil
+}
+
+// waitDurable blocks until a flush covering offset off completes, electing
+// this goroutine flush leader when none is running. Caller holds l.mu.
+func (l *Log) waitDurable(off uint64) error {
+	for l.visible <= off && l.flushErr == nil {
+		if l.flushing {
+			l.flushCond.Wait()
+			continue
+		}
+		l.flushLocked()
+	}
+	return l.flushErr
+}
+
+// flushLocked drains the encode buffer to the file in one write, releasing
+// l.mu during the write (appenders keep encoding into a fresh buffer), and
+// advances the visibility watermark over everything the write covered.
+// Caller holds l.mu; it is held again on return.
+func (l *Log) flushLocked() {
+	l.flushing = true
+	data := append([]byte(nil), l.buf.Bytes()...)
+	l.buf.Reset()
+	target := uint64(len(l.entries))
+	f := l.file
+	l.mu.Unlock()
+	var err error
+	if len(data) > 0 && f != nil {
+		_, err = f.Write(data)
+	}
+	l.mu.Lock()
+	l.flushing = false
+	if err != nil {
+		if l.flushErr == nil {
+			l.flushErr = fmt.Errorf("wal: flush: %w", err)
+		}
+	} else if target > l.visible {
+		l.visible = target
+	}
+	l.flushes.Inc()
+	l.cond.Broadcast()
+	l.flushCond.Broadcast()
 }
 
 // LastUpdateSeq returns the commit sequence number of the newest update
@@ -173,6 +249,7 @@ func (l *Log) Instrument(reg *obs.Registry, siteID int) {
 	site := obs.Site(siteID)
 	l.mu.Lock()
 	l.appendDur = reg.Histogram("dynamast_wal_append_seconds", site)
+	l.flushes = reg.Counter("dynamast_wal_flushes_total", site)
 	l.kindCounts = map[Kind]*obs.Counter{
 		KindUpdate:  reg.Counter("dynamast_wal_entries_total", site, obs.L("kind", KindUpdate.String())),
 		KindRelease: reg.Counter("dynamast_wal_entries_total", site, obs.L("kind", KindRelease.String())),
@@ -185,29 +262,38 @@ func (l *Log) Instrument(reg *obs.Registry, siteID int) {
 		func() float64 { return float64(l.LastUpdateSeq()) }, site)
 }
 
-// Len returns the number of entries in the log.
+// Len returns the number of published (subscriber-visible) entries.
 func (l *Log) Len() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return uint64(len(l.entries))
+	return l.visible
 }
 
-// Get returns the entry at offset, if present.
+// Get returns the entry at offset, if published.
 func (l *Log) Get(offset uint64) (Entry, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if offset >= uint64(len(l.entries)) {
+	if offset >= l.visible {
 		return Entry{}, false
 	}
 	return l.entries[offset], true
 }
 
-// Close marks the log closed, waking blocked cursors (their Next returns
-// ok=false once drained), and closes the backing file if any.
+// Close flushes any buffered appends, marks the log closed, waking blocked
+// cursors (their Next returns ok=false once drained), and closes the
+// backing file if any.
 func (l *Log) Close() error {
 	l.mu.Lock()
+	if l.enc != nil && uint64(len(l.entries)) > 0 {
+		// Drain the tail (also waits out any in-flight leader).
+		_ = l.waitDurable(uint64(len(l.entries)) - 1)
+	}
+	for l.flushing {
+		l.flushCond.Wait()
+	}
 	l.closed = true
 	l.cond.Broadcast()
+	l.flushCond.Broadcast()
 	f := l.file
 	l.file = nil
 	l.mu.Unlock()
@@ -234,7 +320,7 @@ func (c *Cursor) Next() (Entry, bool) {
 	l := c.log
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for c.next >= uint64(len(l.entries)) {
+	for c.next >= l.visible {
 		if l.closed {
 			return Entry{}, false
 		}
@@ -245,12 +331,37 @@ func (c *Cursor) Next() (Entry, bool) {
 	return e, true
 }
 
+// NextBatch blocks until at least one entry is available, then appends
+// every available entry — up to max; max <= 0 means unbounded — to dst and
+// returns it. One cursor wake drains the whole published backlog, so a
+// subscriber that fell behind pays the wake/lock cost once per batch
+// instead of once per entry. ok is false when the log was closed and fully
+// drained (any remaining published entries are still returned first).
+func (c *Cursor) NextBatch(dst []Entry, max int) ([]Entry, bool) {
+	l := c.log
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for c.next >= l.visible {
+		if l.closed {
+			return dst, false
+		}
+		l.cond.Wait()
+	}
+	n := l.visible - c.next
+	if max > 0 && uint64(max) < n {
+		n = uint64(max)
+	}
+	dst = append(dst, l.entries[c.next:c.next+n]...)
+	c.next += n
+	return dst, true
+}
+
 // TryNext returns the next entry if one is available without blocking.
 func (c *Cursor) TryNext() (Entry, bool) {
 	l := c.log
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if c.next >= uint64(len(l.entries)) {
+	if c.next >= l.visible {
 		return Entry{}, false
 	}
 	e := l.entries[c.next]
@@ -303,6 +414,7 @@ func (b *Broker) Instrument(reg *obs.Registry) {
 	reg.Help("dynamast_wal_append_seconds", "Update-log append (publish) latency per site.")
 	reg.Help("dynamast_wal_entries", "Entries currently retained in each site's update log.")
 	reg.Help("dynamast_wal_last_update_seq", "Commit sequence of the newest update published per site.")
+	reg.Help("dynamast_wal_flushes_total", "Group-commit file flushes per site (appends/flushes = mean batch size).")
 	for i, l := range b.logs {
 		l.Instrument(reg, i)
 	}
