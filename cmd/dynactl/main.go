@@ -14,6 +14,9 @@
 //	txn <table> <key1,key2,...>        atomically increment several keys
 //	bench <table> <keys> <ops>         quick closed-loop load generator
 //	stats                              cluster statistics snapshot
+//	faults [set <spec> | off]          show, replace ("category:kind:prob
+//	                                   [:delay]", comma-separated) or clear
+//	                                   the cluster's fault-injection rules
 //	metrics [prom] [traces N]          full observability snapshot; "prom"
 //	                                   switches to Prometheus exposition
 //	                                   format, "traces N" appends the N most
@@ -158,6 +161,43 @@ func run(cl *server.Client, cmd string, args []string) error {
 		for i, vv := range st.SiteVectors {
 			fmt.Printf("site %d vector:  %v\n", i, vv)
 		}
+		return nil
+
+	case "faults":
+		spec := ""
+		switch {
+		case len(args) == 0: // show
+		case len(args) == 1 && args[0] == "off":
+			spec = "off"
+		case len(args) == 2 && args[0] == "set":
+			spec = args[1]
+		default:
+			return fmt.Errorf("usage: faults [set <spec> | off]")
+		}
+		f, err := cl.Faults(spec)
+		if err != nil {
+			return err
+		}
+		if !f.Enabled {
+			fmt.Println("fault injection: disabled (start dynamastd with -fault-spec)")
+		} else {
+			fmt.Printf("fault injection: enabled (seed %d)\n", f.Seed)
+			if len(f.Rules) == 0 {
+				fmt.Println("rules:          (none)")
+			}
+			for _, r := range f.Rules {
+				if r.Kind == "delay" {
+					fmt.Printf("rule:           %s:%s:%v:%v\n", r.Category, r.Kind, r.Prob, r.Delay)
+				} else {
+					fmt.Printf("rule:           %s:%s:%v\n", r.Category, r.Kind, r.Prob)
+				}
+			}
+			for k, n := range f.Injected {
+				fmt.Printf("injected:       %-20s %d\n", k, n)
+			}
+		}
+		fmt.Printf("rpc retries:    %d\n", f.RPCRetries)
+		fmt.Printf("site failovers: %d\n", f.Failovers)
 		return nil
 
 	case "metrics":

@@ -13,6 +13,13 @@
 // internal/obs). The same snapshot is available through `dynactl metrics`
 // over the RPC port, and is printed on shutdown.
 //
+// Chaos testing: -fault-spec installs a deterministic fault injector on the
+// cluster wire ("category:kind:prob[:delay]", comma-separated; seeded with
+// -fault-seed), and -heartbeat-interval enables the failure detector that
+// fails over a site's partitions to survivors when it stops answering
+// probes. Rules can be inspected and changed at runtime with
+// `dynactl faults`.
+//
 // A quick session with the bundled client protocol:
 //
 //	cl, _ := server.Dial("localhost:7070", 1)
@@ -42,14 +49,30 @@ func main() {
 	partitionSize := flag.Uint64("partition-size", 100, "keys per partition group")
 	walDir := flag.String("wal-dir", "", "directory for durable update logs (empty = in-memory)")
 	traceRing := flag.Int("trace-ring", obs.DefaultTraceRing, "recent transaction traces retained for /debug/traces")
+	faultSpec := flag.String("fault-spec", "", "fault-injection rules, comma-separated category:kind:prob[:delay] (e.g. \"remaster:drop:0.01,txn:delay:0.05:1ms\"); empty = injector disabled")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault-decision stream")
+	heartbeat := flag.Duration("heartbeat-interval", 0, "site failure-detection probe interval (0 = detection disabled)")
 	flag.Parse()
 
-	cluster, err := dynamast.New(dynamast.Config{
+	cfg := dynamast.Config{
 		Sites:       *sites,
 		Partitioner: dynamast.PartitionByRange(*partitionSize),
 		WALDir:      *walDir,
 		TraceRing:   *traceRing,
-	})
+	}
+	if *faultSpec != "" {
+		rules, err := dynamast.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inj := dynamast.NewFaultInjector(*faultSeed)
+		inj.SetRules(rules...)
+		cfg.Faults = inj
+	}
+	if *heartbeat > 0 {
+		cfg.FailureDetection = dynamast.FailureDetection{Interval: *heartbeat}
+	}
+	cluster, err := dynamast.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,6 +85,12 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("dynamastd: %d sites, partition size %d, serving on %s\n",
 		*sites, *partitionSize, addr)
+	if cfg.Faults != nil {
+		fmt.Printf("dynamastd: fault injection on (seed %d): %s\n", *faultSeed, *faultSpec)
+	}
+	if *heartbeat > 0 {
+		fmt.Printf("dynamastd: failure detection on, heartbeat every %v\n", *heartbeat)
+	}
 
 	if *metricsListen != "" {
 		ln, err := net.Listen("tcp", *metricsListen)

@@ -58,6 +58,14 @@ type (
 	NetworkConfig = transport.Config
 	// CostModel prices transactional work in the capacity model.
 	CostModel = sitemgr.CostModel
+	// FaultInjector injects deterministic, seedable faults into the
+	// cluster wire (Config.Faults).
+	FaultInjector = transport.Injector
+	// FaultRule is one fault-injection rule (category, kind, probability).
+	FaultRule = transport.Rule
+	// FailureDetection tunes the heartbeat-based site failure detector
+	// (Config.FailureDetection).
+	FailureDetection = core.FailureDetectionConfig
 )
 
 // New builds and starts a DynaMast cluster.
@@ -81,3 +89,15 @@ func DefaultNetwork() NetworkConfig { return transport.DefaultConfig() }
 
 // DefaultCosts is the execution capacity model used by the experiments.
 func DefaultCosts() CostModel { return sitemgr.DefaultCostModel() }
+
+// NewFaultInjector builds a fault injector whose decision stream is fixed
+// by seed: equal seeds, rules and call sequences inject identical faults.
+func NewFaultInjector(seed int64) *FaultInjector { return transport.NewInjector(seed) }
+
+// ParseFaultSpec parses a comma-separated "category:kind:prob[:delay]"
+// fault specification (see internal/transport) into injection rules.
+func ParseFaultSpec(spec string) ([]FaultRule, error) { return transport.ParseFaultSpec(spec) }
+
+// Retryable reports whether a session-level error is transient: the
+// transaction did not commit and re-submitting it can succeed.
+func Retryable(err error) bool { return core.Retryable(err) }

@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -54,6 +55,13 @@ type Config struct {
 	SelectorReplicas int
 	// Seed drives read-routing randomization.
 	Seed int64
+	// Faults, when set, installs a fault injector on the simulated wire
+	// (chaos testing; see transport.Injector). Fault-free operation is one
+	// atomic pointer load per message.
+	Faults *transport.Injector
+	// FailureDetection enables the heartbeat-based site failure detector;
+	// the zero value disables it (KillSite/Failover still work manually).
+	FailureDetection FailureDetectionConfig
 	// Obs receives the cluster's metrics; nil creates a private registry
 	// (reachable through Cluster.Obs).
 	Obs *obs.Registry
@@ -74,6 +82,15 @@ type Cluster struct {
 	breakdown Breakdown
 	sessions  atomic.Uint64
 
+	// Failure handling (see failure.go).
+	failoverMu  sync.Mutex
+	failedOver  map[int]bool
+	failovers   atomic.Uint64
+	obFailovers *obs.Counter
+	hbStop      chan struct{}
+	hbWG        sync.WaitGroup
+	closeOnce   sync.Once
+
 	obs    *obs.Registry
 	tracer *obs.Tracer
 	// Session-level instruments (see instrument).
@@ -93,13 +110,22 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Weights == (selector.Weights{}) {
 		cfg.Weights = selector.YCSBWeights()
 	}
-	c := &Cluster{cfg: cfg, net: transport.NewNetwork(cfg.Network)}
+	c := &Cluster{
+		cfg:        cfg,
+		net:        transport.NewNetwork(cfg.Network),
+		failedOver: make(map[int]bool),
+		hbStop:     make(chan struct{}),
+	}
 	c.obs = cfg.Obs
 	if c.obs == nil {
 		c.obs = obs.NewRegistry()
 	}
 	c.tracer = obs.NewTracer(cfg.TraceRing)
 	c.net.Instrument(c.obs)
+	if cfg.Faults != nil {
+		c.net.SetInjector(cfg.Faults)
+		cfg.Faults.Instrument(c.obs)
+	}
 
 	var err error
 	if cfg.WALDir != "" {
@@ -165,6 +191,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	for _, s := range c.sites {
 		s.Start()
 	}
+	if fd := cfg.FailureDetection; fd.Interval > 0 {
+		if fd.Misses <= 0 {
+			fd.Misses = 3
+		}
+		c.hbWG.Add(1)
+		go c.heartbeatLoop(fd.Interval, fd.Misses)
+	}
 	return c, nil
 }
 
@@ -188,6 +221,8 @@ func (c *Cluster) instrument() {
 	}
 	reg.Func("dynamast_sessions", obs.KindGauge,
 		func() float64 { return float64(c.sessions.Load()) })
+	reg.Help("dynamast_site_failovers_total", "Site failures handled by re-mastering to survivors.")
+	c.obFailovers = reg.Counter("dynamast_site_failovers_total")
 }
 
 // Obs exposes the cluster's metrics registry.
@@ -258,9 +293,14 @@ func (c *Cluster) Stats() systems.Stats {
 	return st
 }
 
-// Close shuts down replication and closes the logs. The broker closes
-// first so blocked appliers drain and exit.
+// Close shuts down replication and closes the logs. The failure detector
+// stops first (it must not declare sites dead during teardown), then the
+// broker closes so blocked appliers drain and exit. Idempotent.
 func (c *Cluster) Close() {
+	c.closeOnce.Do(func() {
+		close(c.hbStop)
+	})
+	c.hbWG.Wait()
 	c.broker.Close()
 	for _, s := range c.sites {
 		s.Stop()
@@ -278,6 +318,9 @@ func (c *Cluster) WaitQuiesced(timeout time.Duration) error {
 		}
 		ok := true
 		for _, s := range c.sites {
+			if !s.Alive() {
+				continue // a dead site stops applying; survivors still must
+			}
 			svv := s.SVV()
 			for k, want := range target {
 				if svv[k] < want {

@@ -118,11 +118,11 @@ func TestCrossPartitionUpdateRemasters(t *testing.T) {
 	// First scatter mastership: pairs of partitions end up apart only if
 	// we force it — move partition 5 to site 1 directly.
 	s0, s1 := c.Sites()[0], c.Sites()[1]
-	rel, err := s0.Release([]uint64{5}, 1)
+	rel, err := s0.Release([]uint64{5}, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s1.Grant([]uint64{5}, rel, 0); err != nil {
+	if _, err := s1.Grant([]uint64{5}, rel, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	c.Selector().RegisterPartition(5, 1)

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dynamast/internal/sitemgr"
+	"dynamast/internal/transport"
+	"dynamast/internal/vclock"
+)
+
+// Site failure handling (§V-C). Every DynaMast site is a full replica, so a
+// site failure loses no data: the failed site's durable update log survives
+// in the broker, survivors keep applying it, and mastership of the failed
+// site's partitions is reconstructed and re-granted to survivors. The
+// cluster detects failures with a selector-side heartbeat over the control
+// plane; in-flight transactions at the failed site abort with the retryable
+// ErrSiteDown and sessions re-route after failover updates the selector.
+
+// FailureDetectionConfig tunes the heartbeat-based failure detector. The
+// zero value disables detection (no background goroutine); KillSite and
+// Failover still work when driven manually.
+type FailureDetectionConfig struct {
+	// Interval between heartbeat probes per site.
+	Interval time.Duration
+	// Misses is how many consecutive failed probes declare the site down
+	// (0 = default 3).
+	Misses int
+}
+
+// Retryable reports whether a session-level error is transient: the
+// transaction did not commit and re-submitting it (the selector will route
+// around the failure) can succeed. Fatal errors — schema violations,
+// application errors — are not retryable.
+func Retryable(err error) bool {
+	return errors.Is(err, sitemgr.ErrSiteDown) ||
+		errors.Is(err, sitemgr.ErrNotMaster) ||
+		errors.Is(err, sitemgr.ErrReleasing) ||
+		transport.IsInjected(err)
+}
+
+// heartbeatLoop probes every site each interval and declares a site down
+// after `misses` consecutive failed probes. A probe fails when the control
+// wire drops it (injected fault or partition) or the site is dead. Runs
+// until the cluster closes.
+func (c *Cluster) heartbeatLoop(interval time.Duration, misses int) {
+	defer c.hbWG.Done()
+	missed := make([]int, len(c.sites))
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-ticker.C:
+		}
+		for i, s := range c.sites {
+			if c.sel.SiteDown(i) {
+				continue // already handled
+			}
+			// Probe: request + response on the control plane. Either leg
+			// lost counts as a miss; a dead site never answers.
+			err := c.net.SendTo(transport.CatControl, transport.SelectorNode, i, transport.MsgOverhead)
+			if err == nil && s.Alive() {
+				err = c.net.SendTo(transport.CatControl, i, transport.SelectorNode, transport.MsgOverhead)
+			} else if err == nil {
+				err = sitemgr.ErrSiteDown
+			}
+			if err == nil {
+				missed[i] = 0
+				continue
+			}
+			missed[i]++
+			if missed[i] >= misses {
+				c.Failover(i)
+			}
+		}
+	}
+}
+
+// KillSite simulates a crash of site i: the site fails every subsequent
+// operation with ErrSiteDown and wakes anything blocked on it. With failure
+// detection configured the selector notices via missed heartbeats and runs
+// Failover; otherwise call Failover directly.
+func (c *Cluster) KillSite(i int) {
+	c.sites[i].Kill()
+}
+
+// Failovers returns how many site failovers the cluster has executed.
+func (c *Cluster) Failovers() uint64 { return c.failovers.Load() }
+
+// Faults returns the cluster's fault injector, nil when none is configured.
+func (c *Cluster) Faults() *transport.Injector { return c.net.Injector() }
+
+// Failover marks site `dead` failed and re-masters every partition it owned
+// onto the survivors (§V-C). Idempotent per site. The steps:
+//
+//  1. The selector marks the site down: no new reads, writes or remaster
+//     destinations go there.
+//  2. The set of partitions to move is the union of the selector's live map
+//     and the mastership reconstructed from the surviving redo logs (the
+//     logs are authoritative across selector restarts; the live map catches
+//     grants whose log entries raced the crash).
+//  3. Each partition batch is granted to a survivor under a fresh epoch,
+//     fencing out any release/grant chains in flight at the crash. The
+//     release vector pins the dead site's dimension at its last published
+//     update: survivors serve the partitions only after applying everything
+//     the dead site made durable — no committed write is lost (every site
+//     replicates, so the data is already on its way via the refresh
+//     appliers reading the dead site's surviving log).
+//  4. The selector's partition map is updated per batch, re-routing new
+//     transactions; in-flight ones at the dead site abort retryably.
+func (c *Cluster) Failover(dead int) error {
+	c.failoverMu.Lock()
+	defer c.failoverMu.Unlock()
+	if c.failedOver[dead] {
+		return nil
+	}
+	c.sites[dead].Kill() // ensure it stops serving even if only partitioned
+	c.sel.MarkDown(dead)
+
+	survivors := make([]int, 0, len(c.sites)-1)
+	for i := range c.sites {
+		if i != dead && !c.sel.SiteDown(i) {
+			survivors = append(survivors, i)
+		}
+	}
+	if len(survivors) == 0 {
+		return fmt.Errorf("core: failover of site %d: no surviving sites", dead)
+	}
+
+	// Union of selector metadata and log-reconstructed mastership.
+	owned := make(map[uint64]struct{})
+	for _, p := range c.sel.MasteredBy(dead) {
+		owned[p] = struct{}{}
+	}
+	for p, site := range sitemgr.RecoverMastership(c.broker, nil) {
+		if site == dead {
+			owned[p] = struct{}{}
+		}
+	}
+	parts := make([]uint64, 0, len(owned))
+	for p := range owned {
+		parts = append(parts, p)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+
+	// Survivors must catch up to everything the dead site published before
+	// serving its partitions.
+	relVV := vclock.New(len(c.sites))
+	relVV[dead] = c.broker.Log(dead).LastUpdateSeq()
+
+	// Scatter the orphaned partitions round-robin across survivors, one
+	// grant batch per survivor.
+	batches := make(map[int][]uint64)
+	for i, p := range parts {
+		heir := survivors[i%len(survivors)]
+		batches[heir] = append(batches[heir], p)
+	}
+	var firstErr error
+	for heir, ids := range batches {
+		epoch := c.sel.NextEpoch()
+		if _, err := c.sites[heir].Grant(ids, relVV, dead, epoch); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: failover grant to site %d: %w", heir, err)
+			}
+			continue
+		}
+		for _, p := range ids {
+			c.sel.RegisterPartition(p, heir)
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	c.failedOver[dead] = true
+	c.failovers.Add(1)
+	c.obFailovers.Inc()
+	return nil
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -15,10 +14,24 @@ import (
 	"dynamast/internal/vclock"
 )
 
-// beginRetries bounds resubmission when a site's mastership changed between
-// routing and execution (possible only under racing remasterings; the
-// selector re-routes on retry).
+// beginRetries bounds resubmission when a transaction hits a transient
+// fault: mastership moved between routing and execution (racing
+// remasterings), an injected wire fault, or a site that died mid-flight.
+// The selector re-routes around the failure on retry.
 const beginRetries = 64
+
+// retryBackoff sleeps briefly before resubmitting a transaction so retry
+// storms drain instead of livelocking.
+func retryBackoff(attempt int) {
+	if attempt <= 1 {
+		return
+	}
+	backoff := time.Duration(attempt) * 2 * time.Millisecond
+	if backoff > 20*time.Millisecond {
+		backoff = 20 * time.Millisecond
+	}
+	time.Sleep(backoff)
+}
 
 // Session is one client's connection to the cluster. It tracks the client
 // version vector that enforces strong-session snapshot isolation: every
@@ -83,6 +96,13 @@ func (s *Session) Update(writeSet []storage.RowRef, fn func(systems.Tx) error) e
 			route, err = s.router.RouteWrite(s.id, writeSet, s.cvv)
 		}
 		if err != nil {
+			// Routing fails transiently when the remastering it triggered
+			// hit an injected fault or a dying site; resubmitting re-routes
+			// (the selector rolls failed chains back and skips down sites).
+			if Retryable(err) && attempt < beginRetries {
+				retryBackoff(attempt)
+				continue
+			}
 			return fmt.Errorf("core: route: %w", err)
 		}
 		t2 := time.Now()
@@ -97,24 +117,15 @@ func (s *Session) Update(writeSet []storage.RowRef, fn func(systems.Tx) error) e
 		c.net.Send(transport.CatTxn, transport.MsgOverhead+transport.SizeOfRefs(writeSet))
 		t4 := time.Now()
 		tx, err := site.Begin(minVV, writeSet)
-		if errors.Is(err, sitemgr.ErrNotMaster) || errors.Is(err, sitemgr.ErrReleasing) {
-			if attempt < beginRetries {
-				// Mastership moved between routing and begin (racing
-				// remasterings on a hot partition). Back off briefly so
-				// storms drain instead of livelocking, then resubmit.
-				if attempt > 1 {
-					backoff := time.Duration(attempt) * 2 * time.Millisecond
-					if backoff > 20*time.Millisecond {
-						backoff = 20 * time.Millisecond
-					}
-					time.Sleep(backoff)
-				}
+		if err != nil {
+			// Mastership moved between routing and begin (racing
+			// remasterings on a hot partition), or the site died after the
+			// route resolved. Both are retryable: nothing executed.
+			if Retryable(err) && attempt < beginRetries {
+				retryBackoff(attempt)
 				continue
 			}
 			return fmt.Errorf("core: begin after %d retries: %w", attempt, err)
-		}
-		if err != nil {
-			return fmt.Errorf("core: begin: %w", err)
 		}
 		t5 := time.Now()
 		// Run the stored procedure, then charge its modelled CPU through
@@ -128,6 +139,13 @@ func (s *Session) Update(writeSet []storage.RowRef, fn func(systems.Tx) error) e
 		t6 := time.Now()
 		tvv, err := tx.Commit()
 		if err != nil {
+			// A failed commit published nothing (the site aborts, releasing
+			// its locks, before any WAL write becomes visible), so the
+			// whole transaction can be resubmitted elsewhere.
+			if Retryable(err) && attempt < beginRetries {
+				retryBackoff(attempt)
+				continue
+			}
 			return fmt.Errorf("core: commit: %w", err)
 		}
 		t7 := time.Now()
@@ -188,30 +206,38 @@ func (c *Cluster) trace(client int, route selector.Route, tvv vclock.Vector,
 func (s *Session) Read(fn func(systems.Tx) error) error {
 	c := s.c
 	start := time.Now()
-	c.net.Send(transport.CatRoute, transport.MsgOverhead)
-	route := s.router.RouteRead(s.id, s.cvv)
-	c.net.Send(transport.CatRoute, transport.MsgOverhead)
+	for attempt := 0; ; attempt++ {
+		c.net.Send(transport.CatRoute, transport.MsgOverhead)
+		route := s.router.RouteRead(s.id, s.cvv)
+		c.net.Send(transport.CatRoute, transport.MsgOverhead)
 
-	c.net.Send(transport.CatTxn, transport.MsgOverhead)
-	site := c.sites[route.Site]
-	tx, err := site.Begin(s.cvv, nil)
-	if err != nil {
-		return fmt.Errorf("core: read begin: %w", err)
+		c.net.Send(transport.CatTxn, transport.MsgOverhead)
+		site := c.sites[route.Site]
+		tx, err := site.Begin(s.cvv, nil)
+		if err != nil {
+			// The chosen replica died between routing and begin; any other
+			// replica serves the read, so re-route and retry.
+			if Retryable(err) && attempt < beginRetries {
+				retryBackoff(attempt)
+				continue
+			}
+			return fmt.Errorf("core: read begin: %w", err)
+		}
+		ferr := fn(txAdapter{tx})
+		site.Exec(tx.Cost)
+		if ferr != nil {
+			tx.Abort()
+			return ferr
+		}
+		snap := tx.Snapshot()
+		if _, err := tx.Commit(); err != nil {
+			return err
+		}
+		c.net.Send(transport.CatTxn, transport.MsgOverhead)
+		s.cvv = s.cvv.MaxInto(snap)
+		c.readDur.ObserveDuration(time.Since(start))
+		return nil
 	}
-	ferr := fn(txAdapter{tx})
-	site.Exec(tx.Cost)
-	if ferr != nil {
-		tx.Abort()
-		return ferr
-	}
-	snap := tx.Snapshot()
-	if _, err := tx.Commit(); err != nil {
-		return err
-	}
-	c.net.Send(transport.CatTxn, transport.MsgOverhead)
-	s.cvv = s.cvv.MaxInto(snap)
-	c.readDur.ObserveDuration(time.Since(start))
-	return nil
 }
 
 // txAdapter exposes a sitemgr transaction through the systems.Tx interface.

@@ -17,10 +17,10 @@ type benchSite struct {
 
 func (s *benchSite) ID() int            { return s.id }
 func (s *benchSite) SVV() vclock.Vector { return s.svv.Clone() }
-func (s *benchSite) Release(parts []uint64, to int) (vclock.Vector, error) {
+func (s *benchSite) Release(parts []uint64, to int, epoch uint64) (vclock.Vector, error) {
 	return s.svv.Clone(), nil
 }
-func (s *benchSite) Grant(parts []uint64, relVV vclock.Vector, from int) (vclock.Vector, error) {
+func (s *benchSite) Grant(parts []uint64, relVV vclock.Vector, from int, epoch uint64) (vclock.Vector, error) {
 	return s.svv.Clone(), nil
 }
 

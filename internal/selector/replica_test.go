@@ -54,8 +54,8 @@ func TestReplicaFastPathAvoidsMaster(t *testing.T) {
 
 func TestReplicaForwardsSplitWriteSets(t *testing.T) {
 	sel, sites := newCluster(t, 2, YCSBWeights())
-	rel, _ := sites[0].Release([]uint64{1}, 1)
-	sites[1].Grant([]uint64{1}, rel, 0)
+	rel, _ := sites[0].Release([]uint64{1}, 1, 0)
+	sites[1].Grant([]uint64{1}, rel, 0, 0)
 	sel.RegisterPartition(1, 1)
 
 	tier := NewReplicated(sel, 1, nil)
@@ -90,8 +90,8 @@ func TestReplicaStaleCacheFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Mastership moves behind the replica's back.
-	rel, _ := sites[0].Release([]uint64{0}, 1)
-	sites[1].Grant([]uint64{0}, rel, 0)
+	rel, _ := sites[0].Release([]uint64{0}, 1, 0)
+	sites[1].Grant([]uint64{0}, rel, 0, 0)
 	sel.RegisterPartition(0, 1)
 
 	// The replica still routes to site 0 (stale).

@@ -19,12 +19,14 @@ import (
 // DataSite is the selector's view of a data site: the mastership-transfer
 // RPCs plus the version vector used by the refresh-delay feature and read
 // routing. *sitemgr.Site implements it; multi-process deployments use an
-// RPC-backed implementation.
+// RPC-backed implementation. The epoch parameter fences and memoizes the
+// transfer (see sitemgr): retried calls with the same epoch are idempotent,
+// stale epochs are rejected; epoch 0 disables fencing (initial placement).
 type DataSite interface {
 	ID() int
 	SVV() vclock.Vector
-	Release(parts []uint64, to int) (vclock.Vector, error)
-	Grant(parts []uint64, relVV vclock.Vector, from int) (vclock.Vector, error)
+	Release(parts []uint64, to int, epoch uint64) (vclock.Vector, error)
+	Grant(parts []uint64, relVV vclock.Vector, from int, epoch uint64) (vclock.Vector, error)
 }
 
 // Config describes a site selector.
@@ -139,6 +141,14 @@ type Selector struct {
 	routeNanos  atomic.Int64  // cumulative routing decision time
 	remastNanos atomic.Int64  // cumulative remastering wait time
 
+	// epochs allocates remaster-chain epochs (monotonic; 0 is reserved for
+	// unfenced operations).
+	epochs atomic.Uint64
+
+	// downSites flags sites declared failed (heartbeat misses); routing and
+	// remastering exclude them until failover completes.
+	downSites []atomic.Bool
+
 	ob selectorInstruments
 }
 
@@ -232,6 +242,7 @@ func New(cfg Config) (*Selector, error) {
 		seed:        cfg.Seed,
 		siteLoad:    make([]atomic.Uint64, len(cfg.Sites)),
 		routed:      make([]atomic.Uint64, len(cfg.Sites)),
+		downSites:   make([]atomic.Bool, len(cfg.Sites)),
 	}
 	w := cfg.Weights
 	s.weights.Store(&w)
@@ -279,16 +290,73 @@ func (s *Selector) part(id uint64) *partInfo {
 	}
 	p = &partInfo{}
 	master := s.initial(id)
+	if s.downSites[master].Load() {
+		// The configured initial master is dead: place at the first
+		// surviving site instead of granting into a failed one.
+		for i := range s.downSites {
+			if !s.downSites[i].Load() {
+				master = i
+				break
+			}
+		}
+	}
 	p.setMaster(master)
 	sh.m[id] = p
 	sh.mu.Unlock()
 	// Outside the shard lock: materialize ownership at the data site
-	// (idempotent; a nil release vector means no catch-up wait).
-	if _, err := s.sites[master].Grant([]uint64{id}, nil, master); err != nil {
+	// (idempotent; a nil release vector means no catch-up wait; epoch 0 —
+	// initial placement has no remaster chain to fence).
+	if _, err := s.sites[master].Grant([]uint64{id}, nil, master, 0); err != nil {
 		// Grant only fails at shutdown; routing will surface the error.
 		_ = err
 	}
 	return p
+}
+
+// MarkDown flags a site failed: routing and destination scoring exclude it
+// until MarkUp. Mastership reassignment is the failover coordinator's job
+// (core.Cluster.Failover); MarkDown only stops new traffic toward the site.
+func (s *Selector) MarkDown(site int) {
+	if site >= 0 && site < s.m {
+		s.downSites[site].Store(true)
+	}
+}
+
+// MarkUp clears a site's failed flag (a recovered site rejoining).
+func (s *Selector) MarkUp(site int) {
+	if site >= 0 && site < s.m {
+		s.downSites[site].Store(false)
+	}
+}
+
+// SiteDown reports whether the selector considers the site failed.
+func (s *Selector) SiteDown(site int) bool {
+	return site >= 0 && site < s.m && s.downSites[site].Load()
+}
+
+// NextEpoch allocates a fresh remaster epoch (failover re-grants use it to
+// fence out any in-flight chains that raced the failure).
+func (s *Selector) NextEpoch() uint64 { return s.epochs.Add(1) }
+
+// MasteredBy returns every partition currently assigned to site in the
+// selector's map. Failover uses it as the authoritative set to re-grant
+// (the selector's map is what routing consults, so reassigning exactly this
+// set leaves no partition routed at a dead site).
+func (s *Selector) MasteredBy(site int) []uint64 {
+	var out []uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, p := range sh.m {
+			p.mu.RLock()
+			if p.master == site {
+				out = append(out, id)
+			}
+			p.mu.RUnlock()
+		}
+		sh.mu.RUnlock()
+	}
+	return out
 }
 
 // RegisterPartition seeds a partition's master location (load-time
@@ -555,9 +623,12 @@ func (s *Selector) chooseDestination(parts []uint64, infos []*partInfo, cvv vclo
 	}
 
 	model := s.Weights()
-	best, bestScore := 0, 0.0
+	best, bestScore := -1, 0.0
 	var bestFeat [4]float64 // balance, delay, intra, inter of the winner
 	for cand := 0; cand < s.m; cand++ {
+		if s.downSites[cand].Load() {
+			continue // never remaster into a failed site
+		}
 		after := append([]float64(nil), before...)
 		for i, in := range infos {
 			if in.master != cand {
@@ -582,10 +653,13 @@ func (s *Selector) chooseDestination(parts []uint64, infos []*partInfo, cvv vclo
 		}
 
 		score := model.Benefit(balance, delay, intra, inter)
-		if cand == 0 || score > bestScore {
+		if best < 0 || score > bestScore {
 			best, bestScore = cand, score
 			bestFeat = [4]float64{balance, delay, intra, inter}
 		}
+	}
+	if best < 0 {
+		best = 0 // every site flagged down: degenerate, nowhere good to go
 	}
 	s.ob.featBalance.Set(bestFeat[0])
 	s.ob.featDelay.Set(bestFeat[1])
@@ -594,15 +668,69 @@ func (s *Selector) chooseDestination(parts []uint64, infos []*partInfo, cvv vclo
 	return best
 }
 
+// remasterSendRetries bounds how many times a lost remaster RPC is retried
+// before the chain is declared failed.
+const remasterSendRetries = 3
+
+// remasterCall performs one release/grant RPC against site peer: request
+// message, operation, response message. Injected wire faults (drops,
+// errors) are retried a bounded number of times — safe because epoch
+// fencing makes the operation idempotent: a retry reaching a site that
+// already executed the epoch gets the memoized result, never a second
+// state change. Errors returned by the site itself (down, stale epoch) are
+// definitive and surface immediately.
+func (s *Selector) remasterCall(peer, reqSize int, op func() (vclock.Vector, error)) (vclock.Vector, error) {
+	var lastErr error
+	for attempt := 0; attempt <= remasterSendRetries; attempt++ {
+		if attempt > 0 {
+			transport.CountRetry()
+		}
+		if err := s.net.SendTo(transport.CatRemaster, transport.SelectorNode, peer, reqSize); err != nil {
+			lastErr = err
+			continue // request lost on the wire
+		}
+		vv, err := op()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.net.SendTo(transport.CatRemaster, peer, transport.SelectorNode,
+			transport.MsgOverhead+transport.SizeOfVector(vv)); err != nil {
+			lastErr = err
+			continue // response lost; the idempotent call re-runs
+		}
+		return vv, nil
+	}
+	return nil, fmt.Errorf("selector: remaster RPC to site %d failed after %d attempts: %w",
+		peer, remasterSendRetries+1, lastErr)
+}
+
 // remaster transfers mastership of every partition in parts not already at
 // dest, using parallel release+grant chains per source site (Algorithm 1),
-// and returns the element-wise max of the grant vectors. Caller holds the
-// partitions' exclusive locks.
+// and returns the element-wise max of the grant vectors plus the number of
+// partitions moved. Caller holds the partitions' exclusive locks.
+//
+// Each chain is fenced by a fresh epoch and is failure-hardened: lost RPCs
+// retry against the idempotent release/grant; a grant that fails after its
+// release succeeded rolls ownership back to the releaser (same epoch, so
+// the rollback pairs with the release in the logs) rather than stranding
+// the partitions masterless. Selector metadata updates per chain, so a
+// failed chain never undoes — or blocks — a succeeded one.
 func (s *Selector) remaster(parts []uint64, infos []*partInfo, dest int) (vclock.Vector, int, error) {
-	bySource := make(map[int][]uint64)
+	type chain struct {
+		src  int
+		ids  []uint64
+		idxs []int // indexes into infos, for per-chain metadata updates
+	}
+	bySource := make(map[int]*chain)
 	for i, in := range infos {
 		if in.master != dest {
-			bySource[in.master] = append(bySource[in.master], parts[i])
+			c := bySource[in.master]
+			if c == nil {
+				c = &chain{src: in.master}
+				bySource[in.master] = c
+			}
+			c.ids = append(c.ids, parts[i])
+			c.idxs = append(c.idxs, i)
 		}
 	}
 
@@ -613,43 +741,48 @@ func (s *Selector) remaster(parts []uint64, infos []*partInfo, dest int) (vclock
 		first error
 		moved int
 	)
-	for src, ids := range bySource {
-		moved += len(ids)
+	for _, c := range bySource {
 		wg.Add(1)
-		go func(src int, ids []uint64) {
+		go func(c *chain) {
 			defer wg.Done()
-			// release RPC to the source site.
-			s.net.Send(transport.CatRemaster, transport.MsgOverhead+transport.SizeOfPartitions(ids))
-			relVV, err := s.sites[src].Release(ids, dest)
-			s.net.Send(transport.CatRemaster, transport.MsgOverhead+transport.SizeOfVector(relVV))
+			epoch := s.epochs.Add(1)
+			relVV, err := s.remasterCall(c.src,
+				transport.MsgOverhead+transport.SizeOfPartitions(c.ids),
+				func() (vclock.Vector, error) { return s.sites[c.src].Release(c.ids, dest, epoch) })
 			if err == nil {
-				// grant RPC to the destination, immediately after.
-				s.net.Send(transport.CatRemaster, transport.MsgOverhead+
-					transport.SizeOfPartitions(ids)+transport.SizeOfVector(relVV))
 				var grantVV vclock.Vector
-				grantVV, err = s.sites[dest].Grant(ids, relVV, src)
-				s.net.Send(transport.CatRemaster, transport.MsgOverhead+transport.SizeOfVector(grantVV))
+				grantVV, err = s.remasterCall(dest,
+					transport.MsgOverhead+transport.SizeOfPartitions(c.ids)+transport.SizeOfVector(relVV),
+					func() (vclock.Vector, error) { return s.sites[dest].Grant(c.ids, relVV, c.src, epoch) })
 				if err == nil {
+					// Chain complete: flip this chain's metadata now (the
+					// caller holds the partitions' exclusive locks).
+					for _, ix := range c.idxs {
+						infos[ix].setMaster(dest)
+					}
 					mu.Lock()
 					out = out.MaxInto(grantVV)
+					moved += len(c.ids)
 					mu.Unlock()
+					return
+				}
+				// The source released but the destination never took
+				// ownership: grant back to the releaser under the same
+				// epoch so the partitions are not stranded masterless.
+				if _, rbErr := s.sites[c.src].Grant(c.ids, relVV, c.src, epoch); rbErr != nil {
+					err = fmt.Errorf("%w (rollback to site %d also failed: %v)", err, c.src, rbErr)
 				}
 			}
-			if err != nil {
-				mu.Lock()
-				if first == nil {
-					first = err
-				}
-				mu.Unlock()
+			mu.Lock()
+			if first == nil {
+				first = err
 			}
-		}(src, ids)
+			mu.Unlock()
+		}(c)
 	}
 	wg.Wait()
 	if first != nil {
 		return nil, moved, first
-	}
-	for _, in := range infos {
-		in.setMaster(dest)
 	}
 	return out, moved, nil
 }
@@ -665,6 +798,9 @@ func (s *Selector) RouteRead(client int, cvv vclock.Vector) Route {
 	fresh := make([]int, 0, s.m)
 	bestLag, bestSite := uint64(1)<<63, 0
 	for i, site := range s.sites {
+		if s.downSites[i].Load() {
+			continue // reads never route to a failed site
+		}
 		svv := site.SVV()
 		if svv.DominatesEq(cvv) {
 			fresh = append(fresh, i)

@@ -84,11 +84,11 @@ func TestRouteWriteRemasters(t *testing.T) {
 	sel, sites := newCluster(t, 2, YCSBWeights())
 	// Split partition 1's mastership to site 1 so that a write covering
 	// partitions 0 and 1 requires remastering.
-	rel, err := sites[0].Release([]uint64{1}, 1)
+	rel, err := sites[0].Release([]uint64{1}, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sites[1].Grant([]uint64{1}, rel, 0); err != nil {
+	if _, err := sites[1].Grant([]uint64{1}, rel, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	sel.RegisterPartition(1, 1)
@@ -122,8 +122,8 @@ func TestRouteWriteRemasters(t *testing.T) {
 
 func TestSubsequentWritesAmortizeRemastering(t *testing.T) {
 	sel, sites := newCluster(t, 2, YCSBWeights())
-	rel, _ := sites[0].Release([]uint64{1}, 1)
-	sites[1].Grant([]uint64{1}, rel, 0)
+	rel, _ := sites[0].Release([]uint64{1}, 1, 0)
+	sites[1].Grant([]uint64{1}, rel, 0, 0)
 	sel.RegisterPartition(1, 1)
 
 	ws := []storage.RowRef{ref(1), ref(101)}
@@ -153,12 +153,12 @@ func TestBalanceSpreadsMastersAcrossSites(t *testing.T) {
 	// Pre-split: move half the partitions' mastership via the selector by
 	// issuing writes pairing a "home" partition with a fresh one.
 	for p := uint64(1); p < 32; p++ {
-		rel, err := sites[sel.MasterOf(p)].Release([]uint64{p}, 0)
+		rel, err := sites[sel.MasterOf(p)].Release([]uint64{p}, 0, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
 		// Re-grant to site 0 (no-op placement, just exercising the path).
-		sites[0].Grant([]uint64{p}, rel, 0)
+		sites[0].Grant([]uint64{p}, rel, 0, 0)
 	}
 	for p := uint64(1); p < 32; p++ {
 		sel.RegisterPartition(p, 0)
@@ -168,8 +168,8 @@ func TestBalanceSpreadsMastersAcrossSites(t *testing.T) {
 	// different sites to force remastering choices. Seed a conflict: move
 	// odd partitions to site 1 first.
 	for p := uint64(1); p < 32; p += 2 {
-		rel, _ := sites[0].Release([]uint64{p}, 1)
-		sites[1].Grant([]uint64{p}, rel, 0)
+		rel, _ := sites[0].Release([]uint64{p}, 1, 0)
+		sites[1].Grant([]uint64{p}, rel, 0, 0)
 		sel.RegisterPartition(p, 1)
 	}
 	for p := uint64(0); p+1 < 32; p += 2 {
@@ -194,8 +194,8 @@ func TestIntraTxnCoLocationLearning(t *testing.T) {
 	// partitions should pull them to one site and keep them there.
 	sel, sites := newCluster(t, 2, Weights{IntraTxn: 1})
 	// Split partitions 0 and 1 across sites.
-	rel, _ := sites[0].Release([]uint64{1}, 1)
-	sites[1].Grant([]uint64{1}, rel, 0)
+	rel, _ := sites[0].Release([]uint64{1}, 1, 0)
+	sites[1].Grant([]uint64{1}, rel, 0, 0)
 	sel.RegisterPartition(1, 1)
 
 	ws := []storage.RowRef{ref(10), ref(110)}
@@ -335,8 +335,8 @@ func TestMinVVDominatesGrantPoints(t *testing.T) {
 	// Put partitions 0,1,2 at sites 0,1,2 and commit at each so release
 	// vectors are non-trivial.
 	for p := uint64(1); p <= 2; p++ {
-		rel, _ := sites[0].Release([]uint64{p}, int(p))
-		sites[p].Grant([]uint64{p}, rel, 0)
+		rel, _ := sites[0].Release([]uint64{p}, int(p), 0)
+		sites[p].Grant([]uint64{p}, rel, 0, 0)
 		sel.RegisterPartition(p, int(p))
 	}
 	for site := 0; site < 3; site++ {

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"dynamast/internal/core"
+	"dynamast/internal/storage"
+	"dynamast/internal/transport"
+)
+
+// The faults RPC reads and rewrites the cluster's injection rules.
+func TestFaultsRPC(t *testing.T) {
+	inj := transport.NewInjector(7)
+	cluster, err := core.NewCluster(core.Config{
+		Sites:       2,
+		Partitioner: func(ref storage.RowRef) uint64 { return ref.Key / 100 },
+		Faults:      inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr, err := Serve(cluster, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		cluster.Close()
+	})
+	cl, err := Dial(addr.String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	f, err := cl.Faults("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Enabled || f.Seed != 7 || len(f.Rules) != 0 {
+		t.Fatalf("initial state: %+v", f)
+	}
+
+	f, err = cl.Faults("remaster:drop:0.25,txn:delay:0.5:2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rules) != 2 || f.Rules[0].Category != "remaster" || f.Rules[0].Kind != "drop" ||
+		f.Rules[1].Kind != "delay" || f.Rules[1].Delay.Milliseconds() != 2 {
+		t.Fatalf("rules after set: %+v", f.Rules)
+	}
+	if got := inj.Rules(); len(got) != 2 {
+		t.Fatalf("injector has %d rules, want 2", len(got))
+	}
+
+	if _, err := cl.Faults("bogus:drop:0.1"); err == nil ||
+		!strings.Contains(err.Error(), "unknown category") {
+		t.Fatalf("bad spec error = %v", err)
+	}
+
+	f, err = cl.Faults("off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rules) != 0 || len(inj.Rules()) != 0 {
+		t.Fatalf("rules after off: %+v / %v", f.Rules, inj.Rules())
+	}
+}
+
+// Without an injector the RPC is read-only and rejects rule changes.
+func TestFaultsRPCDisabled(t *testing.T) {
+	_, addr := startServer(t)
+	cl, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	f, err := cl.Faults("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Enabled {
+		t.Fatalf("injector reported enabled: %+v", f)
+	}
+	if _, err := cl.Faults("txn:drop:0.1"); err == nil ||
+		!strings.Contains(err.Error(), "not enabled") {
+		t.Fatalf("set on disabled cluster = %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"dynamast/internal/core"
 	"dynamast/internal/obs"
@@ -96,6 +97,7 @@ func Serve(cluster *core.Cluster, addr string) (*Server, net.Addr, error) {
 	transport.Handle(s.rpc, "create_table", s.handleCreateTable)
 	transport.Handle(s.rpc, "stats", s.handleStats)
 	transport.Handle(s.rpc, "metrics", s.handleMetrics)
+	transport.Handle(s.rpc, "faults", s.handleFaults)
 	bound, err := s.rpc.ListenAndServe(addr)
 	if err != nil {
 		return nil, nil, err
@@ -235,6 +237,75 @@ func (s *Server) handleMetrics(req *MetricsRequest) (*MetricsReply, error) {
 	return reply, nil
 }
 
+// FaultsRequest inspects or updates the cluster's fault-injection rules.
+// With Spec empty the request is read-only; "off" clears the rule set; any
+// other value is parsed as a fault spec ("category:kind:prob[:delay]",
+// comma-separated) and replaces the rules.
+type FaultsRequest struct {
+	Spec string
+}
+
+// FaultRuleInfo is one active injection rule, rendered with names.
+type FaultRuleInfo struct {
+	Category string
+	Kind     string
+	Prob     float64
+	Delay    time.Duration
+}
+
+// FaultsReply reports the cluster's fault-injection state: whether an
+// injector is installed, its seed and rules, non-zero injection counters by
+// "category/kind", and the related resilience counters.
+type FaultsReply struct {
+	Enabled    bool
+	Seed       int64
+	Rules      []FaultRuleInfo
+	Injected   map[string]uint64
+	RPCRetries uint64
+	Failovers  uint64
+}
+
+func (s *Server) handleFaults(req *FaultsRequest) (*FaultsReply, error) {
+	inj := s.cluster.Faults()
+	if req.Spec != "" {
+		if inj == nil {
+			return nil, fmt.Errorf("fault injection not enabled: start the daemon with -fault-spec (or configure Faults)")
+		}
+		if req.Spec == "off" {
+			inj.SetRules()
+		} else {
+			rules, err := transport.ParseFaultSpec(req.Spec)
+			if err != nil {
+				return nil, err
+			}
+			inj.SetRules(rules...)
+		}
+	}
+	reply := &FaultsReply{
+		Enabled:    inj != nil,
+		Injected:   make(map[string]uint64),
+		RPCRetries: transport.RPCRetries(),
+		Failovers:  s.cluster.Failovers(),
+	}
+	if inj == nil {
+		return reply, nil
+	}
+	reply.Seed = inj.Seed()
+	for _, r := range inj.Rules() {
+		reply.Rules = append(reply.Rules, FaultRuleInfo{
+			Category: r.Category.String(), Kind: r.Kind.String(), Prob: r.Prob, Delay: r.Delay,
+		})
+	}
+	for _, cat := range transport.Categories() {
+		for _, k := range []transport.FaultKind{transport.FaultDrop, transport.FaultDelay, transport.FaultError} {
+			if n := inj.InjectedCount(cat, k); n > 0 {
+				reply.Injected[cat.String()+"/"+k.String()] = n
+			}
+		}
+	}
+	return reply, nil
+}
+
 // Client is a remote session against a Server.
 type Client struct {
 	rpc *transport.Client
@@ -298,6 +369,16 @@ func (c *Client) Stats() (*StatsReply, error) {
 func (c *Client) Metrics(traces int) (*MetricsReply, error) {
 	var reply MetricsReply
 	if err := c.rpc.Call("metrics", &MetricsRequest{Traces: traces}, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Faults fetches (and with a non-empty spec, updates) the cluster's
+// fault-injection state. Spec "off" clears the rules.
+func (c *Client) Faults(spec string) (*FaultsReply, error) {
+	var reply FaultsReply
+	if err := c.rpc.Call("faults", &FaultsRequest{Spec: spec}, &reply); err != nil {
 		return nil, err
 	}
 	return &reply, nil

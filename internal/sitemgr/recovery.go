@@ -68,12 +68,16 @@ func RecoverMastership(b *wal.Broker, initial map[uint64]int) map[uint64]int {
 	// Count grants per (partition, site): the last grant in any log for a
 	// partition determines its owner. Logs are per-site FIFO; a partition
 	// is granted to site g only after g's predecessor released it, so for
-	// each partition the grant entries across logs form a chain. Walk all
-	// logs and keep, per partition, the grant with the highest per-log
-	// sequence among logs — the chain's tail is the unique grant not
-	// followed by a release of the same partition in the same site's log.
+	// each partition the grant entries across logs form a chain and the
+	// chain's tail is normally the unique grant not followed by a release
+	// of the same partition in the same site's log. A site failover breaks
+	// that uniqueness — the dead site's log still ends in a grant because
+	// it never released — so when several sites end in granted state the
+	// remaster epoch arbitrates: the failover (or any later transfer) ran
+	// under a strictly higher epoch than every earlier grant.
 	type lastOp struct {
 		granted bool
+		epoch   uint64
 	}
 	state := make(map[uint64]map[int]lastOp) // partition -> site -> last op
 	for i := 0; i < b.Sites(); i++ {
@@ -91,7 +95,7 @@ func RecoverMastership(b *wal.Broker, initial map[uint64]int) map[uint64]int {
 						m = make(map[int]lastOp)
 						state[p] = m
 					}
-					m[i] = lastOp{granted: true}
+					m[i] = lastOp{granted: true, epoch: e.Epoch}
 				}
 			case wal.KindRelease:
 				for _, p := range e.Partitions {
@@ -100,16 +104,24 @@ func RecoverMastership(b *wal.Broker, initial map[uint64]int) map[uint64]int {
 						m = make(map[int]lastOp)
 						state[p] = m
 					}
-					m[i] = lastOp{granted: false}
+					m[i] = lastOp{granted: false, epoch: e.Epoch}
 				}
 			}
 		}
 	}
 	for p, sites := range state {
-		for site, op := range sites {
-			if op.granted {
-				owner[p] = site
+		best, bestEpoch := -1, uint64(0)
+		for site := 0; site < b.Sites(); site++ {
+			op, ok := sites[site]
+			if !ok || !op.granted {
+				continue
 			}
+			if best < 0 || op.epoch > bestEpoch {
+				best, bestEpoch = site, op.epoch
+			}
+		}
+		if best >= 0 {
+			owner[p] = best
 		}
 	}
 	return owner

@@ -1,9 +1,43 @@
 package sitemgr
 
 import (
+	"fmt"
+
 	"dynamast/internal/vclock"
 	"dynamast/internal/wal"
 )
+
+// Epoch fencing. The selector stamps every remaster chain with a fresh
+// monotonic epoch; Release and Grant memoize their results per epoch and
+// fence per-partition state with the highest epoch that touched it, so:
+//
+//   - a retried release/grant (lost RPC response, selector retry after a
+//     timeout) re-executes as a lookup, never a second state change;
+//   - a stale chain (the selector moved the partition again under a higher
+//     epoch while this chain's RPC was in flight) is rejected with
+//     ErrStaleEpoch instead of clobbering newer ownership.
+//
+// Epoch 0 is the unfenced legacy mode used by direct Site-to-Site transfers
+// in tests and by initial-placement grants, which have no coordinator
+// allocating epochs; it performs no memoization and no fencing.
+
+// memoLimit bounds the per-site epoch memo maps; epochs are allocated
+// monotonically, so entries far below the newest are dead (their chains
+// finished long ago) and are pruned in batches.
+const memoLimit = 512
+
+// memoize records an epoch's result in m, pruning stale epochs when the
+// map grows past memoLimit. Caller holds s.remu.
+func memoize(m map[uint64]vclock.Vector, epoch uint64, vv vclock.Vector) {
+	m[epoch] = vv
+	if len(m) > memoLimit {
+		for e := range m {
+			if e+memoLimit/2 < epoch {
+				delete(m, e)
+			}
+		}
+	}
+}
 
 // Release relinquishes this site's mastership of the given partitions and
 // returns the release-point vector: the element-wise max of the released
@@ -18,33 +52,86 @@ import (
 // can slip in (the stand-alone site selector already prevents this by
 // holding the partition locks in exclusive mode, but the site-level guard
 // keeps the protocol safe under the distributed-selector design too).
-// The release is recorded in the site's redo log so that mastership state
-// can be reconstructed on recovery (§V-C).
-func (s *Site) Release(parts []uint64, to int) (vclock.Vector, error) {
+//
+// The release is recorded in the site's redo log BEFORE ownership is
+// surrendered, so a crash (or append failure) between the two cannot
+// strand the partition: either the log carries the release and recovery
+// sees the transfer, or ownership was never given up. On append failure
+// the partitions simply stay owned and writable.
+func (s *Site) Release(parts []uint64, to int, epoch uint64) (vclock.Vector, error) {
+	if epoch != 0 {
+		s.remu.Lock()
+		if vv, ok := s.relMemo[epoch]; ok {
+			s.remu.Unlock()
+			return vv, nil
+		}
+		s.remu.Unlock()
+	}
+	if s.down.Load() {
+		return nil, ErrSiteDown
+	}
+
 	s.pmu.Lock()
+	if epoch != 0 {
+		for _, id := range parts {
+			if p := s.partition(id); p.lastEpoch > epoch {
+				last := p.lastEpoch
+				s.pmu.Unlock()
+				return nil, fmt.Errorf("%w: release epoch %d behind partition %d fence %d", ErrStaleEpoch, epoch, id, last)
+			}
+		}
+	}
 	for _, id := range parts {
-		p := s.partition(id)
-		p.releasing = true
+		s.partition(id).releasing = true
 	}
 	for !s.writersIdle(parts) {
+		if s.down.Load() {
+			for _, id := range parts {
+				s.parts[id].releasing = false
+			}
+			s.pcond.Broadcast()
+			s.pmu.Unlock()
+			return nil, ErrSiteDown
+		}
 		s.pcond.Wait()
 	}
 	var relVV vclock.Vector
 	for _, id := range parts {
-		p := s.parts[id]
-		p.owned = false
-		p.releasing = false
-		relVV = relVV.MaxInto(p.wm)
+		relVV = relVV.MaxInto(s.parts[id].wm)
 	}
 	s.pmu.Unlock()
 
-	if _, err := s.log.Append(wal.Entry{
+	// Durably record the release while the partitions are still guarded by
+	// `releasing` (no writer can slip in), then flip ownership.
+	_, err := s.log.Append(wal.Entry{
 		Kind:       wal.KindRelease,
 		Origin:     s.id,
 		Partitions: parts,
 		Peer:       to,
-	}); err != nil {
+		Epoch:      epoch,
+	})
+
+	s.pmu.Lock()
+	for _, id := range parts {
+		p := s.parts[id]
+		p.releasing = false
+		if err == nil && (epoch == 0 || p.lastEpoch <= epoch) {
+			p.owned = false
+			if epoch > p.lastEpoch {
+				p.lastEpoch = epoch
+			}
+		}
+	}
+	s.pcond.Broadcast()
+	s.pmu.Unlock()
+
+	if err != nil {
 		return nil, err
+	}
+	if epoch != 0 {
+		s.remu.Lock()
+		memoize(s.relMemo, epoch, relVV)
+		s.remu.Unlock()
 	}
 	return relVV, nil
 }
@@ -64,23 +151,45 @@ func (s *Site) writersIdle(parts []uint64) bool {
 // applied the releasing site's updates up to the release point relVV, and
 // returns the site's version vector at the time it took ownership — the
 // minimum version the remastered transaction must execute at (Algorithm 1).
-func (s *Site) Grant(parts []uint64, relVV vclock.Vector, from int) (vclock.Vector, error) {
+//
+// The grant is logged before ownership becomes visible, mirroring Release:
+// recovery never reconstructs less mastership than live transactions could
+// have observed.
+func (s *Site) Grant(parts []uint64, relVV vclock.Vector, from int, epoch uint64) (vclock.Vector, error) {
+	if epoch != 0 {
+		s.remu.Lock()
+		if vv, ok := s.grantMemo[epoch]; ok {
+			s.remu.Unlock()
+			return vv, nil
+		}
+		s.remu.Unlock()
+	}
+	if s.down.Load() {
+		return nil, ErrSiteDown
+	}
+
 	// Wait until updates from the releasing site (and everything they
 	// depend on) have been applied locally. Waiting for full dominance of
 	// relVV is slightly stronger than the per-item requirement and is
 	// what guarantees the granted site can serve the freshest committed
 	// state of every remastered item.
 	s.clock.WaitDominatesEq(relVV)
+	if s.down.Load() {
+		// Kill interrupts the clock, so the wait above may have returned
+		// without its condition holding; never take ownership while down.
+		return nil, ErrSiteDown
+	}
 
 	s.pmu.Lock()
-	for _, id := range parts {
-		p := s.partition(id)
-		p.owned = true
-		p.releasing = false
-		// The grantee's watermark reflects at least the release point.
-		p.wm = p.wm.MaxInto(relVV)
+	if epoch != 0 {
+		for _, id := range parts {
+			if p := s.partition(id); p.lastEpoch > epoch {
+				last := p.lastEpoch
+				s.pmu.Unlock()
+				return nil, fmt.Errorf("%w: grant epoch %d behind partition %d fence %d", ErrStaleEpoch, epoch, id, last)
+			}
+		}
 	}
-	s.pcond.Broadcast()
 	s.pmu.Unlock()
 
 	if _, err := s.log.Append(wal.Entry{
@@ -88,11 +197,36 @@ func (s *Site) Grant(parts []uint64, relVV vclock.Vector, from int) (vclock.Vect
 		Origin:     s.id,
 		Partitions: parts,
 		Peer:       from,
+		Epoch:      epoch,
 	}); err != nil {
 		return nil, err
 	}
+
+	s.pmu.Lock()
+	for _, id := range parts {
+		p := s.partition(id)
+		if epoch != 0 && p.lastEpoch > epoch {
+			continue // fenced while the append ran; a newer chain owns this
+		}
+		p.owned = true
+		p.releasing = false
+		// The grantee's watermark reflects at least the release point.
+		p.wm = p.wm.MaxInto(relVV)
+		if epoch > p.lastEpoch {
+			p.lastEpoch = epoch
+		}
+	}
+	s.pcond.Broadcast()
+	s.pmu.Unlock()
+
 	s.remasterIn.Add(1)
-	return s.clock.Now(), nil
+	now := s.clock.Now()
+	if epoch != 0 {
+		s.remu.Lock()
+		memoize(s.grantMemo, epoch, now)
+		s.remu.Unlock()
+	}
+	return now, nil
 }
 
 // RemastersReceived returns how many grant operations this site served.

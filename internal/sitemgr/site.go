@@ -88,6 +88,16 @@ var ErrNotMaster = errors.New("sitemgr: site does not master a written partition
 // whose mastership is being released.
 var ErrReleasing = errors.New("sitemgr: partition mastership is being released")
 
+// ErrSiteDown is returned by a killed (crashed) site for every transactional
+// and mastership operation. Sessions treat it as retryable: the selector
+// re-routes to a surviving site once failover re-masters the partitions.
+var ErrSiteDown = errors.New("sitemgr: site is down")
+
+// ErrStaleEpoch is returned when a release/grant carries an epoch older than
+// one that already fenced the partition — the remaster chain lost a race
+// with a newer chain and must not apply.
+var ErrStaleEpoch = errors.New("sitemgr: stale remaster epoch")
+
 // partState tracks one partition's local mastership state.
 type partState struct {
 	owned     bool
@@ -101,6 +111,10 @@ type partState struct {
 	// site. Release returns it so a grant waits only for updates causally
 	// relevant to the moved items (§III-B), not full replica catch-up.
 	wm vclock.Vector
+	// lastEpoch fences mastership changes: the highest remaster epoch that
+	// touched this partition. Stale (lower-epoch) release/grant retries are
+	// rejected instead of clobbering newer ownership.
+	lastEpoch uint64
 }
 
 // Site is one data site.
@@ -130,6 +144,15 @@ type Site struct {
 	stopOnce sync.Once
 	stopped  chan struct{}
 	wg       sync.WaitGroup
+
+	// down marks a simulated crash (Kill): every transactional and
+	// mastership operation fails fast with ErrSiteDown.
+	down atomic.Bool
+
+	// remu guards the epoch memo maps (idempotent release/grant retries).
+	remu      sync.Mutex
+	relMemo   map[uint64]vclock.Vector
+	grantMemo map[uint64]vclock.Vector
 
 	// Counters for experiment reporting.
 	commits    atomic.Uint64
@@ -227,10 +250,12 @@ func New(cfg Config) (*Site, error) {
 		store:    storage.NewStore(cfg.MaxVersions),
 		log:      cfg.Broker.Log(cfg.SiteID),
 		net:      cfg.Net,
-		parts:    make(map[uint64]*partState),
-		prepared: make(map[uint64]*preparedTxn),
-		stopped:  make(chan struct{}),
-		pool:     newExecPool(cfg.ExecSlots),
+		parts:     make(map[uint64]*partState),
+		prepared:  make(map[uint64]*preparedTxn),
+		stopped:   make(chan struct{}),
+		pool:      newExecPool(cfg.ExecSlots),
+		relMemo:   make(map[uint64]vclock.Vector),
+		grantMemo: make(map[uint64]vclock.Vector),
 	}
 	if cfg.ApplySlots == 0 {
 		cfg.ApplySlots = DefaultApplySlots
@@ -282,6 +307,28 @@ func (s *Site) Start() {
 		go s.applyLoop(origin)
 	}
 }
+
+// Kill simulates a site crash: the site stops applying refreshes, rejects
+// every new transactional and mastership operation with ErrSiteDown, and
+// wakes anything parked on its clock or partition conditions so no caller
+// hangs on a dead site. The site's WAL (in the shared broker) survives —
+// exactly the paper's §V-C failure model, where the data store is lost but
+// the durable logs are not.
+func (s *Site) Kill() {
+	if !s.down.CompareAndSwap(false, true) {
+		return
+	}
+	s.stopOnce.Do(func() {
+		close(s.stopped)
+		s.clock.Interrupt()
+	})
+	s.pmu.Lock()
+	s.pcond.Broadcast()
+	s.pmu.Unlock()
+}
+
+// Alive reports whether the site has not been killed.
+func (s *Site) Alive() bool { return !s.down.Load() }
 
 // Stop terminates replication appliers and waits for them to exit.
 // Appliers block on the broker's logs, so callers must close the broker

@@ -146,11 +146,11 @@ func TestRefreshDependencyOrdering(t *testing.T) {
 
 	// Let S2 apply R(T1), then remaster partition 0 to S2 and commit T2.
 	waitFor(t, func() bool { return s2.SVV().DominatesEq(tvv1) })
-	relVV, err := s0.Release([]uint64{0}, 2)
+	relVV, err := s0.Release([]uint64{0}, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s2.Grant([]uint64{0}, relVV, 0); err != nil {
+	if _, err := s2.Grant([]uint64{0}, relVV, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	tx2, err := s2.Begin(nil, []storage.RowRef{ref(1)})
@@ -324,7 +324,7 @@ func TestReleaseWaitsForWriters(t *testing.T) {
 
 	released := make(chan vclock.Vector, 1)
 	go func() {
-		vv, err := s0.Release([]uint64{0}, 1)
+		vv, err := s0.Release([]uint64{0}, 1, 0)
 		if err != nil {
 			panic(err)
 		}
@@ -360,7 +360,7 @@ func TestReleaseBlocksNewWriters(t *testing.T) {
 	}()
 	relDone := make(chan struct{})
 	go func() {
-		if _, err := s0.Release([]uint64{0}, 1); err != nil {
+		if _, err := s0.Release([]uint64{0}, 1, 0); err != nil {
 			panic(err)
 		}
 		close(relDone)
@@ -380,11 +380,11 @@ func TestGrantWaitsForReleasePoint(t *testing.T) {
 	tx, _ := s0.Begin(nil, []storage.RowRef{ref(1)})
 	tx.Write(ref(1), []byte("pre-release"))
 	mustCommit(t, tx)
-	relVV, err := s0.Release([]uint64{0}, 1)
+	relVV, err := s0.Release([]uint64{0}, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	grantVV, err := s1.Grant([]uint64{0}, relVV, 0)
+	grantVV, err := s1.Grant([]uint64{0}, relVV, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -504,7 +504,7 @@ func TestAbortReleasesLocksAndWriters(t *testing.T) {
 	// Release must not block on the aborted writer.
 	doneCh := make(chan struct{})
 	go func() {
-		s0.Release([]uint64{0}, 1)
+		s0.Release([]uint64{0}, 1, 0)
 		close(doneCh)
 	}()
 	select {
@@ -705,10 +705,10 @@ func TestRecoverMastershipFromLogs(t *testing.T) {
 	sites, broker := testCluster(t, 3)
 	s0, s1, s2 := sites[0], sites[1], sites[2]
 	// Move partition 3: s0 -> s1 -> s2; partition 4: s0 -> s1.
-	rel, _ := s0.Release([]uint64{3, 4}, 1)
-	s1.Grant([]uint64{3, 4}, rel, 0)
-	rel2, _ := s1.Release([]uint64{3}, 2)
-	s2.Grant([]uint64{3}, rel2, 1)
+	rel, _ := s0.Release([]uint64{3, 4}, 1, 0)
+	s1.Grant([]uint64{3, 4}, rel, 0, 0)
+	rel2, _ := s1.Release([]uint64{3}, 2, 0)
+	s2.Grant([]uint64{3}, rel2, 1, 0)
 
 	initial := map[uint64]int{}
 	for p := uint64(0); p < 10; p++ {

@@ -50,8 +50,17 @@ type Txn struct {
 // 1 relies on this ordering).
 func (s *Site) Begin(minVV vclock.Vector, writeSet []storage.RowRef) (*Txn, error) {
 	t := &Txn{site: s, readOnly: len(writeSet) == 0}
+	if s.down.Load() {
+		return nil, ErrSiteDown
+	}
 	if len(minVV) > 0 {
 		s.clock.WaitDominatesEq(minVV)
+		// Kill interrupts the clock: the wait may have returned without its
+		// freshness condition holding. A down site must never hand out a
+		// snapshot (it could violate the session's SSSI guarantee).
+		if s.down.Load() {
+			return nil, ErrSiteDown
+		}
 	}
 	if t.readOnly {
 		t.snap = s.clock.Now()
@@ -80,6 +89,9 @@ func (s *Site) Begin(minVV vclock.Vector, writeSet []storage.RowRef) (*Txn, erro
 func (s *Site) enterWriters(parts []uint64) error {
 	s.pmu.Lock()
 	defer s.pmu.Unlock()
+	if s.down.Load() {
+		return ErrSiteDown
+	}
 	for _, id := range parts {
 		p := s.partition(id)
 		if !p.owned {
@@ -222,6 +234,16 @@ func (t *Txn) Commit() (vclock.Vector, error) {
 	s := t.site
 	if t.readOnly {
 		return t.snap, nil
+	}
+	if s.down.Load() {
+		// The site crashed between begin and commit: release everything and
+		// fail with the retryable error. Nothing was installed or logged, so
+		// the transaction is invisible — safe to re-execute elsewhere.
+		storage.UnlockAll(t.recs)
+		s.exitWriters(t.parts)
+		s.aborts.Add(1)
+		s.ob.aborts.Inc()
+		return nil, ErrSiteDown
 	}
 
 	writes := make([]storage.Write, 0, len(t.order))

@@ -27,7 +27,7 @@ func TestReleaseReturnsPartitionWatermark(t *testing.T) {
 
 	// Releasing partition 0 returns a vector covering its two commits —
 	// seq 1 and 2 — even though the site's own dimension is at 3.
-	relVV, err := s0.Release([]uint64{0}, 1)
+	relVV, err := s0.Release([]uint64{0}, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,13 +70,13 @@ func TestGrantWaitsOnlyForRelevantUpdates(t *testing.T) {
 	tx2.Write(ref(501), []byte("b"))
 	mustCommit(t, tx2)
 
-	relVV, err := s0.Release([]uint64{0}, 1)
+	relVV, err := s0.Release([]uint64{0}, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan struct{})
 	go func() {
-		if _, err := s1.Grant([]uint64{0}, relVV, 0); err != nil {
+		if _, err := s1.Grant([]uint64{0}, relVV, 0, 0); err != nil {
 			panic(err)
 		}
 		close(done)
@@ -98,8 +98,8 @@ func TestWatermarkFollowsRemasterChain(t *testing.T) {
 	tx.Write(ref(1), []byte("v0"))
 	mustCommit(t, tx)
 
-	rel, _ := s0.Release([]uint64{0}, 1)
-	if _, err := s1.Grant([]uint64{0}, rel, 0); err != nil {
+	rel, _ := s0.Release([]uint64{0}, 1, 0)
+	if _, err := s1.Grant([]uint64{0}, rel, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	tx, err := s1.Begin(nil, []storage.RowRef{ref(1)})
@@ -109,11 +109,11 @@ func TestWatermarkFollowsRemasterChain(t *testing.T) {
 	tx.Write(ref(1), []byte("v1"))
 	mustCommit(t, tx)
 
-	rel2, _ := s1.Release([]uint64{0}, 2)
+	rel2, _ := s1.Release([]uint64{0}, 2, 0)
 	if rel2[0] < 1 || rel2[1] < 1 {
 		t.Fatalf("chained watermark %v must cover both sites' commits", rel2)
 	}
-	if _, err := s2.Grant([]uint64{0}, rel2, 1); err != nil {
+	if _, err := s2.Grant([]uint64{0}, rel2, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	if data, ok := s2.ReadLocal(ref(1)); !ok || string(data) != "v1" {

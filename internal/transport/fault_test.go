@@ -1,0 +1,270 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Two injectors with the same seed, rules and call sequence must make
+// identical decisions — chaos runs replay bit-for-bit.
+func TestInjectorDeterministic(t *testing.T) {
+	rules := []Rule{
+		{Category: CatRemaster, Kind: FaultDrop, Prob: 0.2},
+		{Category: CatRemaster, Kind: FaultDelay, Prob: 0.3, Delay: time.Millisecond},
+		{Category: CatTxn, Kind: FaultError, Prob: 0.1},
+	}
+	run := func(seed int64) []string {
+		inj := NewInjector(seed)
+		inj.SetRules(rules...)
+		var out []string
+		for i := 0; i < 2000; i++ {
+			cat := CatRemaster
+			if i%3 == 0 {
+				cat = CatTxn
+			}
+			err, d := inj.Decide(cat, 0, 1)
+			switch {
+			case err != nil:
+				out = append(out, err.Error())
+			case d > 0:
+				out = append(out, "delay:"+d.String())
+			default:
+				out = append(out, "ok")
+			}
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged under same seed: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 43 produced identical 2000-decision streams")
+	}
+}
+
+func TestInjectorProbabilityAndCounters(t *testing.T) {
+	inj := NewInjector(7)
+	inj.SetRules(Rule{Category: CatReplication, Kind: FaultDrop, Prob: 0.25})
+	const n = 10000
+	dropped := 0
+	for i := 0; i < n; i++ {
+		if err, _ := inj.Decide(CatReplication, 0, 1); err != nil {
+			dropped++
+			if !IsInjected(err) {
+				t.Fatalf("injected fault not recognised by IsInjected: %v", err)
+			}
+			var f *Fault
+			if !errors.As(err, &f) || f.Kind != FaultDrop || f.Category != CatReplication {
+				t.Fatalf("wrong fault shape: %v", err)
+			}
+		}
+	}
+	if dropped < n/5 || dropped > n/3 {
+		t.Fatalf("drop rate %d/%d far from 0.25", dropped, n)
+	}
+	if got := inj.InjectedCount(CatReplication, FaultDrop); got != uint64(dropped) {
+		t.Fatalf("InjectedCount = %d, observed %d", got, dropped)
+	}
+	if got := inj.InjectedTotal(); got != uint64(dropped) {
+		t.Fatalf("InjectedTotal = %d, observed %d", got, dropped)
+	}
+	// Other categories are untouched.
+	if err, _ := inj.Decide(CatTxn, 0, 1); err != nil {
+		t.Fatalf("rule leaked into other category: %v", err)
+	}
+}
+
+func TestInjectorPartition(t *testing.T) {
+	inj := NewInjector(1)
+	inj.PartitionOneWay(2, SelectorNode)
+	if !inj.Partitioned(2, SelectorNode) {
+		t.Fatal("partition not recorded")
+	}
+	if err, _ := inj.Decide(CatControl, 2, SelectorNode); !IsInjected(err) {
+		t.Fatalf("partitioned edge delivered: %v", err)
+	}
+	// Reverse direction is open (one-way).
+	if err, _ := inj.Decide(CatControl, SelectorNode, 2); err != nil {
+		t.Fatalf("reverse edge faulted: %v", err)
+	}
+	inj.Heal(2, SelectorNode)
+	if err, _ := inj.Decide(CatControl, 2, SelectorNode); err != nil {
+		t.Fatalf("healed edge still faulted: %v", err)
+	}
+	inj.PartitionOneWay(0, 1)
+	inj.PartitionOneWay(1, 0)
+	inj.HealAll()
+	if inj.Partitioned(0, 1) || inj.Partitioned(1, 0) {
+		t.Fatal("HealAll left partitions")
+	}
+}
+
+func TestNetworkSendToSurfacesFaults(t *testing.T) {
+	n := NewNetwork(Instant())
+	inj := NewInjector(3)
+	inj.SetRules(Rule{Category: CatRemaster, Kind: FaultError, Prob: 1})
+	n.SetInjector(inj)
+	if err := n.SendTo(CatRemaster, SelectorNode, 1, 64); !IsInjected(err) {
+		t.Fatalf("SendTo did not surface fault: %v", err)
+	}
+	// Wire accounting still charged for the doomed message.
+	if st := n.Stats()[CatRemaster]; st.Messages != 1 || st.Bytes != 64 {
+		t.Fatalf("faulted message not accounted: %+v", st)
+	}
+	n.SetInjector(nil)
+	if err := n.SendTo(CatRemaster, SelectorNode, 1, 64); err != nil {
+		t.Fatalf("fault-free SendTo errored: %v", err)
+	}
+	// nil network is free and infallible.
+	var nilNet *Network
+	if err := nilNet.SendTo(CatTxn, 0, 1, 10); err != nil {
+		t.Fatalf("nil network errored: %v", err)
+	}
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	rules, err := ParseFaultSpec("remaster:drop:0.01,replication:delay:0.05:3ms, txn:error:0.002 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Category: CatRemaster, Kind: FaultDrop, Prob: 0.01},
+		{Category: CatReplication, Kind: FaultDelay, Prob: 0.05, Delay: 3 * time.Millisecond},
+		{Category: CatTxn, Kind: FaultError, Prob: 0.002},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("got %d rules, want %d", len(rules), len(want))
+	}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Fatalf("rule %d = %+v, want %+v", i, rules[i], want[i])
+		}
+	}
+	for _, bad := range []string{
+		"bogus:drop:0.1",      // unknown category
+		"txn:flip:0.1",        // unknown kind
+		"txn:drop:1.5",        // probability out of range
+		"txn:drop:x",          // unparseable probability
+		"replication:delay:1", // delay without duration
+		"txn:drop:0.1:5ms",    // trailing field on non-delay
+		"txn:drop",            // too few fields
+	} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+	// Empty spec and stray commas are fine.
+	if rules, err := ParseFaultSpec(" , "); err != nil || len(rules) != 0 {
+		t.Fatalf("empty spec: rules=%v err=%v", rules, err)
+	}
+}
+
+func TestRPCCallTimeoutAndRetry(t *testing.T) {
+	srv := NewServer()
+	block := make(chan struct{})
+	var calls atomic.Int32 // timed-out handler goroutines stay parked, overlapping retries
+	Handle(srv, "slow", func(req *int) (*int, error) {
+		if calls.Add(1) <= 2 {
+			<-block // first two calls hang past the per-call timeout
+		}
+		resp := *req * 2
+		return &resp, nil
+	})
+	Handle(srv, "apperr", func(req *int) (*int, error) {
+		return nil, errors.New("definitive failure")
+	})
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer close(block)
+
+	cli, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Plain timeout surfaces ErrTimeout.
+	var out int
+	err = cli.CallTimeout("slow", 21, &out, 30*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+
+	// Retries ride past the two hung calls and count each retry.
+	before := RPCRetries()
+	err = cli.CallRetry(context.Background(), "slow", 21, &out,
+		RetryPolicy{Attempts: 4, PerCallTimeout: 30 * time.Millisecond, Base: time.Millisecond, MaxBackoff: 4 * time.Millisecond, Seed: 9})
+	if err != nil {
+		t.Fatalf("CallRetry: %v", err)
+	}
+	if out != 42 {
+		t.Fatalf("reply = %d, want 42", out)
+	}
+	if got := RPCRetries() - before; got < 1 {
+		t.Fatalf("retries not counted: %d", got)
+	}
+
+	// Application errors are definitive — exactly one attempt.
+	before = RPCRetries()
+	err = cli.CallRetry(context.Background(), "apperr", 1, &out, DefaultRetryPolicy())
+	if err == nil || errors.Is(err, ErrTimeout) {
+		t.Fatalf("want application error, got %v", err)
+	}
+	if RPCRetries() != before {
+		t.Fatal("application error was retried")
+	}
+
+	// Cancelled context ends the loop promptly.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = cli.CallCtx(ctx, "slow", 1, &out)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("cancelled ctx: %v", err)
+	}
+}
+
+func TestRPCRetryConnectionLost(t *testing.T) {
+	// A client whose connection dies mid-call retries until attempts are
+	// exhausted and reports the terminal error.
+	srv := NewServer()
+	Handle(srv, "never", func(req *int) (*int, error) {
+		select {} // hold the call forever; we kill the conn instead
+	})
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cli.conn.(*net.TCPConn).Close()
+	}()
+	var out int
+	err = cli.CallRetry(context.Background(), "never", 1, &out,
+		RetryPolicy{Attempts: 2, PerCallTimeout: 50 * time.Millisecond, Base: time.Millisecond})
+	if err == nil {
+		t.Fatal("call against dead connection succeeded")
+	}
+}

@@ -38,6 +38,8 @@ const (
 	Cat2PC
 	// CatShipping is LEAP-style data localization transfers.
 	CatShipping
+	// CatControl is cluster control-plane traffic (heartbeats, failover).
+	CatControl
 
 	numCategories
 )
@@ -57,6 +59,8 @@ func (c Category) String() string {
 		return "2pc"
 	case CatShipping:
 		return "shipping"
+	case CatControl:
+		return "control"
 	}
 	return fmt.Sprintf("category(%d)", int(c))
 }
@@ -106,6 +110,7 @@ type counter struct {
 type Network struct {
 	cfg      Config
 	counters [numCategories]counter
+	inj      atomic.Pointer[Injector]
 }
 
 // NewNetwork returns a simulated network with the given configuration.
@@ -129,8 +134,27 @@ func (n *Network) transferTime(size int) time.Duration {
 	return time.Duration(float64(size) / n.cfg.BytesPerSecond * float64(time.Second))
 }
 
+// SetInjector installs (or, with nil, removes) a fault injector on the
+// wire. Fault-free operation costs one atomic pointer load per message.
+func (n *Network) SetInjector(inj *Injector) {
+	if n == nil {
+		return
+	}
+	n.inj.Store(inj)
+}
+
+// Injector returns the installed fault injector (nil when fault-free).
+func (n *Network) Injector() *Injector {
+	if n == nil {
+		return nil
+	}
+	return n.inj.Load()
+}
+
 // Send charges one one-way message of size bytes in category cat, blocking
-// the caller for the simulated network time.
+// the caller for the simulated network time. Injected delay faults apply;
+// drop/error faults do not (legacy callers cannot observe them) — fallible
+// protocol paths use SendTo.
 func (n *Network) Send(cat Category, size int) {
 	if n == nil {
 		return
@@ -138,9 +162,40 @@ func (n *Network) Send(cat Category, size int) {
 	c := &n.counters[cat]
 	c.msgs.Add(1)
 	c.bytes.Add(uint64(size))
-	if d := n.cfg.OneWay + n.transferTime(size); d > 0 {
+	d := n.cfg.OneWay + n.transferTime(size)
+	if inj := n.inj.Load(); inj != nil {
+		if _, extra := inj.Decide(cat, SelectorNode, SelectorNode); extra > 0 {
+			d += extra
+		}
+	}
+	if d > 0 {
 		time.Sleep(d)
 	}
+}
+
+// SendTo charges one one-way message from endpoint `from` to endpoint `to`
+// (data sites use their index, the selector/control plane SelectorNode) and
+// returns any injected fault: a dropped or errored message surfaces as an
+// error after the wire time already spent, exactly as a timed-out RPC
+// would. With no injector installed it behaves like Send and returns nil.
+func (n *Network) SendTo(cat Category, from, to, size int) error {
+	if n == nil {
+		return nil
+	}
+	c := &n.counters[cat]
+	c.msgs.Add(1)
+	c.bytes.Add(uint64(size))
+	d := n.cfg.OneWay + n.transferTime(size)
+	var ferr error
+	if inj := n.inj.Load(); inj != nil {
+		var extra time.Duration
+		ferr, extra = inj.Decide(cat, from, to)
+		d += extra
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return ferr
 }
 
 // RoundTrip charges a request of reqSize bytes and a response of respSize
@@ -189,6 +244,9 @@ func (n *Network) Instrument(reg *obs.Registry) {
 	}
 	reg.Help("dynamast_net_messages_total", "Simulated-wire messages by traffic category.")
 	reg.Help("dynamast_net_bytes_total", "Simulated-wire bytes by traffic category.")
+	reg.Help("dynamast_rpc_retries_total", "RPC attempts retried after transient failures (process-wide).")
+	reg.Func("dynamast_rpc_retries_total", obs.KindCounter,
+		func() float64 { return float64(RPCRetries()) })
 	for _, cat := range Categories() {
 		c := &n.counters[cat]
 		lbl := obs.L("category", cat.String())

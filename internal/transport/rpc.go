@@ -1,11 +1,15 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"strings"
 	"sync"
+	"time"
 )
 
 // This file implements the real networked RPC used by multi-process
@@ -197,9 +201,43 @@ func (c *Client) fail(err error) {
 	}
 }
 
+// ErrTimeout is returned (wrapped) when a call's context expires before the
+// response arrives; the request may still execute at the server, so only
+// idempotent methods should be retried after it.
+var ErrTimeout = errors.New("rpc: call timed out")
+
+// isConnErr reports connection failures (the other retryable error class).
+// Connection errors cross the wire as strings, so matching is textual.
+func isConnErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	s := err.Error()
+	return strings.Contains(s, "connection lost") || strings.Contains(s, "client closed")
+}
+
 // Call invokes method with the gob-encoded arg and decodes the response
-// into reply (which may be nil for methods without results).
+// into reply (which may be nil for methods without results). Equivalent to
+// CallCtx with a background context (no deadline).
 func (c *Client) Call(method string, arg, reply any) error {
+	return c.CallCtx(context.Background(), method, arg, reply)
+}
+
+// CallTimeout is Call with a per-call timeout (0 = no deadline).
+func (c *Client) CallTimeout(method string, arg, reply any, timeout time.Duration) error {
+	if timeout <= 0 {
+		return c.Call(method, arg, reply)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.CallCtx(ctx, method, arg, reply)
+}
+
+// CallCtx invokes method, honouring the context's deadline/cancellation: an
+// expired context abandons the pending call (the late response frame is
+// discarded by the read loop) and returns an error wrapping ErrTimeout and
+// the context error.
+func (c *Client) CallCtx(ctx context.Context, method string, arg, reply any) error {
 	body, err := encodeGob(arg)
 	if err != nil {
 		return fmt.Errorf("rpc: encode %s: %w", method, err)
@@ -226,7 +264,20 @@ func (c *Client) Call(method string, arg, reply any) error {
 		return fmt.Errorf("rpc: send %s: %w", method, err)
 	}
 
-	resp := <-ch
+	var resp frame
+	select {
+	case resp = <-ch:
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		// Drain a response that raced the cancellation.
+		select {
+		case resp = <-ch:
+		default:
+			return fmt.Errorf("rpc: %s: %w: %w", method, ErrTimeout, ctx.Err())
+		}
+	}
 	if resp.Err != "" {
 		return errors.New(resp.Err)
 	}
@@ -234,6 +285,76 @@ func (c *Client) Call(method string, arg, reply any) error {
 		return nil
 	}
 	return decodeGob(resp.Body, reply)
+}
+
+// RetryPolicy bounds CallRetry: at most Attempts tries, each under
+// PerCallTimeout (0 = none), sleeping Base<<n plus up to 50% jitter between
+// tries, capped at MaxBackoff.
+type RetryPolicy struct {
+	Attempts       int
+	PerCallTimeout time.Duration
+	Base           time.Duration
+	MaxBackoff     time.Duration
+	// Seed fixes the jitter stream (0 = constant backoff, no jitter).
+	Seed int64
+}
+
+// DefaultRetryPolicy suits idempotent metadata RPCs: 4 attempts, 2s per
+// call, 25ms base backoff capped at 400ms.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 4, PerCallTimeout: 2 * time.Second, Base: 25 * time.Millisecond, MaxBackoff: 400 * time.Millisecond}
+}
+
+// CallRetry invokes an IDEMPOTENT method with bounded retries under p:
+// timeouts and lost connections are retried with exponential backoff plus
+// jitter; application errors returned by the handler are not (the server
+// answered; retrying would not change the outcome). The context bounds the
+// whole loop.
+func (c *Client) CallRetry(ctx context.Context, method string, arg, reply any, p RetryPolicy) error {
+	if p.Attempts <= 0 {
+		p.Attempts = 1
+	}
+	var rng *rand.Rand
+	if p.Seed != 0 {
+		rng = rand.New(rand.NewSource(p.Seed))
+	}
+	var err error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if attempt > 0 {
+			CountRetry()
+			backoff := p.Base << (attempt - 1)
+			if p.MaxBackoff > 0 && backoff > p.MaxBackoff {
+				backoff = p.MaxBackoff
+			}
+			if rng != nil && backoff > 0 {
+				backoff += time.Duration(rng.Int63n(int64(backoff)/2 + 1))
+			}
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("rpc: %s: %w", method, ctx.Err())
+			case <-time.After(backoff):
+			}
+		}
+		callCtx := ctx
+		var cancel context.CancelFunc
+		if p.PerCallTimeout > 0 {
+			callCtx, cancel = context.WithTimeout(ctx, p.PerCallTimeout)
+		}
+		err = c.CallCtx(callCtx, method, arg, reply)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrTimeout) && !isConnErr(err) {
+			return err // definitive server answer; not retryable
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("rpc: %s failed after %d attempts: %w", method, p.Attempts, err)
 }
 
 // Close closes the connection; in-flight calls fail.

@@ -12,8 +12,10 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync"
@@ -53,6 +55,19 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
+// On-disk framing: every record is [u32 length][u32 CRC-32C][payload], all
+// little-endian, where each payload is a self-contained gob encoding of one
+// Entry. The checksum turns silent corruption and torn tail writes into
+// detectable conditions: Open verifies each frame and truncates the file at
+// the last intact record instead of replaying garbage.
+const frameHeaderSize = 8
+
+// maxFrame bounds a frame's claimed length so a corrupt header cannot ask
+// for an absurd allocation; anything larger is treated as corruption.
+const maxFrame = 64 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
 // Entry is one record of a site's log: either a committed update
 // transaction to be propagated as a refresh transaction, or a mastership
 // change (release/grant) recorded for recovery.
@@ -65,6 +80,7 @@ type Entry struct {
 	Writes     []storage.Write
 	Partitions []uint64 // partitions whose mastership changed (release/grant)
 	Peer       int      // the other site involved in a mastership change
+	Epoch      uint64   // remaster epoch fencing the change (0 = unfenced)
 }
 
 // Log is one site's ordered update log. The zero value is not usable; use
@@ -89,9 +105,11 @@ type Log struct {
 	// file-backed logs it advances when a flush makes entries durable.
 	visible uint64
 
-	file *os.File
-	enc  *gob.Encoder
-	buf  bytes.Buffer // enc's target; drained to file by the flush leader
+	file       *os.File
+	fileBacked bool
+	encBuf     bytes.Buffer // per-record gob scratch; framed into buf
+	buf        bytes.Buffer // framed records; drained to file by the flush leader
+	torn       uint64       // trailing bytes discarded as torn/corrupt at Open
 
 	flushing  bool       // a flush leader is writing outside mu
 	flushCond *sync.Cond // signalled when a flush completes
@@ -117,30 +135,58 @@ func New() *Log {
 }
 
 // Open returns a file-backed log at path, replaying any entries already
-// present (recovery). Appends are written through to the file.
+// present (recovery). Every record's CRC-32C is verified; a torn tail write
+// (expected after a crash) or corrupt trailing record is detected, warned
+// about, and truncated away so the log ends at its last intact record.
+// Appends are written through to the file.
 func Open(path string) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+
+	// Walk the frames, verifying each checksum and decoding the record
+	// (each frame is a self-contained gob message); `good` is the byte
+	// offset after the last intact record.
 	l := New()
-	dec := gob.NewDecoder(f)
-	for {
+	good := 0
+	for off := 0; off+frameHeaderSize <= len(data); {
+		n := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxFrame || off+frameHeaderSize+int(n) > len(data) {
+			break // torn header or short payload
+		}
+		payload := data[off+frameHeaderSize : off+frameHeaderSize+int(n)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			break // bit rot or torn write inside the record
+		}
 		var e Entry
-		if err := dec.Decode(&e); err != nil {
-			if err == io.EOF {
-				break
-			}
-			// A torn tail write is expected after a crash; stop at the last
-			// complete entry.
-			break
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
+			break // checksummed but structurally invalid: treat as corrupt tail
 		}
 		if e.Offset != uint64(len(l.entries)) {
+			f.Close()
 			return nil, fmt.Errorf("wal: %s corrupt: offset %d at position %d", path, e.Offset, len(l.entries))
 		}
 		l.entries = append(l.entries, e)
 		if e.Kind == KindUpdate && e.Origin < len(e.TVV) {
 			l.updSeq.Store(e.TVV[e.Origin])
+		}
+		off += frameHeaderSize + int(n)
+		good = off
+	}
+	if good < len(data) {
+		l.torn = uint64(len(data) - good)
+		fmt.Fprintf(os.Stderr, "wal: %s: dropping %d torn/corrupt trailing bytes (log intact through byte %d)\n",
+			path, l.torn, good)
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncate %s: %w", path, err)
 		}
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
@@ -149,9 +195,13 @@ func Open(path string) (*Log, error) {
 	}
 	l.visible = uint64(len(l.entries))
 	l.file = f
-	l.enc = gob.NewEncoder(&l.buf)
+	l.fileBacked = true
 	return l, nil
 }
+
+// TornBytes reports how many trailing bytes Open discarded as torn or
+// corrupt (0 for a clean log or an in-memory one).
+func (l *Log) TornBytes() uint64 { return l.torn }
 
 // Append assigns the next offset to e, appends it, persists it if the log
 // is file-backed (group commit: the append returns once a flush covering
@@ -171,16 +221,27 @@ func (l *Log) Append(e Entry) (uint64, error) {
 	if e.At.IsZero() {
 		e.At = start
 	}
-	if l.enc != nil {
-		if err := l.enc.Encode(&e); err != nil {
+	if l.fileBacked {
+		// Each record is a self-contained gob message so replay can verify
+		// and decode frames independently (a fresh encoder per record; the
+		// per-record type descriptor is the price of per-record recovery).
+		l.encBuf.Reset()
+		if err := gob.NewEncoder(&l.encBuf).Encode(&e); err != nil {
 			return 0, fmt.Errorf("wal: encode: %w", err)
 		}
+		// Frame the record: length + CRC-32C ahead of the gob payload.
+		payload := l.encBuf.Bytes()
+		var hdr [frameHeaderSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+		l.buf.Write(hdr[:])
+		l.buf.Write(payload)
 	}
 	l.entries = append(l.entries, e)
 	if e.Kind == KindUpdate && e.Origin < len(e.TVV) {
 		l.updSeq.Store(e.TVV[e.Origin])
 	}
-	if l.enc == nil {
+	if !l.fileBacked {
 		// In-memory: immediately visible.
 		l.visible = uint64(len(l.entries))
 		l.cond.Broadcast()
@@ -284,7 +345,7 @@ func (l *Log) Get(offset uint64) (Entry, bool) {
 // backing file if any.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	if l.enc != nil && uint64(len(l.entries)) > 0 {
+	if l.fileBacked && uint64(len(l.entries)) > 0 {
 		// Drain the tail (also waits out any in-flight leader).
 		_ = l.waitDurable(uint64(len(l.entries)) - 1)
 	}
