@@ -331,3 +331,79 @@ func TestChaosManualFailoverRecoversMastership(t *testing.T) {
 		}
 	}
 }
+
+// TestHeartbeatRetriesIncompleteFailover simulates a failover that died
+// mid-way — the site is marked down but failedOver was never set (as when
+// every grant leg failed transiently) — and checks the heartbeat loop picks
+// the failover back up instead of skipping the down site forever.
+func TestHeartbeatRetriesIncompleteFailover(t *testing.T) {
+	c, err := NewCluster(Config{
+		Sites:       4,
+		Partitioner: partitionBy100,
+		Weights:     selector.YCSBWeights(),
+		FailureDetection: FailureDetectionConfig{
+			Interval: 2 * time.Millisecond,
+			Misses:   3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	c.CreateTable("kv")
+	rows := make([]systems.LoadRow, 0, 1000)
+	for k := uint64(0); k < 1000; k++ {
+		rows = append(rows, systems.LoadRow{Ref: ref(k), Data: []byte{byte(k)}})
+	}
+	c.Load(rows)
+
+	victim := 2
+	if len(c.Selector().MasteredBy(victim)) == 0 {
+		t.Skip("victim owns nothing under this scatter")
+	}
+	c.KillSite(victim)
+	c.Selector().MarkDown(victim) // down, but no failover ran
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Failovers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat loop never completed the failover of a down site")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := len(c.Selector().MasteredBy(victim)); got != 0 {
+		t.Fatalf("%d partitions still mastered at the dead site", got)
+	}
+	if !c.FailedOver(victim) {
+		t.Fatal("failover not recorded complete")
+	}
+}
+
+// TestFailoverFallsBackToLiveHeir kills a second site that the survivor
+// scan still considers alive (its failure has not been detected yet); grant
+// batches aimed at it must fall back to live survivors instead of failing
+// the whole failover.
+func TestFailoverFallsBackToLiveHeir(t *testing.T) {
+	c := newTestCluster(t, 4)
+	victim, unreliable := 2, 1
+	owned := c.Selector().MasteredBy(victim)
+	if len(owned) == 0 {
+		t.Skip("victim owns nothing under this scatter")
+	}
+	c.KillSite(unreliable) // dead but not yet marked down
+	c.KillSite(victim)
+	if err := c.Failover(victim); err != nil {
+		t.Fatalf("failover with one dead heir should fall back: %v", err)
+	}
+	if !c.FailedOver(victim) {
+		t.Fatal("failover did not complete")
+	}
+	for _, p := range owned {
+		m := c.Selector().MasterOf(p)
+		if m == victim || m == unreliable {
+			t.Fatalf("partition %d mastered at dead site %d", p, m)
+		}
+		if !c.Sites()[m].Masters(p) {
+			t.Fatalf("partition %d: selector says %d but the site does not master it", p, m)
+		}
+	}
+}

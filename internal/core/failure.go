@@ -58,7 +58,15 @@ func (c *Cluster) heartbeatLoop(interval time.Duration, misses int) {
 		}
 		for i, s := range c.sites {
 			if c.sel.SiteDown(i) {
-				continue // already handled
+				// A site can be marked down with its failover incomplete
+				// (a grant leg failed mid-way); keep retrying until every
+				// orphaned partition has a live master — an abandoned
+				// partial failover would leave those partitions mastered
+				// at the dead site forever.
+				if !c.FailedOver(i) {
+					_ = c.Failover(i) // errors retried next tick
+				}
+				continue
 			}
 			// Probe: request + response on the control plane. Either leg
 			// lost counts as a miss; a dead site never answers.
@@ -90,6 +98,14 @@ func (c *Cluster) KillSite(i int) {
 
 // Failovers returns how many site failovers the cluster has executed.
 func (c *Cluster) Failovers() uint64 { return c.failovers.Load() }
+
+// FailedOver reports whether site i's failover has fully completed (every
+// orphaned partition re-granted to a live survivor).
+func (c *Cluster) FailedOver(i int) bool {
+	c.failoverMu.Lock()
+	defer c.failoverMu.Unlock()
+	return c.failedOver[i]
+}
 
 // Faults returns the cluster's fault injector, nil when none is configured.
 func (c *Cluster) Faults() *transport.Injector { return c.net.Injector() }
@@ -153,23 +169,43 @@ func (c *Cluster) Failover(dead int) error {
 	relVV[dead] = c.broker.Log(dead).LastUpdateSeq()
 
 	// Scatter the orphaned partitions round-robin across survivors, one
-	// grant batch per survivor.
-	batches := make(map[int][]uint64)
+	// grant batch per survivor. A batch whose preferred heir cannot take
+	// the grant (it died since the survivor scan, or its log append failed)
+	// falls back to the next survivor rather than failing the batch; a
+	// batch no survivor accepts leaves failedOver unset, and the heartbeat
+	// loop retries the failover — granted batches are already registered,
+	// so the retry covers only the remainder.
+	batches := make([][]uint64, len(survivors))
 	for i, p := range parts {
-		heir := survivors[i%len(survivors)]
-		batches[heir] = append(batches[heir], p)
+		batches[i%len(survivors)] = append(batches[i%len(survivors)], p)
 	}
 	var firstErr error
-	for heir, ids := range batches {
-		epoch := c.sel.NextEpoch()
-		if _, err := c.sites[heir].Grant(ids, relVV, dead, epoch); err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("core: failover grant to site %d: %w", heir, err)
-			}
+	for bi, ids := range batches {
+		if len(ids) == 0 {
 			continue
 		}
-		for _, p := range ids {
-			c.sel.RegisterPartition(p, heir)
+		granted := false
+		var lastErr error
+		for off := 0; off < len(survivors) && !granted; off++ {
+			heir := survivors[(bi+off)%len(survivors)]
+			if c.sel.SiteDown(heir) {
+				continue
+			}
+			epoch := c.sel.NextEpoch()
+			if _, err := c.sites[heir].Grant(ids, relVV, dead, epoch); err != nil {
+				lastErr = fmt.Errorf("core: failover grant to site %d: %w", heir, err)
+				continue
+			}
+			for _, p := range ids {
+				c.sel.RegisterPartition(p, heir)
+			}
+			granted = true
+		}
+		if !granted && firstErr == nil {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("core: failover of site %d: no live heir", dead)
+			}
+			firstErr = lastErr
 		}
 	}
 	if firstErr != nil {

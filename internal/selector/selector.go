@@ -1,6 +1,7 @@
 package selector
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -481,7 +482,10 @@ func (s *Selector) RouteWrite(client int, writeSet []storage.RowRef, cvv vclock.
 		return Route{Site: master}, nil
 	}
 
-	dest := s.chooseDestination(parts, infos, cvv)
+	dest, err := s.chooseDestination(parts, infos, cvv)
+	if err != nil {
+		return Route{}, err
+	}
 	remStart := time.Now()
 	minVV, moved, err := s.remaster(parts, infos, dest)
 	wait := time.Since(remStart)
@@ -580,10 +584,12 @@ func (s *Selector) siteLoadSnapshot() []float64 {
 	return out
 }
 
-// chooseDestination scores every site as a remastering destination with the
-// Equation 8 model and returns the best. Caller holds the partitions'
-// exclusive locks; infos parallels parts.
-func (s *Selector) chooseDestination(parts []uint64, infos []*partInfo, cvv vclock.Vector) int {
+// chooseDestination scores every live site as a remastering destination
+// with the Equation 8 model and returns the best; when every site is
+// flagged down it returns a retryable error rather than targeting a dead
+// site. Caller holds the partitions' exclusive locks; infos parallels
+// parts.
+func (s *Selector) chooseDestination(parts []uint64, infos []*partInfo, cvv vclock.Vector) (int, error) {
 	inSet := make(map[uint64]int, len(parts)) // partition -> index
 	for i, id := range parts {
 		inSet[id] = i
@@ -659,13 +665,13 @@ func (s *Selector) chooseDestination(parts []uint64, infos []*partInfo, cvv vclo
 		}
 	}
 	if best < 0 {
-		best = 0 // every site flagged down: degenerate, nowhere good to go
+		return -1, fmt.Errorf("selector: no live remaster destination: %w", sitemgr.ErrSiteDown)
 	}
 	s.ob.featBalance.Set(bestFeat[0])
 	s.ob.featDelay.Set(bestFeat[1])
 	s.ob.featIntra.Set(bestFeat[2])
 	s.ob.featInter.Set(bestFeat[3])
-	return best
+	return best, nil
 }
 
 // remasterSendRetries bounds how many times a lost remaster RPC is retried
@@ -711,10 +717,18 @@ func (s *Selector) remasterCall(peer, reqSize int, op func() (vclock.Vector, err
 //
 // Each chain is fenced by a fresh epoch and is failure-hardened: lost RPCs
 // retry against the idempotent release/grant; a grant that fails after its
-// release succeeded rolls ownership back to the releaser (same epoch, so
-// the rollback pairs with the release in the logs) rather than stranding
-// the partitions masterless. Selector metadata updates per chain, so a
-// failed chain never undoes — or blocks — a succeeded one.
+// release succeeded rolls ownership back to the releaser rather than
+// stranding the partitions masterless. The rollback runs under a FRESH
+// epoch as a Release(dest)+Grant(src) chain: the grant leg can fail with
+// the destination having executed the grant (request delivered, every
+// response and retry lost — e.g. a one-way partition back to the
+// selector), and re-granting the source under the chain's own epoch would
+// then leave both sites' logs ending in a grant at the same epoch, which
+// recovery tie-breaks arbitrarily. The fresh-epoch release fences out (and
+// revokes) any such phantom ownership at the destination, and the grant
+// back to the source strictly out-epochs whatever the destination logged,
+// so recovery arbitration stays unambiguous. Selector metadata updates per
+// chain, so a failed chain never undoes — or blocks — a succeeded one.
 func (s *Selector) remaster(parts []uint64, infos []*partInfo, dest int) (vclock.Vector, int, error) {
 	type chain struct {
 		src  int
@@ -766,10 +780,36 @@ func (s *Selector) remaster(parts []uint64, infos []*partInfo, dest int) (vclock
 					mu.Unlock()
 					return
 				}
-				// The source released but the destination never took
-				// ownership: grant back to the releaser under the same
-				// epoch so the partitions are not stranded masterless.
-				if _, rbErr := s.sites[c.src].Grant(c.ids, relVV, c.src, epoch); rbErr != nil {
+				// The source released but the grant leg failed. A stale
+				// epoch means a newer chain (a racing failover) already
+				// moved the partitions; rolling back would clobber that
+				// newer ownership, so leave it be.
+				if errors.Is(err, sitemgr.ErrStaleEpoch) {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+				// Otherwise the destination may still have executed the
+				// grant (only the responses were lost), so fence its
+				// possible phantom ownership with a fresh-epoch release
+				// before granting the partitions back to the releaser. An
+				// unconfirmed release is fine: either it executed
+				// (destination fenced and revoked) or the destination
+				// never owned — in both cases the higher-epoch grant below
+				// wins recovery arbitration and routing still points at
+				// the source.
+				rbEpoch := s.epochs.Add(1)
+				if vv, rbErr := s.remasterCall(dest,
+					transport.MsgOverhead+transport.SizeOfPartitions(c.ids),
+					func() (vclock.Vector, error) { return s.sites[dest].Release(c.ids, c.src, rbEpoch) }); rbErr == nil {
+					relVV = relVV.MaxInto(vv)
+				}
+				if _, rbErr := s.remasterCall(c.src,
+					transport.MsgOverhead+transport.SizeOfPartitions(c.ids)+transport.SizeOfVector(relVV),
+					func() (vclock.Vector, error) { return s.sites[c.src].Grant(c.ids, relVV, c.src, rbEpoch) }); rbErr != nil {
 					err = fmt.Errorf("%w (rollback to site %d also failed: %v)", err, c.src, rbErr)
 				}
 			}

@@ -1,12 +1,14 @@
 package selector
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
 
 	"dynamast/internal/sitemgr"
 	"dynamast/internal/storage"
+	"dynamast/internal/transport"
 	"dynamast/internal/wal"
 )
 
@@ -494,5 +496,102 @@ func TestCoAccessUnknownPartition(t *testing.T) {
 	st.CoAccess(999, true, func(uint64, float64) { called = true })
 	if called {
 		t.Fatal("CoAccess on unseen partition invoked fn")
+	}
+}
+
+// TestRemasterRollbackFencesPhantomGrant loses every response from the
+// remaster destination back to the selector (a one-way partition): the
+// destination EXECUTES the grant, but the selector observes only failures.
+// The rollback must not re-grant the source under the chain's epoch — that
+// would leave both sites owning, and both logs ending in a grant at the
+// same epoch, so recovery would tie-break arbitrarily. Instead it fences
+// the destination's phantom ownership with a fresh-epoch release before
+// granting the source back.
+func TestRemasterRollbackFencesPhantomGrant(t *testing.T) {
+	const m = 2
+	b := wal.NewBroker(m)
+	net := transport.NewNetwork(transport.Instant())
+	inj := transport.NewInjector(7)
+	net.SetInjector(inj)
+	sites := make([]*sitemgr.Site, m)
+	dsites := make([]DataSite, m)
+	for i := 0; i < m; i++ {
+		s, err := sitemgr.New(sitemgr.Config{
+			SiteID: i, Sites: m, Broker: b,
+			Partitioner: partitionBy100, Replicate: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Store().CreateTable("t")
+		s.SetMaster(0, i == 0)
+		sites[i], dsites[i] = s, s
+	}
+	for _, s := range sites {
+		s.Start()
+	}
+	sel, err := New(Config{
+		Sites:       dsites,
+		Partitioner: partitionBy100,
+		Weights:     YCSBWeights(),
+		Net:         net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		b.Close()
+		for _, s := range sites {
+			s.Stop()
+		}
+	})
+	info := sel.part(0) // places partition 0 at site 0
+
+	// Everything the destination sends back to the selector is lost: its
+	// grant executes, but neither the response nor any retry's arrives.
+	inj.PartitionOneWay(1, transport.SelectorNode)
+
+	info.mu.Lock()
+	_, _, err = sel.remaster([]uint64{0}, []*partInfo{info}, 1)
+	info.mu.Unlock()
+	if err == nil {
+		t.Fatal("remaster with every destination response lost should fail")
+	}
+
+	// The rollback restored the source and fenced the destination's phantom
+	// ownership: exactly one live master.
+	if !sites[0].Masters(0) {
+		t.Fatal("source does not master the partition after rollback")
+	}
+	if sites[1].Masters(0) {
+		t.Fatal("destination kept phantom ownership after rollback — dual master")
+	}
+	if got := sel.MasterOf(0); got != 0 {
+		t.Fatalf("selector maps partition to %d, want 0", got)
+	}
+	// Log-based recovery agrees: the rollback grant out-epochs the phantom
+	// grant, so arbitration is unambiguous.
+	if owner := sitemgr.RecoverMastership(b, nil); owner[0] != 0 {
+		t.Fatalf("recovered owner = %d, want 0", owner[0])
+	}
+}
+
+// With every site flagged down, a write set whose masters are distributed
+// must fail fast with a retryable error rather than remastering into a
+// known-dead destination.
+func TestRouteWriteAllSitesDownFailsFast(t *testing.T) {
+	sel, sites := newCluster(t, 2, YCSBWeights())
+	// Split the write set's masters so routing needs a remaster destination.
+	sel.RegisterPartition(1, 1)
+	sites[0].SetMaster(1, false)
+	sites[1].SetMaster(1, true)
+	sel.MarkDown(0)
+	sel.MarkDown(1)
+	_, err := sel.RouteWrite(0, []storage.RowRef{ref(50), ref(150)}, nil)
+	if err == nil {
+		t.Fatal("routing with every site down should fail")
+	}
+	if !errors.Is(err, sitemgr.ErrSiteDown) {
+		t.Fatalf("err = %v, want ErrSiteDown (retryable)", err)
 	}
 }

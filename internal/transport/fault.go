@@ -222,6 +222,31 @@ func (i *Injector) Decide(cat Category, from, to int) (err error, delay time.Dur
 	return nil, delay
 }
 
+// DecideDelay rolls only the delay rules for one message in cat. The
+// infallible Send path cannot deliver drops or errors, so those rules (and
+// partition cuts) are neither rolled nor counted there — only faults that
+// actually reach the caller show up in the injected counters.
+func (i *Injector) DecideDelay(cat Category) time.Duration {
+	if i == nil {
+		return 0
+	}
+	i.mu.RLock()
+	rules := i.rules
+	i.mu.RUnlock()
+	var delay time.Duration
+	for _, r := range rules {
+		if r.Category != cat || r.Kind != FaultDelay || r.Prob <= 0 {
+			continue
+		}
+		if i.roll() >= r.Prob {
+			continue
+		}
+		i.injected[cat][FaultDelay].Add(1)
+		delay += r.Delay
+	}
+	return delay
+}
+
 // InjectedCount returns how many faults of kind were injected in cat.
 func (i *Injector) InjectedCount(cat Category, kind FaultKind) uint64 {
 	if i == nil {

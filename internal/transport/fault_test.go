@@ -268,3 +268,29 @@ func TestRPCRetryConnectionLost(t *testing.T) {
 		t.Fatal("call against dead connection succeeded")
 	}
 }
+
+// Send cannot deliver drops or errors (it is the legacy infallible path):
+// they must be neither applied nor counted — only delays, which Send does
+// honour — so the injected-fault counters reflect faults callers observed.
+func TestSendCountsOnlyDeliveredFaults(t *testing.T) {
+	n := NewNetwork(Instant())
+	inj := NewInjector(3)
+	inj.SetRules(
+		Rule{Category: CatTxn, Kind: FaultDrop, Prob: 1},
+		Rule{Category: CatTxn, Kind: FaultError, Prob: 1},
+		Rule{Category: CatTxn, Kind: FaultDelay, Prob: 1, Delay: time.Microsecond},
+	)
+	n.SetInjector(inj)
+	for i := 0; i < 10; i++ {
+		n.Send(CatTxn, 8)
+	}
+	if got := inj.InjectedCount(CatTxn, FaultDrop); got != 0 {
+		t.Fatalf("drop faults counted on the infallible Send path: %d", got)
+	}
+	if got := inj.InjectedCount(CatTxn, FaultError); got != 0 {
+		t.Fatalf("error faults counted on the infallible Send path: %d", got)
+	}
+	if got := inj.InjectedCount(CatTxn, FaultDelay); got != 10 {
+		t.Fatalf("delay faults = %d, want 10", got)
+	}
+}

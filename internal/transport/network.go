@@ -164,9 +164,7 @@ func (n *Network) Send(cat Category, size int) {
 	c.bytes.Add(uint64(size))
 	d := n.cfg.OneWay + n.transferTime(size)
 	if inj := n.inj.Load(); inj != nil {
-		if _, extra := inj.Decide(cat, SelectorNode, SelectorNode); extra > 0 {
-			d += extra
-		}
+		d += inj.DecideDelay(cat)
 	}
 	if d > 0 {
 		time.Sleep(d)

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
-	"strings"
 	"sync"
 	"time"
 )
@@ -152,8 +151,18 @@ type Client struct {
 
 	mu      sync.Mutex
 	nextID  uint64
-	pending map[uint64]chan frame
+	pending map[uint64]chan callResult
 	err     error
+}
+
+// callResult delivers either a response frame or a transport-level failure
+// to a pending call. Keeping the failure as a typed error (rather than
+// flattening it into frame.Err, which carries server-side error strings)
+// lets retry logic distinguish connection loss from an application error
+// whose text merely resembles one.
+type callResult struct {
+	resp frame
+	err  error
 }
 
 // Dial connects to an RPC server at addr.
@@ -165,7 +174,7 @@ func Dial(addr string) (*Client, error) {
 	c := &Client{
 		conn:    conn,
 		enc:     gob.NewEncoder(conn),
-		pending: make(map[uint64]chan frame),
+		pending: make(map[uint64]chan callResult),
 	}
 	go c.readLoop()
 	return c, nil
@@ -176,7 +185,7 @@ func (c *Client) readLoop() {
 	for {
 		var resp frame
 		if err := dec.Decode(&resp); err != nil {
-			c.fail(fmt.Errorf("rpc: connection lost: %w", err))
+			c.fail(fmt.Errorf("%w: %v", ErrConnLost, err))
 			return
 		}
 		c.mu.Lock()
@@ -184,7 +193,7 @@ func (c *Client) readLoop() {
 		delete(c.pending, resp.ID)
 		c.mu.Unlock()
 		if ch != nil {
-			ch <- resp
+			ch <- callResult{resp: resp}
 		}
 	}
 }
@@ -197,7 +206,7 @@ func (c *Client) fail(err error) {
 	}
 	for id, ch := range c.pending {
 		delete(c.pending, id)
-		ch <- frame{Err: err.Error()}
+		ch <- callResult{err: err}
 	}
 }
 
@@ -206,14 +215,16 @@ func (c *Client) fail(err error) {
 // idempotent methods should be retried after it.
 var ErrTimeout = errors.New("rpc: call timed out")
 
+// ErrConnLost is returned (wrapped) when the transport connection fails
+// before a response arrives; like ErrTimeout, the request may still have
+// executed at the server, so only idempotent methods should be retried
+// after it. Server-side application errors cross the wire as strings and
+// are never classified as connection loss, whatever their text.
+var ErrConnLost = errors.New("rpc: connection lost")
+
 // isConnErr reports connection failures (the other retryable error class).
-// Connection errors cross the wire as strings, so matching is textual.
 func isConnErr(err error) bool {
-	if err == nil {
-		return false
-	}
-	s := err.Error()
-	return strings.Contains(s, "connection lost") || strings.Contains(s, "client closed")
+	return errors.Is(err, ErrConnLost)
 }
 
 // Call invokes method with the gob-encoded arg and decodes the response
@@ -250,7 +261,7 @@ func (c *Client) CallCtx(ctx context.Context, method string, arg, reply any) err
 	}
 	c.nextID++
 	id := c.nextID
-	ch := make(chan frame, 1)
+	ch := make(chan callResult, 1)
 	c.pending[id] = ch
 	c.mu.Unlock()
 
@@ -264,27 +275,30 @@ func (c *Client) CallCtx(ctx context.Context, method string, arg, reply any) err
 		return fmt.Errorf("rpc: send %s: %w", method, err)
 	}
 
-	var resp frame
+	var res callResult
 	select {
-	case resp = <-ch:
+	case res = <-ch:
 	case <-ctx.Done():
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
 		// Drain a response that raced the cancellation.
 		select {
-		case resp = <-ch:
+		case res = <-ch:
 		default:
 			return fmt.Errorf("rpc: %s: %w: %w", method, ErrTimeout, ctx.Err())
 		}
 	}
-	if resp.Err != "" {
-		return errors.New(resp.Err)
+	if res.err != nil {
+		return res.err
+	}
+	if res.resp.Err != "" {
+		return errors.New(res.resp.Err)
 	}
 	if reply == nil {
 		return nil
 	}
-	return decodeGob(resp.Body, reply)
+	return decodeGob(res.resp.Body, reply)
 }
 
 // RetryPolicy bounds CallRetry: at most Attempts tries, each under
@@ -360,7 +374,7 @@ func (c *Client) CallRetry(ctx context.Context, method string, arg, reply any, p
 // Close closes the connection; in-flight calls fail.
 func (c *Client) Close() error {
 	err := c.conn.Close()
-	c.fail(errors.New("rpc: client closed"))
+	c.fail(fmt.Errorf("%w: client closed", ErrConnLost))
 	return err
 }
 

@@ -1,10 +1,13 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
+	"errors"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -175,5 +178,38 @@ func TestRPCConcurrentClients(t *testing.T) {
 	case <-done:
 	case <-time.After(30 * time.Second):
 		t.Fatal("concurrent clients hung")
+	}
+}
+
+func TestServerErrorTextNotMistakenForConnLoss(t *testing.T) {
+	// An application error whose text resembles the client's connection
+	// failure messages must stay a definitive server answer: no retries, no
+	// ErrConnLost classification.
+	s := NewServer()
+	var calls atomic.Int32
+	Handle(s, "flaky", func(r *echoReq) (*echoResp, error) {
+		calls.Add(1)
+		return nil, errors.New("upstream connection lost; client closed")
+	})
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.CallRetry(context.Background(), "flaky", &echoReq{}, &echoResp{},
+		RetryPolicy{Attempts: 4, Base: time.Millisecond})
+	if err == nil {
+		t.Fatal("expected the application error")
+	}
+	if errors.Is(err, ErrConnLost) {
+		t.Fatalf("server error classified as connection loss: %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("handler called %d times, want 1 (definitive errors are not retried)", got)
 	}
 }
