@@ -14,6 +14,9 @@
 //	txn <table> <key1,key2,...>        atomically increment several keys
 //	bench <table> <keys> <ops>         quick closed-loop load generator
 //	stats                              cluster statistics snapshot
+//	checkpoint                         take a checkpoint now: snapshots every
+//	                                   site and truncates the covered WAL
+//	                                   prefix (requires -wal-dir on the daemon)
 //	faults [set <spec> | off]          show, replace ("category:kind:prob
 //	                                   [:delay]", comma-separated) or clear
 //	                                   the cluster's fault-injection rules
@@ -160,6 +163,21 @@ func run(cl *server.Client, cmd string, args []string) error {
 		fmt.Printf("remastered:     %d txns, %d partitions moved\n", st.RemasterTxns, st.PartsMoved)
 		for i, vv := range st.SiteVectors {
 			fmt.Printf("site %d vector:  %v\n", i, vv)
+		}
+		return nil
+
+	case "checkpoint":
+		if len(args) != 0 {
+			return fmt.Errorf("usage: checkpoint")
+		}
+		cp, err := cl.Checkpoint()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint %d committed\n", cp.Seq)
+		for i := range cp.Rows {
+			fmt.Printf("site %d:  %d rows, %d bytes snapshotted; replay low-water offset %d\n",
+				i, cp.Rows[i], cp.Bytes[i], cp.LowWater[i])
 		}
 		return nil
 

@@ -48,6 +48,8 @@ func main() {
 	sites := flag.Int("sites", 4, "number of data sites")
 	partitionSize := flag.Uint64("partition-size", 100, "keys per partition group")
 	walDir := flag.String("wal-dir", "", "directory for durable update logs (empty = in-memory)")
+	checkpointEvery := flag.Duration("checkpoint-every", 0, "background checkpoint interval; snapshots every site, truncates the covered WAL prefix and bounds restart time (0 = disabled; requires -wal-dir)")
+	checkpointRecords := flag.Uint64("checkpoint-every-records", 0, "additionally checkpoint after this many new WAL records (0 = disabled)")
 	traceRing := flag.Int("trace-ring", obs.DefaultTraceRing, "recent transaction traces retained for /debug/traces")
 	faultSpec := flag.String("fault-spec", "", "fault-injection rules, comma-separated category:kind:prob[:delay] (e.g. \"remaster:drop:0.01,txn:delay:0.05:1ms\"); empty = injector disabled")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault-decision stream")
@@ -55,10 +57,15 @@ func main() {
 	flag.Parse()
 
 	cfg := dynamast.Config{
-		Sites:       *sites,
-		Partitioner: dynamast.PartitionByRange(*partitionSize),
-		WALDir:      *walDir,
-		TraceRing:   *traceRing,
+		Sites:                  *sites,
+		Partitioner:            dynamast.PartitionByRange(*partitionSize),
+		WALDir:                 *walDir,
+		TraceRing:              *traceRing,
+		CheckpointEvery:        *checkpointEvery,
+		CheckpointEveryRecords: *checkpointRecords,
+	}
+	if (*checkpointEvery > 0 || *checkpointRecords > 0) && *walDir == "" {
+		log.Fatal("dynamastd: -checkpoint-every requires -wal-dir")
 	}
 	if *faultSpec != "" {
 		rules, err := dynamast.ParseFaultSpec(*faultSpec)
@@ -78,6 +85,19 @@ func main() {
 	}
 	defer cluster.Close()
 
+	if *walDir != "" {
+		// Recover whatever the directory holds: newest valid checkpoint plus
+		// WAL suffix replay, or full redo replay. On a fresh directory this
+		// is a no-op.
+		if err := cluster.Recover(nil); err != nil {
+			log.Fatalf("dynamastd: recovery from %s: %v", *walDir, err)
+		}
+		if st := cluster.LastRecovery(); st.UsedCheckpoint || st.ReplayedOwn+st.ReplayedRefresh > 0 {
+			fmt.Printf("dynamastd: recovered from %s: checkpoint=%v seq=%d rows=%d replayed=%d+%d in %v\n",
+				*walDir, st.UsedCheckpoint, st.Seq, st.RowsRestored, st.ReplayedOwn, st.ReplayedRefresh, st.Duration)
+		}
+	}
+
 	srv, addr, err := server.Serve(cluster, *listen)
 	if err != nil {
 		log.Fatal(err)
@@ -90,6 +110,10 @@ func main() {
 	}
 	if *heartbeat > 0 {
 		fmt.Printf("dynamastd: failure detection on, heartbeat every %v\n", *heartbeat)
+	}
+	if *checkpointEvery > 0 || *checkpointRecords > 0 {
+		fmt.Printf("dynamastd: checkpointing every %v / %d records into %s\n",
+			*checkpointEvery, *checkpointRecords, *walDir)
 	}
 
 	if *metricsListen != "" {

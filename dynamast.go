@@ -7,15 +7,26 @@
 // workload statistics.
 //
 // The package re-exports the library's primary types; the implementation
-// lives under internal/ (see DESIGN.md for the system inventory):
+// lives under internal/ (see DESIGN.md for the system inventory).
+// Clusters are built with functional options:
+//
+//	cluster, err := dynamast.New(
+//	        dynamast.WithSites(4),
+//	        dynamast.WithPartitioner(dynamast.PartitionByRange(100)),
+//	        dynamast.WithDurableDir(dir),
+//	        dynamast.WithCheckpointEvery(30*time.Second),
+//	)
+//	sess := cluster.Session(1)
+//	err = sess.UpdateCtx(ctx, []dynamast.RowRef{{Table: "kv", Key: 7}},
+//	        func(tx dynamast.Tx) error { return tx.Write(dynamast.RowRef{Table: "kv", Key: 7}, []byte("v")) })
+//
+// The historical Config-struct call shape still compiles unchanged — a
+// Config value is itself an Option that replaces the whole configuration:
 //
 //	cluster, err := dynamast.New(dynamast.Config{
 //	        Sites:       4,
 //	        Partitioner: dynamast.PartitionByRange(100),
 //	})
-//	sess := cluster.Session(1)
-//	err = sess.Update([]dynamast.RowRef{{Table: "kv", Key: 7}},
-//	        func(tx dynamast.Tx) error { return tx.Write(dynamast.RowRef{Table: "kv", Key: 7}, []byte("v")) })
 //
 // Every transaction executes at exactly one site under strong-session
 // snapshot isolation; the embedded site selector remasters data on demand
@@ -23,6 +34,9 @@
 package dynamast
 
 import (
+	"time"
+
+	"dynamast/internal/checkpoint"
 	"dynamast/internal/core"
 	"dynamast/internal/selector"
 	"dynamast/internal/sitemgr"
@@ -66,10 +80,37 @@ type (
 	// FailureDetection tunes the heartbeat-based site failure detector
 	// (Config.FailureDetection).
 	FailureDetection = core.FailureDetectionConfig
+	// Option configures a cluster built with New. The interface is sealed:
+	// use the With* constructors, or pass a full Config value (itself an
+	// Option that replaces the accumulated configuration wholesale).
+	Option = core.Option
+	// Manifest describes one committed checkpoint (Cluster.Checkpoint).
+	Manifest = checkpoint.Manifest
+	// RecoveryStats describes what the last Cluster.Recover run did.
+	RecoveryStats = core.RecoveryStats
 )
 
-// New builds and starts a DynaMast cluster.
-func New(cfg Config) (*Cluster, error) { return core.NewCluster(cfg) }
+// New builds and starts a DynaMast cluster from functional options:
+//
+//	dynamast.New(dynamast.WithSites(4), dynamast.WithPartitioner(p))
+//
+// Passing a Config value as an option keeps the historical struct-based
+// call shape working: dynamast.New(dynamast.Config{...}).
+func New(opts ...Option) (*Cluster, error) { return core.NewWithOptions(opts...) }
+
+// Functional options for New. Each returns an Option that sets one field
+// of the underlying Config; later options override earlier ones.
+func WithSites(n int) Option                          { return core.WithSites(n) }
+func WithPartitioner(p Partitioner) Option            { return core.WithPartitioner(p) }
+func WithDurableDir(dir string) Option                { return core.WithDurableDir(dir) }
+func WithWeights(w Weights) Option                    { return core.WithWeights(w) }
+func WithNetwork(nc NetworkConfig) Option             { return core.WithNetwork(nc) }
+func WithFaults(spec string, seed int64) Option       { return core.WithFaults(spec, seed) }
+func WithCheckpointEvery(d time.Duration) Option      { return core.WithCheckpointEvery(d) }
+func WithCheckpointEveryRecords(n uint64) Option      { return core.WithCheckpointEveryRecords(n) }
+func WithFailureDetection(fd FailureDetection) Option { return core.WithFailureDetection(fd) }
+func WithSelectorReplicas(n int) Option               { return core.WithSelectorReplicas(n) }
+func WithSeed(seed int64) Option                      { return core.WithSeed(seed) }
 
 // PartitionByRange groups keys of every table into partitions of size
 // contiguous keys — the paper's YCSB partitioning.
@@ -97,6 +138,30 @@ func NewFaultInjector(seed int64) *FaultInjector { return transport.NewInjector(
 // ParseFaultSpec parses a comma-separated "category:kind:prob[:delay]"
 // fault specification (see internal/transport) into injection rules.
 func ParseFaultSpec(spec string) ([]FaultRule, error) { return transport.ParseFaultSpec(spec) }
+
+// The error taxonomy. Every sentinel supports errors.Is through arbitrary
+// wrapping; Retryable classifies the transient subset wholesale. A typical
+// caller loop:
+//
+//	for {
+//	        err := sess.UpdateCtx(ctx, refs, fn)
+//	        if err == nil || !dynamast.Retryable(err) {
+//	                return err
+//	        }
+//	        // transient: the cluster is reorganizing (site down, mastership
+//	        // moving, connection lost) — back off and resubmit.
+//	}
+var (
+	// ErrSiteDown reports that the transaction's site crashed; resubmitting
+	// routes around it once failover completes.
+	ErrSiteDown = sitemgr.ErrSiteDown
+	// ErrStaleEpoch reports a remaster/failover message fenced off by a
+	// newer epoch; the losing chain rolls back and a resubmission re-routes.
+	ErrStaleEpoch = sitemgr.ErrStaleEpoch
+	// ErrConnLost reports a connection torn down mid-RPC by the (injected
+	// or real) wire; the operation's outcome is unknown to the caller.
+	ErrConnLost = transport.ErrConnLost
+)
 
 // Retryable reports whether a session-level error is transient: the
 // transaction did not commit and re-submitting it can succeed.

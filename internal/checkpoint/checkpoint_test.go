@@ -1,0 +1,135 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dynamast/internal/storage"
+	"dynamast/internal/vclock"
+)
+
+func writeSnap(t *testing.T, path string, rows int) SnapshotInfo {
+	t.Helper()
+	w, err := CreateSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := w.Write(Row{
+			Table: "acct",
+			Key:   uint64(i),
+			Data:  []byte(fmt.Sprintf("row-%d", i)),
+			Stamp: storage.Stamp{Origin: 0, Seq: uint64(i + 1)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestSnapshotRoundtripAndVerify(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "site-0.snap")
+	info := writeSnap(t, path, 500)
+	if info.Rows != 500 {
+		t.Fatalf("info.Rows = %d, want 500", info.Rows)
+	}
+	if err := VerifySnapshot(path, info); err != nil {
+		t.Fatal(err)
+	}
+	var n uint64
+	rows, err := ReadSnapshot(path, func(r Row) error {
+		if r.Key != n || string(r.Data) != fmt.Sprintf("row-%d", n) {
+			return fmt.Errorf("row %d mismatched: key=%d data=%q", n, r.Key, r.Data)
+		}
+		n++
+		return nil
+	})
+	if err != nil || rows != 500 {
+		t.Fatalf("rows=%d err=%v", rows, err)
+	}
+}
+
+func TestSnapshotDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "site-0.snap")
+	info := writeSnap(t, path, 100)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in the middle of the file.
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySnapshot(path, info); err == nil {
+		t.Fatal("verify accepted a bit-flipped snapshot")
+	}
+	if _, err := ReadSnapshot(path, func(Row) error { return nil }); err == nil {
+		t.Fatal("read accepted a bit-flipped snapshot")
+	}
+
+	// A truncated (torn) snapshot is also rejected — no torn-tail tolerance.
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySnapshot(path, info); err == nil {
+		t.Fatal("verify accepted a torn snapshot")
+	}
+}
+
+func TestManifestCommitAndList(t *testing.T) {
+	root := t.TempDir()
+	mk := func(seq uint64, commit bool) {
+		dir := Dir(root, seq)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		info := writeSnap(t, filepath.Join(dir, SnapshotName(0)), 10)
+		if !commit {
+			return // no manifest: directory stays invisible to List
+		}
+		m := &Manifest{
+			Seq: seq, TakenAt: time.Unix(1700000000, 0), Sites: 1,
+			SVVs:            []vclock.Vector{{10}},
+			Offsets:         [][]uint64{{10}},
+			FoldOffsets:     []uint64{10},
+			LowWater:        []uint64{10},
+			Placement:       map[uint64]int{1: 0},
+			PlacementEpochs: map[uint64]uint64{1: 3},
+			MaxEpoch:        3,
+			Snapshots:       []SnapshotInfo{info},
+		}
+		if err := WriteManifest(dir, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk(1, true)
+	mk(2, true)
+	mk(3, false) // crashed before commit
+
+	got := List(root)
+	if len(got) != 2 || got[0].Seq != 2 || got[1].Seq != 1 {
+		t.Fatalf("List = %v manifests (want seqs [2 1])", len(got))
+	}
+	if got[0].Placement[1] != 0 || got[0].PlacementEpochs[1] != 3 {
+		t.Fatalf("placement did not roundtrip: %v / %v", got[0].Placement, got[0].PlacementEpochs)
+	}
+	// The uncommitted dir still reserves its sequence number.
+	if ns := NextSeq(root); ns != 4 {
+		t.Fatalf("NextSeq = %d, want 4", ns)
+	}
+	if err := Remove(root, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := List(root); len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("after Remove: %d manifests", len(got))
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dynamast/internal/storage"
+	"dynamast/internal/systems"
+)
+
+// BenchmarkRecoveryRestart measures a full cluster restart — construction,
+// state recovery, quiesce — against the same committed history with and
+// without a checkpoint mid-way. The checkpointed variant restores site
+// snapshots and replays only the post-checkpoint suffix; full-replay redoes
+// the entire retained log (the paper's §V-C baseline). Reported metrics:
+// replayed_records/op (own-log + refresh records redone per restart) and
+// restored_rows/op.
+func BenchmarkRecoveryRestart(b *testing.B) {
+	const pre, post = 10_000, 1_000
+	for _, mode := range []struct {
+		name       string
+		checkpoint bool
+	}{
+		{"full-replay", false},
+		{"checkpointed", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			dir := b.TempDir()
+			cfg := Config{Sites: 3, Partitioner: partitionBy100, WALDir: dir}
+			c, err := NewCluster(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.CreateTable("kv")
+			var rows []systems.LoadRow
+			for k := uint64(0); k < 1000; k++ {
+				rows = append(rows, systems.LoadRow{Ref: ref(k), Data: []byte{0}})
+			}
+			c.Load(rows)
+			initial := captureInitial(c)
+
+			sess := c.Session(1)
+			commit := func(n int) {
+				for i := 0; i < n; i++ {
+					k := uint64(i%10)*100 + uint64(i%7)
+					if err := sess.Update([]storage.RowRef{ref(k)}, func(tx systems.Tx) error {
+						return tx.Write(ref(k), []byte{byte(i)})
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			commit(pre)
+			if err := c.WaitQuiesced(30 * time.Second); err != nil {
+				b.Fatal(err)
+			}
+			if mode.checkpoint {
+				if _, err := c.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			commit(post)
+			if err := c.WaitQuiesced(30 * time.Second); err != nil {
+				b.Fatal(err)
+			}
+			c.Close()
+
+			var replayed, restored uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c2, err := NewCluster(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c2.CreateTable("kv")
+				if err := c2.Recover(initial); err != nil {
+					b.Fatal(err)
+				}
+				if err := c2.WaitQuiesced(30 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+				st := c2.LastRecovery()
+				replayed += st.ReplayedOwn + st.ReplayedRefresh
+				restored += st.RowsRestored
+				c2.Close()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(replayed)/float64(b.N), "replayed_records/op")
+			b.ReportMetric(float64(restored)/float64(b.N), "restored_rows/op")
+		})
+	}
+}

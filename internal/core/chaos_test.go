@@ -22,8 +22,10 @@ import (
 // burst commits promptly on the survivors.
 
 // newChaosCluster builds a 4-site cluster with a deterministic fault
-// injector (fixed seed) and a fast heartbeat failure detector.
-func newChaosCluster(t *testing.T) (*Cluster, *transport.Injector) {
+// injector (fixed seed) and a fast heartbeat failure detector. mutate, when
+// non-nil, adjusts the config before the cluster starts (e.g. to add
+// durability and background checkpointing).
+func newChaosCluster(t *testing.T, mutate func(*Config)) (*Cluster, *transport.Injector, Config) {
 	t.Helper()
 	inj := transport.NewInjector(42)
 	// Jitter on the transaction wire; drops and errors on the remaster
@@ -33,7 +35,7 @@ func newChaosCluster(t *testing.T) (*Cluster, *transport.Injector) {
 		transport.Rule{Category: transport.CatRemaster, Kind: transport.FaultDrop, Prob: 0.05},
 		transport.Rule{Category: transport.CatRemaster, Kind: transport.FaultError, Prob: 0.05},
 	)
-	c, err := NewCluster(Config{
+	cfg := Config{
 		Sites:       4,
 		Partitioner: partitionBy100,
 		Weights:     selector.YCSBWeights(),
@@ -42,7 +44,11 @@ func newChaosCluster(t *testing.T) (*Cluster, *transport.Injector) {
 			Interval: 2 * time.Millisecond,
 			Misses:   3,
 		},
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := NewCluster(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,13 +59,97 @@ func newChaosCluster(t *testing.T) (*Cluster, *transport.Injector) {
 		rows = append(rows, systems.LoadRow{Ref: ref(k), Data: []byte{byte(k)}})
 	}
 	c.Load(rows)
-	return c, inj
+	return c, inj, cfg
 }
 
 func TestChaosKillSiteMidRun(t *testing.T) {
-	c, inj := newChaosCluster(t)
+	c, inj, _ := newChaosCluster(t, nil)
+	runChaosKillSiteMidRun(t, c, inj)
+}
+
+// The same seed-42 chaos run with a durable WAL and an aggressive background
+// checkpointer racing the workload, the injected faults and the failover —
+// then a crash-restart that must recover from a checkpoint and reproduce the
+// exact pre-crash audit state.
+func TestChaosKillSiteMidRunCheckpointed(t *testing.T) {
+	dir := t.TempDir()
+	c, inj, cfg := newChaosCluster(t, func(cfg *Config) {
+		cfg.WALDir = dir
+		cfg.CheckpointEvery = 10 * time.Millisecond
+		cfg.CheckpointEveryRecords = 500
+	})
+	initial := map[uint64]int{}
+	for p := uint64(0); p < 10; p++ {
+		initial[p] = c.Selector().MasterOf(p)
+	}
+	total := runChaosKillSiteMidRun(t, c, inj)
+	c.Close()
+
+	// Restart on the surviving files (no faults — the chaos already
+	// happened) and re-audit: recovery must come from a checkpoint and land
+	// on the identical pair state.
+	cfg.Faults = nil
+	cfg.FailureDetection = FailureDetectionConfig{}
+	cfg.CheckpointEvery, cfg.CheckpointEveryRecords = 0, 0
+	c2, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c2.Close)
+	c2.CreateTable("kv")
+	if err := c2.Recover(initial); err != nil {
+		t.Fatal(err)
+	}
+	st := c2.LastRecovery()
+	if !st.UsedCheckpoint {
+		t.Fatalf("restart did not use a checkpoint: %+v", st)
+	}
+	if err := c2.WaitQuiesced(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := auditPairs(t, c2, chaosPairs); got != total {
+		t.Fatalf("recovered counter mass %d, want %d", got, total)
+	}
+}
+
+const chaosPairs = 8
+
+// auditPairs checks every pair is intact (both halves equal in one
+// snapshot) and returns the summed counter mass.
+func auditPairs(t *testing.T, c *Cluster, pairs uint64) int {
+	t.Helper()
+	audit := c.Session(999)
+	total := 0
+	for p := uint64(0); p < pairs; p++ {
+		err := audit.Read(func(tx systems.Tx) error {
+			av, _ := tx.Read(ref(p))
+			bv, _ := tx.Read(ref(p + 500))
+			var an, bn byte
+			if len(av) > 0 {
+				an = av[0]
+			}
+			if len(bv) > 0 {
+				bn = bv[0]
+			}
+			if an != bn {
+				return fmt.Errorf("final pair %d torn: %d != %d", p, an, bn)
+			}
+			total += int(an)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return total
+}
+
+// runChaosKillSiteMidRun drives the chaos workload against c and returns
+// the final audited counter mass.
+func runChaosKillSiteMidRun(t *testing.T, c *Cluster, inj *transport.Injector) int {
+	t.Helper()
 	const (
-		pairs   = 8
+		pairs   = chaosPairs
 		workers = 6
 		iters   = 40
 		victim  = 2
@@ -251,29 +341,7 @@ func TestChaosKillSiteMidRun(t *testing.T) {
 	if commits != pairs+workers*iters+50 {
 		t.Fatalf("commits = %d, want %d", commits, pairs+workers*iters+50)
 	}
-	audit := c.Session(999)
-	total := 0
-	for p := uint64(0); p < pairs; p++ {
-		err := audit.Read(func(tx systems.Tx) error {
-			av, _ := tx.Read(ref(p))
-			bv, _ := tx.Read(ref(p + 500))
-			var an, bn byte
-			if len(av) > 0 {
-				an = av[0]
-			}
-			if len(bv) > 0 {
-				bn = bv[0]
-			}
-			if an != bn {
-				return fmt.Errorf("final pair %d torn: %d != %d", p, an, bn)
-			}
-			total += int(an)
-			return nil
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-	}
+	total := auditPairs(t, c, pairs)
 	expected := 0 // seeds leave counter p at byte(p)+1
 	for p := uint64(0); p < pairs; p++ {
 		expected += int(byte(p)) + 1
@@ -292,6 +360,7 @@ func TestChaosKillSiteMidRun(t *testing.T) {
 	if got := c.Failovers(); got != 1 {
 		t.Fatalf("failovers = %d, want 1", got)
 	}
+	return total
 }
 
 // TestChaosManualFailoverRecoversMastership drives Failover directly (no

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynamast/internal/checkpoint"
+	"dynamast/internal/sitemgr"
+	"dynamast/internal/vclock"
+)
+
+// Checkpointing turns restart cost from O(log length) into O(suffix): a
+// checkpoint captures every site's store at a consistent version vector,
+// records where each site's redo replay must resume in every origin's log,
+// and truncates the WAL prefix all sites' snapshots already cover. The
+// capture order matters and is fixed here:
+//
+//  1. Every site exports its store at its own current svv (parallel;
+//     writers are never blocked — see storage.Store.ExportAt).
+//  2. Replay offsets are derived: Offsets[s][o] is the first update in
+//     origin o's log past SVVs[s][o].
+//  3. Fold offsets — each origin's log end — are captured BEFORE the
+//     placement snapshot, so every mastership change that races the
+//     capture lands in the folded suffix; re-folding a change the
+//     placement already reflects is idempotent.
+//  4. The selector's placement is snapshotted with per-partition install
+//     epochs (serialized against in-flight remaster chains by the
+//     partition locks).
+//  5. The manifest is committed by an atomic rename; only then is the WAL
+//     low-water advanced and the dead prefix truncated.
+//
+// One known benign race: a failover grant appends its log entry before the
+// selector map updates, so a capture in that window can snapshot the
+// pre-failover owner. The grant is then in the folded suffix under its
+// fresh epoch and wins the fold — recovery still converges on a single
+// consistent owner (see DESIGN.md).
+
+// checkpointsToKeep bounds disk usage: the newest checkpoint plus one
+// fallback survive garbage collection.
+const checkpointsToKeep = 2
+
+// RecoveryStats describes what the last Cluster.Recover run did.
+type RecoveryStats struct {
+	// UsedCheckpoint is false when recovery degraded to full redo replay.
+	UsedCheckpoint bool
+	// Seq is the recovered checkpoint's sequence (0 for full replay).
+	Seq uint64
+	// RowsRestored counts snapshot rows installed across sites.
+	RowsRestored uint64
+	// ReplayedOwn counts redo records each site replayed from its own log
+	// (deterministic: refresh appliers never touch a site's own
+	// dimension, so this is exactly the post-checkpoint commit suffix).
+	ReplayedOwn uint64
+	// ReplayedRefresh counts refresh records applied synchronously during
+	// recovery catch-up (the concurrent refresh appliers may claim some of
+	// the same suffix, so this is a lower bound on suffix refresh work).
+	ReplayedRefresh uint64
+	// Duration is Recover's wall time.
+	Duration time.Duration
+}
+
+// LastRecovery returns stats for the most recent Recover call.
+func (c *Cluster) LastRecovery() RecoveryStats {
+	c.ckptMu.Lock()
+	defer c.ckptMu.Unlock()
+	return c.lastRecovery
+}
+
+// Checkpoint takes one checkpoint now and returns its manifest. Safe to
+// call concurrently with transaction traffic (runs serialize; writers are
+// never blocked) and concurrently with Close (a checkpoint racing shutdown
+// either commits its manifest atomically or is discarded whole).
+func (c *Cluster) Checkpoint() (*checkpoint.Manifest, error) {
+	if c.cfg.WALDir == "" {
+		return nil, fmt.Errorf("core: checkpointing requires Config.WALDir")
+	}
+	c.ckptMu.Lock()
+	defer c.ckptMu.Unlock()
+	if c.closing.Load() {
+		return nil, fmt.Errorf("core: cluster is closing")
+	}
+	start := time.Now()
+	m, err := c.checkpointLocked()
+	if err != nil {
+		c.obCkptFails.Inc()
+		return nil, err
+	}
+	c.obCkpts.Inc()
+	for _, info := range m.Snapshots {
+		c.obCkptBytes.Add(info.Bytes)
+	}
+	c.ckptDur.ObserveDuration(time.Since(start))
+	return m, nil
+}
+
+func (c *Cluster) checkpointLocked() (*checkpoint.Manifest, error) {
+	root := c.cfg.WALDir
+	seq := checkpoint.NextSeq(root)
+	dir := checkpoint.Dir(root, seq)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	n := len(c.sites)
+	m := &checkpoint.Manifest{
+		Seq:       seq,
+		TakenAt:   time.Now(),
+		Sites:     n,
+		SVVs:      make([]vclock.Vector, n),
+		Offsets:   make([][]uint64, n),
+		LowWater:  make([]uint64, n),
+		Snapshots: make([]checkpoint.SnapshotInfo, n),
+	}
+
+	// 1. Parallel per-site export, each at the site's own current svv.
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, s := range c.sites {
+		wg.Add(1)
+		go func(i int, s *sitemgr.Site) {
+			defer wg.Done()
+			w, err := checkpoint.CreateSnapshot(filepath.Join(dir, checkpoint.SnapshotName(i)))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			svv, err := s.WriteSnapshot(w)
+			if err != nil {
+				w.Abort()
+				errs[i] = err
+				return
+			}
+			info, err := w.Close()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			m.SVVs[i], m.Snapshots[i] = svv, info
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("core: checkpoint export: %w", err)
+		}
+	}
+
+	// 2. Replay offsets; LowWater[o] is the prefix every snapshot covers.
+	for s := 0; s < n; s++ {
+		m.Offsets[s] = make([]uint64, n)
+		for o := 0; o < n; o++ {
+			m.Offsets[s][o] = c.broker.Log(o).FirstUpdateOffsetAfter(m.SVVs[s][o])
+		}
+	}
+	for o := 0; o < n; o++ {
+		lw := m.Offsets[0][o]
+		for s := 1; s < n; s++ {
+			if m.Offsets[s][o] < lw {
+				lw = m.Offsets[s][o]
+			}
+		}
+		m.LowWater[o] = lw
+	}
+
+	// 3+4. Fold offsets strictly before the placement snapshot.
+	m.FoldOffsets = make([]uint64, n)
+	for o := 0; o < n; o++ {
+		m.FoldOffsets[o] = c.broker.Log(o).Len()
+	}
+	m.Placement, m.PlacementEpochs = c.sel.PlacementSnapshot()
+	m.MaxEpoch = c.sel.CurrentEpoch()
+	for _, e := range m.PlacementEpochs {
+		if e > m.MaxEpoch {
+			m.MaxEpoch = e
+		}
+	}
+
+	// 5. Commit point. A shutdown racing this rename gets either a fully
+	// committed checkpoint or none; after the closing flag is up, discard
+	// rather than commit so Close never waits on truncation I/O.
+	if c.closing.Load() {
+		os.RemoveAll(dir)
+		return nil, fmt.Errorf("core: checkpoint abandoned: cluster is closing")
+	}
+	if err := checkpoint.WriteManifest(dir, m); err != nil {
+		os.RemoveAll(dir)
+		return nil, fmt.Errorf("core: checkpoint commit: %w", err)
+	}
+
+	// GC superseded checkpoints, then truncate the WAL prefixes. The
+	// truncation floor is the minimum low-water across the checkpoints that
+	// SURVIVE GC, not just this one's: a retained fallback checkpoint must
+	// keep its whole replay suffix in the log, or falling back to it after
+	// the newest checkpoint corrupts would leave an unfillable gap.
+	if seq > checkpointsToKeep {
+		for _, old := range checkpoint.List(root) {
+			if old.Seq <= seq-checkpointsToKeep {
+				_ = checkpoint.Remove(root, old.Seq)
+			}
+		}
+	}
+	floor := append([]uint64(nil), m.LowWater...)
+	for _, kept := range checkpoint.List(root) {
+		if kept.Sites != n {
+			continue
+		}
+		for o := 0; o < n; o++ {
+			if kept.LowWater[o] < floor[o] {
+				floor[o] = kept.LowWater[o]
+			}
+		}
+	}
+	for o := 0; o < n; o++ {
+		if _, err := c.broker.Log(o).SetLowWater(floor[o]); err != nil {
+			// The checkpoint is committed; failed truncation only costs disk.
+			fmt.Fprintf(os.Stderr, "core: wal truncation (site %d): %v\n", o, err)
+		}
+	}
+	return m, nil
+}
+
+// checkpointLoop is the background checkpointer: a checkpoint fires every
+// `every`, or sooner once `everyRecords` new WAL records have accumulated.
+func (c *Cluster) checkpointLoop(every time.Duration, everyRecords uint64) {
+	defer c.ckptWG.Done()
+	poll := every
+	if everyRecords > 0 {
+		if poll == 0 || poll > 50*time.Millisecond {
+			poll = 50 * time.Millisecond
+		}
+	}
+	totalLen := func() uint64 {
+		var t uint64
+		for o := 0; o < len(c.sites); o++ {
+			t += c.broker.Log(o).Len()
+		}
+		return t
+	}
+	lastLen := totalLen()
+	lastAt := time.Now()
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.ckptStop:
+			return
+		case <-ticker.C:
+		}
+		due := every > 0 && time.Since(lastAt) >= every
+		if !due && everyRecords > 0 {
+			due = totalLen()-lastLen >= everyRecords
+		}
+		if !due {
+			continue
+		}
+		if _, err := c.Checkpoint(); err != nil {
+			if c.closing.Load() {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "core: background checkpoint: %v\n", err)
+		}
+		lastLen, lastAt = totalLen(), time.Now()
+	}
+}
+
+// verifyCheckpoint CRC-walks every snapshot file against the manifest
+// before anything is installed, so recovery never half-installs a corrupt
+// checkpoint and then has to fall back over poisoned state.
+func (c *Cluster) verifyCheckpoint(m *checkpoint.Manifest) error {
+	if m.Sites != len(c.sites) {
+		return fmt.Errorf("checkpoint has %d sites, cluster has %d", m.Sites, len(c.sites))
+	}
+	dir := checkpoint.Dir(c.cfg.WALDir, m.Seq)
+	for i := range c.sites {
+		if err := checkpoint.VerifySnapshot(filepath.Join(dir, checkpoint.SnapshotName(i)), m.Snapshots[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recover implements Cluster.Recover: checkpoint restore with fallback.
+func (c *Cluster) recover(initialPlacement map[uint64]int) error {
+	start := time.Now()
+	var st RecoveryStats
+
+	var m *checkpoint.Manifest
+	if c.cfg.WALDir != "" {
+		for _, cand := range checkpoint.List(c.cfg.WALDir) {
+			if err := c.verifyCheckpoint(cand); err != nil {
+				fmt.Fprintf(os.Stderr, "core: recovery skipping checkpoint %d: %v\n", cand.Seq, err)
+				continue
+			}
+			m = cand
+			break
+		}
+	}
+
+	var owner map[uint64]int
+	var maxEpoch uint64
+	if m != nil {
+		st.UsedCheckpoint, st.Seq = true, m.Seq
+		dir := checkpoint.Dir(c.cfg.WALDir, m.Seq)
+		var rows, own, refresh atomic.Uint64
+		errs := make([]error, len(c.sites))
+		var wg sync.WaitGroup
+		for i, s := range c.sites {
+			wg.Add(1)
+			go func(i int, s *sitemgr.Site) {
+				defer wg.Done()
+				nr, err := s.RestoreSnapshot(filepath.Join(dir, checkpoint.SnapshotName(i)), m.SVVs[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("core: restore site %d: %w", i, err)
+					return
+				}
+				rows.Add(nr)
+				no, err := s.RecoverLocalFrom(m.Offsets[i][i])
+				if err != nil {
+					errs[i] = fmt.Errorf("core: recover site %d: %w", i, err)
+					return
+				}
+				own.Add(no)
+				refresh.Add(s.CatchUpFrom(m.Offsets[i], nil))
+			}(i, s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		st.RowsRestored, st.ReplayedOwn, st.ReplayedRefresh = rows.Load(), own.Load(), refresh.Load()
+
+		seedP := make(map[uint64]int, len(m.Placement))
+		seedE := make(map[uint64]uint64, len(m.PlacementEpochs))
+		for p, site := range initialPlacement {
+			seedP[p] = site
+		}
+		for p, site := range m.Placement {
+			seedP[p] = site
+			seedE[p] = m.PlacementEpochs[p]
+		}
+		owner, maxEpoch = sitemgr.RecoverMastershipFrom(c.broker, seedP, seedE, m.FoldOffsets)
+		if m.MaxEpoch > maxEpoch {
+			maxEpoch = m.MaxEpoch
+		}
+	} else {
+		// Full redo replay (§V-C), the fallback when no checkpoint is
+		// usable. The empty-placement fold is RecoverMastership plus the
+		// max-epoch scan the recovered selector needs.
+		var own, refresh atomic.Uint64
+		errs := make([]error, len(c.sites))
+		var wg sync.WaitGroup
+		for i, s := range c.sites {
+			wg.Add(1)
+			go func(i int, s *sitemgr.Site) {
+				defer wg.Done()
+				no, err := s.RecoverLocalFrom(0)
+				if err != nil {
+					errs[i] = fmt.Errorf("core: recover site %d: %w", i, err)
+					return
+				}
+				own.Add(no)
+			}(i, s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		owner, maxEpoch = sitemgr.RecoverMastershipFrom(c.broker, nil, nil, nil)
+		for p, site := range initialPlacement {
+			if _, ok := owner[p]; !ok {
+				owner[p] = site
+			}
+		}
+		for _, s := range c.sites {
+			s.AdoptMastership(owner)
+			refresh.Add(s.CatchUpFrom(nil, nil))
+		}
+		st.ReplayedOwn, st.ReplayedRefresh = own.Load(), refresh.Load()
+	}
+
+	// Epochs allocated after recovery must out-fence everything logged
+	// before the crash, or stale pre-crash grants could win arbitration
+	// against fresh remaster chains.
+	c.sel.BumpEpoch(maxEpoch)
+	for _, s := range c.sites {
+		s.AdoptMastership(owner)
+	}
+	for p, site := range owner {
+		c.sel.RegisterPartitionEpoch(p, site, maxEpoch)
+	}
+
+	st.Duration = time.Since(start)
+	c.obReplayed.Add(st.ReplayedOwn + st.ReplayedRefresh)
+	c.recoverDur.ObserveDuration(st.Duration)
+	c.ckptMu.Lock()
+	c.lastRecovery = st
+	c.ckptMu.Unlock()
+	return nil
+}

@@ -41,8 +41,18 @@ type Config struct {
 	// Stats tunes the selector's statistics tracking.
 	Stats selector.StatsConfig
 	// WALDir, when set, makes the update logs file-backed (durability and
-	// crash recovery); empty keeps them in memory.
+	// crash recovery); empty keeps them in memory. Checkpoints live under
+	// the same directory.
 	WALDir string
+	// CheckpointEvery, when positive (and WALDir is set), runs a background
+	// checkpointer at this interval. Each checkpoint snapshots every site's
+	// store, records WAL replay offsets in a manifest, and truncates the
+	// covered log prefix, bounding both restart time and disk usage.
+	CheckpointEvery time.Duration
+	// CheckpointEveryRecords additionally triggers a checkpoint whenever
+	// this many new WAL records have accumulated since the last one
+	// (0 disables the record-count trigger).
+	CheckpointEveryRecords uint64
 	// ExecSlots is each site's execution parallelism (0 = default).
 	ExecSlots int
 	// Costs prices transactional work (zero = free; benchmarks use
@@ -68,6 +78,10 @@ type Config struct {
 	// TraceRing caps the in-memory ring of recent transaction lifecycle
 	// traces (0 = obs.DefaultTraceRing).
 	TraceRing int
+
+	// optErr carries a construction error recorded by an Option (e.g. a
+	// malformed WithFaults spec) so NewWithOptions can surface it.
+	optErr error
 }
 
 // Cluster is a running DynaMast deployment.
@@ -90,6 +104,19 @@ type Cluster struct {
 	hbStop      chan struct{}
 	hbWG        sync.WaitGroup
 	closeOnce   sync.Once
+	closing     atomic.Bool
+
+	// Checkpointing (see checkpoint.go).
+	ckptMu       sync.Mutex // serializes checkpoint runs
+	ckptStop     chan struct{}
+	ckptWG       sync.WaitGroup
+	lastRecovery RecoveryStats
+	obCkpts      *obs.Counter
+	obCkptFails  *obs.Counter
+	obCkptBytes  *obs.Counter
+	ckptDur      *obs.Histogram
+	obReplayed   *obs.Counter
+	recoverDur   *obs.Histogram
 
 	obs    *obs.Registry
 	tracer *obs.Tracer
@@ -115,6 +142,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		net:        transport.NewNetwork(cfg.Network),
 		failedOver: make(map[int]bool),
 		hbStop:     make(chan struct{}),
+		ckptStop:   make(chan struct{}),
 	}
 	c.obs = cfg.Obs
 	if c.obs == nil {
@@ -198,6 +226,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.hbWG.Add(1)
 		go c.heartbeatLoop(fd.Interval, fd.Misses)
 	}
+	if cfg.WALDir != "" && (cfg.CheckpointEvery > 0 || cfg.CheckpointEveryRecords > 0) {
+		c.ckptWG.Add(1)
+		go c.checkpointLoop(cfg.CheckpointEvery, cfg.CheckpointEveryRecords)
+	}
 	return c, nil
 }
 
@@ -223,6 +255,18 @@ func (c *Cluster) instrument() {
 		func() float64 { return float64(c.sessions.Load()) })
 	reg.Help("dynamast_site_failovers_total", "Site failures handled by re-mastering to survivors.")
 	c.obFailovers = reg.Counter("dynamast_site_failovers_total")
+	reg.Help("dynamast_checkpoints_total", "Committed checkpoints.")
+	reg.Help("dynamast_checkpoint_failures_total", "Checkpoint attempts abandoned on error or shutdown.")
+	reg.Help("dynamast_checkpoint_bytes_total", "Snapshot bytes written by committed checkpoints.")
+	reg.Help("dynamast_checkpoint_seconds", "Wall time per committed checkpoint (export through truncation).")
+	reg.Help("dynamast_recovery_replayed_records_total", "WAL records replayed by Cluster.Recover.")
+	reg.Help("dynamast_recovery_seconds", "Wall time per Cluster.Recover run.")
+	c.obCkpts = reg.Counter("dynamast_checkpoints_total")
+	c.obCkptFails = reg.Counter("dynamast_checkpoint_failures_total")
+	c.obCkptBytes = reg.Counter("dynamast_checkpoint_bytes_total")
+	c.ckptDur = reg.Histogram("dynamast_checkpoint_seconds")
+	c.obReplayed = reg.Counter("dynamast_recovery_replayed_records_total")
+	c.recoverDur = reg.Histogram("dynamast_recovery_seconds")
 }
 
 // Obs exposes the cluster's metrics registry.
@@ -294,17 +338,26 @@ func (c *Cluster) Stats() systems.Stats {
 }
 
 // Close shuts down replication and closes the logs. The failure detector
-// stops first (it must not declare sites dead during teardown), then the
-// broker closes so blocked appliers drain and exit. Idempotent.
+// and background checkpointer stop first (neither must act during
+// teardown); an in-flight checkpoint is then waited out — its manifest
+// commit is a single atomic rename, so it either completed or left nothing
+// — before the broker closes so blocked appliers drain and exit.
+// Idempotent: second and later calls return immediately.
 func (c *Cluster) Close() {
 	c.closeOnce.Do(func() {
+		c.closing.Store(true)
 		close(c.hbStop)
+		close(c.ckptStop)
+		c.hbWG.Wait()
+		c.ckptWG.Wait()
+		// Drain any manual Checkpoint in flight; new ones refuse via closing.
+		c.ckptMu.Lock()
+		c.ckptMu.Unlock() //nolint:staticcheck // empty critical section = barrier
+		c.broker.Close()
+		for _, s := range c.sites {
+			s.Stop()
+		}
 	})
-	c.hbWG.Wait()
-	c.broker.Close()
-	for _, s := range c.sites {
-		s.Stop()
-	}
 }
 
 // WaitQuiesced blocks until every site has applied every other site's
@@ -339,26 +392,17 @@ func (c *Cluster) WaitQuiesced(timeout time.Duration) error {
 	}
 }
 
-// Recover rebuilds a durable cluster's state after a restart: each site
-// replays its own redo log, mastership is reconstructed from the logged
-// release/grant operations over the supplied load-time placement, every
-// site adopts it and catches up on its peers' logged updates, and the
-// selector metadata is aligned. Call it on a freshly constructed cluster
-// whose Config.WALDir points at the previous incarnation's logs, after
-// re-creating the schema with CreateTable.
+// Recover rebuilds a durable cluster's state after a restart. When a valid
+// checkpoint exists under Config.WALDir, each site installs its snapshot
+// and replays only the WAL suffix past the manifest's offsets, mastership
+// folds from the manifest's placement snapshot plus the post-capture
+// suffix, and the selector's epoch counter is bumped past everything the
+// previous incarnation allocated; sites recover in parallel. A checkpoint
+// that fails verification falls back to the previous one, and with no
+// usable checkpoint recovery degrades to the paper's full redo replay.
+// Call it on a freshly constructed cluster whose Config.WALDir points at
+// the previous incarnation's logs, after re-creating the schema with
+// CreateTable.
 func (c *Cluster) Recover(initialPlacement map[uint64]int) error {
-	for _, s := range c.sites {
-		if err := s.RecoverLocal(); err != nil {
-			return fmt.Errorf("core: recover site %d: %w", s.ID(), err)
-		}
-	}
-	owner := sitemgr.RecoverMastership(c.broker, initialPlacement)
-	for _, s := range c.sites {
-		s.AdoptMastership(owner)
-		s.CatchUp(nil)
-	}
-	for p, site := range owner {
-		c.sel.RegisterPartition(p, site)
-	}
-	return nil
+	return c.recover(initialPlacement)
 }

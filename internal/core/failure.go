@@ -197,7 +197,7 @@ func (c *Cluster) Failover(dead int) error {
 				continue
 			}
 			for _, p := range ids {
-				c.sel.RegisterPartition(p, heir)
+				c.sel.RegisterPartitionEpoch(p, heir, epoch)
 			}
 			granted = true
 		}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dynamast/internal/selector"
+	"dynamast/internal/sitemgr"
+	"dynamast/internal/transport"
+)
+
+// Option configures a cluster built with NewWithOptions. The interface is
+// sealed: options are constructed with the With* helpers, and a full Config
+// value is itself an Option (it replaces the accumulated configuration
+// wholesale), which keeps the historical dynamast.New(dynamast.Config{...})
+// call shape compiling unchanged.
+type Option interface {
+	apply(*Config)
+}
+
+// apply makes Config an Option: applying a Config replaces everything set
+// so far, so it composes as "start from this struct" when passed first.
+func (c Config) apply(dst *Config) {
+	err := dst.optErr
+	*dst = c
+	if dst.optErr == nil {
+		dst.optErr = err
+	}
+}
+
+// optionFunc adapts a closure to the sealed Option interface.
+type optionFunc func(*Config)
+
+func (f optionFunc) apply(c *Config) { f(c) }
+
+// NewWithOptions builds a Config from opts and starts a cluster on it.
+func NewWithOptions(opts ...Option) (*Cluster, error) {
+	var cfg Config
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	if cfg.optErr != nil {
+		return nil, cfg.optErr
+	}
+	return NewCluster(cfg)
+}
+
+// WithSites sets the number of data sites (m).
+func WithSites(n int) Option {
+	return optionFunc(func(c *Config) { c.Sites = n })
+}
+
+// WithPartitioner sets the row-to-partition mapping (required).
+func WithPartitioner(p sitemgr.Partitioner) Option {
+	return optionFunc(func(c *Config) { c.Partitioner = p })
+}
+
+// WithDurableDir makes the update logs file-backed under dir and places
+// checkpoints alongside them, enabling crash recovery (Cluster.Recover).
+func WithDurableDir(dir string) Option {
+	return optionFunc(func(c *Config) { c.WALDir = dir })
+}
+
+// WithWeights sets the remastering-strategy hyperparameters (Equation 8).
+func WithWeights(w selector.Weights) Option {
+	return optionFunc(func(c *Config) { c.Weights = w })
+}
+
+// WithNetwork configures the simulated wire.
+func WithNetwork(nc transport.Config) Option {
+	return optionFunc(func(c *Config) { c.Network = nc })
+}
+
+// WithCheckpointEvery runs the background checkpointer at the given
+// interval (requires a durable directory).
+func WithCheckpointEvery(d time.Duration) Option {
+	return optionFunc(func(c *Config) { c.CheckpointEvery = d })
+}
+
+// WithCheckpointEveryRecords additionally triggers a checkpoint whenever n
+// new WAL records have accumulated since the last one.
+func WithCheckpointEveryRecords(n uint64) Option {
+	return optionFunc(func(c *Config) { c.CheckpointEveryRecords = n })
+}
+
+// WithFaults installs a deterministic fault injector on the cluster wire,
+// configured by a "category:kind:prob[:delay]" spec (see
+// transport.ParseFaultSpec) and seeded so equal seeds replay identical
+// fault streams. A malformed spec surfaces as an error from New.
+func WithFaults(spec string, seed int64) Option {
+	return optionFunc(func(c *Config) {
+		rules, err := transport.ParseFaultSpec(spec)
+		if err != nil {
+			c.optErr = fmt.Errorf("core: WithFaults: %w", err)
+			return
+		}
+		inj := transport.NewInjector(seed)
+		inj.SetRules(rules...)
+		c.Faults = inj
+	})
+}
+
+// WithFailureDetection enables the heartbeat-based site failure detector.
+func WithFailureDetection(fd FailureDetectionConfig) Option {
+	return optionFunc(func(c *Config) { c.FailureDetection = fd })
+}
+
+// WithSelectorReplicas adds replica site-selectors (Appendix I).
+func WithSelectorReplicas(n int) Option {
+	return optionFunc(func(c *Config) { c.SelectorReplicas = n })
+}
+
+// WithSeed fixes the read-routing randomization seed.
+func WithSeed(seed int64) Option {
+	return optionFunc(func(c *Config) { c.Seed = seed })
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -21,16 +22,28 @@ import (
 const beginRetries = 64
 
 // retryBackoff sleeps briefly before resubmitting a transaction so retry
-// storms drain instead of livelocking.
-func retryBackoff(attempt int) {
+// storms drain instead of livelocking. Returns early with the context's
+// error if it is cancelled mid-backoff.
+func retryBackoff(ctx context.Context, attempt int) error {
 	if attempt <= 1 {
-		return
+		return ctx.Err()
 	}
 	backoff := time.Duration(attempt) * 2 * time.Millisecond
 	if backoff > 20*time.Millisecond {
 		backoff = 20 * time.Millisecond
 	}
-	time.Sleep(backoff)
+	if ctx.Done() == nil {
+		time.Sleep(backoff)
+		return nil
+	}
+	t := time.NewTimer(backoff)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Session is one client's connection to the cluster. It tracks the client
@@ -77,30 +90,43 @@ func (s *Session) CVV() vclock.Vector { return s.cvv.Clone() }
 // client then runs the stored procedure at that site and commits locally —
 // no distributed coordination inside the transaction.
 func (s *Session) Update(writeSet []storage.RowRef, fn func(systems.Tx) error) error {
+	return s.UpdateCtx(context.Background(), writeSet, fn)
+}
+
+// UpdateCtx is Update honoring ctx: cancellation interrupts routing
+// (including waits on in-flight remaster chains), the begin freshness
+// wait, and retry backoffs, returning ctx.Err(). A transaction whose begin
+// is abandoned mid-wait is aborted the moment it surfaces, so its locks
+// are always released; once fn has run, the local commit is never
+// abandoned. With a non-cancellable context (context.Background), the
+// call takes exactly the legacy allocation-free path.
+func (s *Session) UpdateCtx(ctx context.Context, writeSet []storage.RowRef, fn func(systems.Tx) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c := s.c
 	bd := &c.breakdown
 
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// begin_transaction round trip to the site selector.
 		t0 := time.Now()
 		c.net.Send(transport.CatRoute, transport.MsgOverhead+transport.SizeOfRefs(writeSet))
 		t1 := time.Now()
-		var route selector.Route
-		var err error
-		if rep, ok := s.router.(*selector.Replica); ok && attempt > 0 {
-			// A data site rejected the transaction: the replica's
-			// metadata was stale, so resubmit through the master
-			// selector (Appendix I).
-			route, err = rep.RouteToMaster(s.id, writeSet, s.cvv)
-		} else {
-			route, err = s.router.RouteWrite(s.id, writeSet, s.cvv)
-		}
+		route, err := s.routeCtx(ctx, attempt, writeSet)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			// Routing fails transiently when the remastering it triggered
 			// hit an injected fault or a dying site; resubmitting re-routes
 			// (the selector rolls failed chains back and skips down sites).
 			if Retryable(err) && attempt < beginRetries {
-				retryBackoff(attempt)
+				if berr := retryBackoff(ctx, attempt); berr != nil {
+					return berr
+				}
 				continue
 			}
 			return fmt.Errorf("core: route: %w", err)
@@ -116,13 +142,18 @@ func (s *Session) Update(writeSet []storage.RowRef, fn func(systems.Tx) error) e
 		// arguments, execute, and receive the commit timestamp.
 		c.net.Send(transport.CatTxn, transport.MsgOverhead+transport.SizeOfRefs(writeSet))
 		t4 := time.Now()
-		tx, err := site.Begin(minVV, writeSet)
+		tx, err := s.beginCtx(ctx, site, minVV, writeSet)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			// Mastership moved between routing and begin (racing
 			// remasterings on a hot partition), or the site died after the
 			// route resolved. Both are retryable: nothing executed.
 			if Retryable(err) && attempt < beginRetries {
-				retryBackoff(attempt)
+				if berr := retryBackoff(ctx, attempt); berr != nil {
+					return berr
+				}
 				continue
 			}
 			return fmt.Errorf("core: begin after %d retries: %w", attempt, err)
@@ -143,7 +174,9 @@ func (s *Session) Update(writeSet []storage.RowRef, fn func(systems.Tx) error) e
 			// its locks, before any WAL write becomes visible), so the
 			// whole transaction can be resubmitted elsewhere.
 			if Retryable(err) && attempt < beginRetries {
-				retryBackoff(attempt)
+				if berr := retryBackoff(ctx, attempt); berr != nil {
+					return berr
+				}
 				continue
 			}
 			return fmt.Errorf("core: commit: %w", err)
@@ -162,6 +195,73 @@ func (s *Session) Update(writeSet []storage.RowRef, fn func(systems.Tx) error) e
 		bd.count.Add(1)
 		c.trace(s.id, route, tvv, t0, t1, t2, t4, t6, t7, t8, tx.WALPublish())
 		return nil
+	}
+}
+
+// routeCtx runs the begin_transaction routing round, which can block inside
+// an in-flight remaster release/grant chain. With a cancellable context the
+// round runs in a goroutine and the wait is abandoned on cancellation; the
+// chain itself always runs to completion (or rolls back) in the background,
+// so abandoning the wait never tears mastership — the client just no longer
+// observes the result. The replica fallback resubmits through the master
+// selector after a data site rejected the transaction on stale replica
+// metadata (Appendix I).
+func (s *Session) routeCtx(ctx context.Context, attempt int, writeSet []storage.RowRef) (selector.Route, error) {
+	route := func(cvv vclock.Vector) (selector.Route, error) {
+		if rep, ok := s.router.(*selector.Replica); ok && attempt > 0 {
+			return rep.RouteToMaster(s.id, writeSet, cvv)
+		}
+		return s.router.RouteWrite(s.id, writeSet, cvv)
+	}
+	if ctx.Done() == nil {
+		return route(s.cvv)
+	}
+	type res struct {
+		r   selector.Route
+		err error
+	}
+	ch := make(chan res, 1)
+	cvv := s.cvv.Clone() // the goroutine may outlive this call
+	go func() {
+		r, err := route(cvv)
+		ch <- res{r, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.r, r.err
+	case <-ctx.Done():
+		return selector.Route{}, ctx.Err()
+	}
+}
+
+// beginCtx runs Begin, which blocks until the site can serve the
+// transaction's freshness floor. On cancellation the abandoned transaction
+// is aborted as soon as Begin surfaces it, so its row locks are always
+// released even though the client has moved on.
+func (s *Session) beginCtx(ctx context.Context, site *sitemgr.Site, minVV vclock.Vector, writeSet []storage.RowRef) (*sitemgr.Txn, error) {
+	if ctx.Done() == nil {
+		return site.Begin(minVV, writeSet)
+	}
+	type res struct {
+		tx  *sitemgr.Txn
+		err error
+	}
+	ch := make(chan res, 1)
+	minVV = minVV.Clone() // the goroutine may outlive this call
+	go func() {
+		tx, err := site.Begin(minVV, writeSet)
+		ch <- res{tx, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.tx, r.err
+	case <-ctx.Done():
+		go func() {
+			if r := <-ch; r.tx != nil {
+				r.tx.Abort()
+			}
+		}()
+		return nil, ctx.Err()
 	}
 }
 
@@ -204,21 +304,39 @@ func (c *Cluster) trace(client int, route selector.Route, tvv vclock.Vector,
 // session's freshness guarantee; any site works, no cross-site
 // synchronization occurs.
 func (s *Session) Read(fn func(systems.Tx) error) error {
+	return s.ReadCtx(context.Background(), fn)
+}
+
+// ReadCtx is Read honoring ctx: cancellation interrupts the begin
+// freshness wait and retry backoffs, returning ctx.Err(). Read routing
+// itself never blocks, so it is not wrapped.
+func (s *Session) ReadCtx(ctx context.Context, fn func(systems.Tx) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c := s.c
 	start := time.Now()
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		c.net.Send(transport.CatRoute, transport.MsgOverhead)
 		route := s.router.RouteRead(s.id, s.cvv)
 		c.net.Send(transport.CatRoute, transport.MsgOverhead)
 
 		c.net.Send(transport.CatTxn, transport.MsgOverhead)
 		site := c.sites[route.Site]
-		tx, err := site.Begin(s.cvv, nil)
+		tx, err := s.beginCtx(ctx, site, s.cvv, nil)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			// The chosen replica died between routing and begin; any other
 			// replica serves the read, so re-route and retry.
 			if Retryable(err) && attempt < beginRetries {
-				retryBackoff(attempt)
+				if berr := retryBackoff(ctx, attempt); berr != nil {
+					return berr
+				}
 				continue
 			}
 			return fmt.Errorf("core: read begin: %w", err)

@@ -80,11 +80,13 @@ type Route struct {
 type partInfo struct {
 	mu     sync.RWMutex
 	master int
+	epoch  uint64 // remaster epoch that installed master (0 = initial placement)
 	hint   atomic.Int32
 }
 
-func (p *partInfo) setMaster(m int) {
+func (p *partInfo) setMaster(m int, epoch uint64) {
 	p.master = m
+	p.epoch = epoch
 	p.hint.Store(int32(m))
 }
 
@@ -301,7 +303,7 @@ func (s *Selector) part(id uint64) *partInfo {
 			}
 		}
 	}
-	p.setMaster(master)
+	p.setMaster(master, 0)
 	sh.m[id] = p
 	sh.mu.Unlock()
 	// Outside the shard lock: materialize ownership at the data site
@@ -363,10 +365,60 @@ func (s *Selector) MasteredBy(site int) []uint64 {
 // RegisterPartition seeds a partition's master location (load-time
 // placement for the baselines; DynaMast experiments use the default).
 func (s *Selector) RegisterPartition(id uint64, master int) {
+	s.RegisterPartitionEpoch(id, master, 0)
+}
+
+// RegisterPartitionEpoch seeds a partition's master together with the
+// remaster epoch that installed it; failover and recovery use it so
+// checkpointed placement snapshots carry accurate epochs.
+func (s *Selector) RegisterPartitionEpoch(id uint64, master int, epoch uint64) {
 	p := s.part(id)
 	p.mu.Lock()
-	p.setMaster(master)
+	p.setMaster(master, epoch)
 	p.mu.Unlock()
+}
+
+// PlacementSnapshot captures the full partition map with the epoch each
+// entry was installed under. Per-partition read locks serialize the capture
+// against in-flight remaster chains (which hold the exclusive lock through
+// their metadata flip), so every entry is a (master, epoch) pair some chain
+// actually committed — never a torn mix.
+func (s *Selector) PlacementSnapshot() (map[uint64]int, map[uint64]uint64) {
+	placement := make(map[uint64]int)
+	epochs := make(map[uint64]uint64)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		ids := make([]uint64, 0, len(sh.m))
+		infos := make([]*partInfo, 0, len(sh.m))
+		for id, p := range sh.m {
+			ids = append(ids, id)
+			infos = append(infos, p)
+		}
+		sh.mu.RUnlock()
+		for j, p := range infos {
+			p.mu.RLock()
+			placement[ids[j]] = p.master
+			epochs[ids[j]] = p.epoch
+			p.mu.RUnlock()
+		}
+	}
+	return placement, epochs
+}
+
+// CurrentEpoch returns the highest remaster epoch allocated so far.
+func (s *Selector) CurrentEpoch() uint64 { return s.epochs.Load() }
+
+// BumpEpoch raises the epoch counter to at least n. A recovered selector
+// calls it with the highest epoch found in the checkpoint and log suffix so
+// freshly allocated epochs keep out-fencing pre-crash ones.
+func (s *Selector) BumpEpoch(n uint64) {
+	for {
+		cur := s.epochs.Load()
+		if cur >= n || s.epochs.CompareAndSwap(cur, n) {
+			return
+		}
+	}
 }
 
 // MasterOf returns the current master site of a partition.
@@ -772,7 +824,7 @@ func (s *Selector) remaster(parts []uint64, infos []*partInfo, dest int) (vclock
 					// Chain complete: flip this chain's metadata now (the
 					// caller holds the partitions' exclusive locks).
 					for _, ix := range c.idxs {
-						infos[ix].setMaster(dest)
+						infos[ix].setMaster(dest, epoch)
 					}
 					mu.Lock()
 					out = out.MaxInto(grantVV)

@@ -98,6 +98,7 @@ func Serve(cluster *core.Cluster, addr string) (*Server, net.Addr, error) {
 	transport.Handle(s.rpc, "stats", s.handleStats)
 	transport.Handle(s.rpc, "metrics", s.handleMetrics)
 	transport.Handle(s.rpc, "faults", s.handleFaults)
+	transport.Handle(s.rpc, "checkpoint", s.handleCheckpoint)
 	bound, err := s.rpc.ListenAndServe(addr)
 	if err != nil {
 		return nil, nil, err
@@ -306,6 +307,32 @@ func (s *Server) handleFaults(req *FaultsRequest) (*FaultsReply, error) {
 	return reply, nil
 }
 
+// CheckpointRequest asks the cluster to take a checkpoint now.
+type CheckpointRequest struct{}
+
+// CheckpointReply summarizes the committed checkpoint: its sequence number,
+// per-site snapshot sizes, and the WAL low-water marks the logs were
+// truncated to.
+type CheckpointReply struct {
+	Seq      uint64
+	Rows     []uint64
+	Bytes    []uint64
+	LowWater []uint64
+}
+
+func (s *Server) handleCheckpoint(*CheckpointRequest) (*CheckpointReply, error) {
+	m, err := s.cluster.Checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	reply := &CheckpointReply{Seq: m.Seq, LowWater: m.LowWater}
+	for _, info := range m.Snapshots {
+		reply.Rows = append(reply.Rows, info.Rows)
+		reply.Bytes = append(reply.Bytes, info.Bytes)
+	}
+	return reply, nil
+}
+
 // Client is a remote session against a Server.
 type Client struct {
 	rpc *transport.Client
@@ -369,6 +396,16 @@ func (c *Client) Stats() (*StatsReply, error) {
 func (c *Client) Metrics(traces int) (*MetricsReply, error) {
 	var reply MetricsReply
 	if err := c.rpc.Call("metrics", &MetricsRequest{Traces: traces}, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Checkpoint asks the cluster to take a checkpoint now and returns its
+// summary (requires the daemon to run with a durable directory).
+func (c *Client) Checkpoint() (*CheckpointReply, error) {
+	var reply CheckpointReply
+	if err := c.rpc.Call("checkpoint", &CheckpointRequest{}, &reply); err != nil {
 		return nil, err
 	}
 	return &reply, nil

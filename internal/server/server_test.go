@@ -182,3 +182,57 @@ func TestStatsRPC(t *testing.T) {
 		t.Fatalf("stats shape = %+v", st)
 	}
 }
+
+func TestCheckpointRPC(t *testing.T) {
+	cluster, err := core.NewCluster(core.Config{
+		Sites:       2,
+		Partitioner: func(ref storage.RowRef) uint64 { return ref.Key / 100 },
+		WALDir:      t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr, err := Serve(cluster, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		cluster.Close()
+	})
+	cl, err := Dial(addr.String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.CreateTable("kv"); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 50; k++ {
+		if err := cl.Put("kv", k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp, err := cl.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Seq == 0 || len(cp.Rows) != 2 {
+		t.Fatalf("checkpoint reply: %+v", cp)
+	}
+	if cp.Rows[0]+cp.Rows[1] == 0 {
+		t.Fatal("checkpoint snapshotted zero rows")
+	}
+}
+
+func TestCheckpointRPCWithoutWALDir(t *testing.T) {
+	_, addr := startServer(t)
+	cl, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Checkpoint(); err == nil {
+		t.Fatal("checkpoint without a durable directory must error")
+	}
+}

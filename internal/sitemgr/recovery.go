@@ -17,12 +17,27 @@ import (
 // version vector into this (empty) site. The refresh appliers started
 // afterwards skip entries already reflected in the adopted vector.
 func (s *Site) BootstrapFrom(peer *Site) {
+	// As in RestoreSnapshot, fence the background appliers for the whole
+	// copy + clock adoption: a refresh entry older than a copied row must
+	// not be installed over it after the copy lands.
+	for o := range s.applyMu {
+		s.applyMu[o].Lock()
+	}
+	defer func() {
+		for o := range s.applyMu {
+			s.applyMu[o].Unlock()
+		}
+	}()
 	peerVV := peer.clock.Now()
+	// Same guard as RestoreSnapshot: our appliers may have outrun the
+	// peer's copy for some rows; a peer row at or below what they already
+	// installed would shadow the newer head.
+	applied := s.clock.Now()
 	for _, name := range peer.store.TableNames() {
 		src := peer.store.Table(name)
-		dst := s.store.CreateTable(name)
+		s.store.CreateTable(name)
 		src.ForEachLatest(func(key uint64, data []byte, stamp storage.Stamp) {
-			dst.Record(key, true).Install(stamp, data, false, s.store.MaxVersions())
+			s.store.ImportRowIfNewer(name, key, data, stamp, applied)
 		})
 	}
 	for k, v := range peerVV {
@@ -36,18 +51,34 @@ func (s *Site) BootstrapFrom(peer *Site) {
 // the clock's own dimension accordingly. Remote dimensions are recovered by
 // the refresh appliers re-reading the peers' logs.
 func (s *Site) RecoverLocal() error {
-	cur := s.log.Subscribe(0)
+	_, err := s.RecoverLocalFrom(0)
+	return err
+}
+
+// RecoverLocalFrom replays this site's own redo log starting at offset from
+// (a checkpoint manifest's replay position; 0 = the whole retained log) and
+// returns how many update records it applied. Entries at or below the
+// site's restored clock are skipped, so replaying a slightly-too-early
+// suffix is harmless.
+func (s *Site) RecoverLocalFrom(from uint64) (uint64, error) {
+	cur := s.log.Subscribe(from)
+	defer cur.Close()
+	var applied uint64
 	for {
 		e, ok := cur.TryNext()
 		if !ok {
-			return nil
+			return applied, nil
 		}
 		if e.Kind != wal.KindUpdate {
 			continue
 		}
 		seq := e.TVV[s.id]
+		if seq <= s.clock.Get(s.id) {
+			continue
+		}
 		s.store.Apply(storage.Stamp{Origin: s.id, Seq: seq}, e.Writes)
 		s.clock.Advance(s.id, seq)
+		applied++
 		if s.nextSeq.Load() < seq {
 			s.nextSeq.Store(seq)
 		}
@@ -85,6 +116,7 @@ func RecoverMastership(b *wal.Broker, initial map[uint64]int) map[uint64]int {
 		for {
 			e, ok := cur.TryNext()
 			if !ok {
+				cur.Close()
 				break
 			}
 			switch e.Kind {
@@ -127,6 +159,83 @@ func RecoverMastership(b *wal.Broker, initial map[uint64]int) map[uint64]int {
 	return owner
 }
 
+// RecoverMastershipFrom reconstructs partition ownership from a checkpoint:
+// the manifest's placement snapshot seeds the map, and only the log
+// suffixes at or past foldOffsets (each origin's log end when the placement
+// was captured) are folded on top. A suffix grant overrides the placement
+// only under a strictly higher epoch than the one that installed the
+// placement entry — sites fence stale-epoch remaster ops, so every
+// post-capture grant satisfies this, while the strict comparison keeps a
+// replayed copy of the placement-installing grant from flapping ownership.
+// Ties among suffix grants break deterministically by site order, matching
+// RecoverMastership. The second result is the highest epoch observed
+// anywhere (placement or suffix): the recovered selector's epoch counter
+// must start above it.
+func RecoverMastershipFrom(b *wal.Broker, placement map[uint64]int, placementEpochs map[uint64]uint64, foldOffsets []uint64) (map[uint64]int, uint64) {
+	owner := make(map[uint64]int, len(placement))
+	for p, site := range placement {
+		owner[p] = site
+	}
+	var maxEpoch uint64
+	for _, e := range placementEpochs {
+		if e > maxEpoch {
+			maxEpoch = e
+		}
+	}
+	type lastOp struct {
+		granted bool
+		epoch   uint64
+	}
+	state := make(map[uint64]map[int]lastOp)
+	for i := 0; i < b.Sites(); i++ {
+		var from uint64
+		if i < len(foldOffsets) {
+			from = foldOffsets[i]
+		}
+		cur := b.Log(i).Subscribe(from)
+		for {
+			e, ok := cur.TryNext()
+			if !ok {
+				cur.Close()
+				break
+			}
+			if e.Kind != wal.KindGrant && e.Kind != wal.KindRelease {
+				continue
+			}
+			if e.Epoch > maxEpoch {
+				maxEpoch = e.Epoch
+			}
+			for _, p := range e.Partitions {
+				m := state[p]
+				if m == nil {
+					m = make(map[int]lastOp)
+					state[p] = m
+				}
+				m[i] = lastOp{granted: e.Kind == wal.KindGrant, epoch: e.Epoch}
+			}
+		}
+	}
+	for p, sites := range state {
+		best, bestEpoch := -1, uint64(0)
+		if site, ok := placement[p]; ok {
+			best, bestEpoch = site, placementEpochs[p]
+		}
+		for site := 0; site < b.Sites(); site++ {
+			op, ok := sites[site]
+			if !ok || !op.granted {
+				continue
+			}
+			if best < 0 || op.epoch > bestEpoch {
+				best, bestEpoch = site, op.epoch
+			}
+		}
+		if best >= 0 {
+			owner[p] = best
+		}
+	}
+	return owner, maxEpoch
+}
+
 // AdoptMastership installs an ownership map (produced by
 // RecoverMastership) into this site.
 func (s *Site) AdoptMastership(owner map[uint64]int) {
@@ -144,13 +253,26 @@ func (s *Site) AdoptMastership(owner map[uint64]int) {
 // (without waiting on propagation delay); used by recovery paths and tests
 // to bring a site to a target vector before serving traffic.
 func (s *Site) CatchUp(target vclock.Vector) {
+	s.CatchUpFrom(nil, target)
+}
+
+// CatchUpFrom is CatchUp starting each origin's log at offsets[origin] (a
+// checkpoint manifest's replay positions; nil = from the beginning) and
+// returns how many refresh records it applied. Already-applied entries in
+// the suffix are skipped by sequence, so replay is idempotent.
+func (s *Site) CatchUpFrom(offsets []uint64, target vclock.Vector) uint64 {
+	var applied uint64
 	for {
 		progressed := false
 		for origin := 0; origin < s.m; origin++ {
 			if origin == s.id {
 				continue
 			}
-			cur := s.cfg.Broker.Log(origin).Subscribe(0)
+			var from uint64
+			if origin < len(offsets) {
+				from = offsets[origin]
+			}
+			cur := s.cfg.Broker.Log(origin).Subscribe(from)
 			for {
 				e, ok := cur.TryNext()
 				if !ok {
@@ -160,20 +282,29 @@ func (s *Site) CatchUp(target vclock.Vector) {
 					continue
 				}
 				seq := e.TVV[origin]
+				// The background applyLoop may be working the same suffix;
+				// applyMu makes check+install+advance atomic so neither
+				// replier stacks a stale version over the other's newer one.
+				s.applyMu[origin].Lock()
 				if seq <= s.clock.Get(origin) {
+					s.applyMu[origin].Unlock()
 					continue
 				}
 				if !vclock.CanApply(s.clock.Now(), e.TVV, origin) {
+					s.applyMu[origin].Unlock()
 					break
 				}
 				s.store.Apply(storage.Stamp{Origin: origin, Seq: seq}, e.Writes)
 				s.clock.Advance(origin, seq)
+				s.applyMu[origin].Unlock()
 				s.refreshes.Add(1)
+				applied++
 				progressed = true
 			}
+			cur.Close()
 		}
 		if s.clock.Now().DominatesEq(target) || !progressed {
-			return
+			return applied
 		}
 	}
 }

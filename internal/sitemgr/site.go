@@ -134,6 +134,14 @@ type Site struct {
 	pool      *execPool
 	applyPool *execPool
 
+	// applyMu[origin] makes a replier's {clock check, store install, clock
+	// advance} atomic per origin. The background applyLoop and a recovery
+	// catch-up replay can work the same log suffix concurrently; without
+	// this, one replier may install a stale version on top of a newer one
+	// the other already applied (version chains are newest-first, so a late
+	// stale install poisons the head and every snapshot read after it).
+	applyMu []sync.Mutex
+
 	pmu   sync.Mutex
 	pcond *sync.Cond
 	parts map[uint64]*partState
@@ -168,8 +176,8 @@ type Site struct {
 
 // siteInstruments are the site's registered metrics.
 type siteInstruments struct {
-	commits      *obs.Counter
-	aborts       *obs.Counter
+	commits        *obs.Counter
+	aborts         *obs.Counter
 	refreshes      *obs.Counter
 	refreshBatches *obs.Counter   // apply chunks (refreshes/batches = mean batch size)
 	commitDur      *obs.Histogram // full local commit latency
@@ -243,19 +251,20 @@ func New(cfg Config) (*Site, error) {
 		cfg.PropagationDelay = cfg.Net.Config().OneWay
 	}
 	s := &Site{
-		cfg:      cfg,
-		id:       cfg.SiteID,
-		m:        cfg.Sites,
-		clock:    vclock.NewSiteClock(cfg.SiteID, cfg.Sites),
-		store:    storage.NewStore(cfg.MaxVersions),
-		log:      cfg.Broker.Log(cfg.SiteID),
-		net:      cfg.Net,
+		cfg:       cfg,
+		id:        cfg.SiteID,
+		m:         cfg.Sites,
+		clock:     vclock.NewSiteClock(cfg.SiteID, cfg.Sites),
+		store:     storage.NewStore(cfg.MaxVersions),
+		log:       cfg.Broker.Log(cfg.SiteID),
+		net:       cfg.Net,
 		parts:     make(map[uint64]*partState),
 		prepared:  make(map[uint64]*preparedTxn),
 		stopped:   make(chan struct{}),
 		pool:      newExecPool(cfg.ExecSlots),
 		relMemo:   make(map[uint64]vclock.Vector),
 		grantMemo: make(map[uint64]vclock.Vector),
+		applyMu:   make([]sync.Mutex, cfg.Sites),
 	}
 	if cfg.ApplySlots == 0 {
 		cfg.ApplySlots = DefaultApplySlots
@@ -364,6 +373,7 @@ const maxRefreshBatch = 64
 func (s *Site) applyLoop(origin int) {
 	defer s.wg.Done()
 	cur := s.cfg.Broker.Log(origin).Subscribe(0)
+	defer cur.Close()
 	var batch []wal.Entry
 	for {
 		var ok bool
@@ -459,21 +469,32 @@ func (s *Site) applyBatch(origin int, batch []wal.Entry) bool {
 		}
 		s.net.Account(transport.CatReplication, bytes)
 		applyStart := time.Now()
+		var applied uint64
 		s.applyPool.do(func() time.Duration {
 			var cost time.Duration
 			for j := range chunk {
 				c := &chunk[j]
 				seq := c.TVV[origin]
+				s.applyMu[origin].Lock()
+				if seq <= s.clock.Get(origin) {
+					// A recovery catch-up replayed this entry between the
+					// dependency gate and here; installing it now would
+					// stack a stale version over the newer state.
+					s.applyMu[origin].Unlock()
+					continue
+				}
 				s.store.Apply(storage.Stamp{Origin: origin, Seq: seq}, c.Writes)
 				s.bumpWatermarks(c.Writes, c.TVV)
 				s.clock.Advance(origin, seq)
+				s.applyMu[origin].Unlock()
+				applied++
 				if !s.cfg.Costs.Zero() {
 					cost += s.cfg.Costs.RefreshBase + time.Duration(len(c.Writes))*s.cfg.Costs.PerRefreshWrite
 				}
 			}
 			return cost
 		})
-		s.refreshes.Add(uint64(len(chunk)))
+		s.refreshes.Add(applied)
 		s.ob.refreshBatches.Inc()
 		s.ob.refreshApply.ObserveDuration(time.Since(applyStart))
 		now := time.Now()

@@ -1,0 +1,120 @@
+package storage
+
+import (
+	"dynamast/internal/vclock"
+)
+
+// Snapshot export/import: the walk a checkpoint makes over the store.
+//
+// ExportAt visits every record once and emits the version a reader at
+// snapshot svv would observe, without taking any write locks — concurrent
+// update transactions keep committing while a checkpoint streams out. The
+// subtlety is the bounded version chain: a record updated more than
+// maxVersions times during the walk may have evicted the version that was
+// visible at svv. In that case ExportAt falls back to the oldest retained
+// version, which is necessarily NEWER than svv. That is safe for
+// checkpointing because recovery replays the WAL suffix past svv anyway:
+// the too-new version's own log entry is in that suffix and re-installs
+// itself on top, so after replay the chain's newest-first prefix is exactly
+// what a crash-free site would hold.
+
+// ExportAt streams the store's contents as observed at snapshot svv to fn,
+// table by table. Rows whose visible version is a tombstone (or that have
+// no version at or before svv and no retained newer version) are skipped:
+// an absent row and a deleted row are indistinguishable to readers, and
+// suffix replay re-installs any post-svv tombstone. fn returning false
+// stops the walk early; ExportAt reports whether the walk completed.
+func (s *Store) ExportAt(svv vclock.Vector, fn func(table string, key uint64, data []byte, stamp Stamp) bool) bool {
+	for _, name := range s.TableNames() {
+		t := s.Table(name)
+		if t == nil {
+			continue
+		}
+		if !t.exportAt(name, svv, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// exportAt walks one table shard by shard. Keys and record pointers are
+// copied under the shard read lock; version reads happen outside it so the
+// walk never holds a shard lock across fn.
+func (t *Table) exportAt(name string, svv vclock.Vector, fn func(table string, key uint64, data []byte, stamp Stamp) bool) bool {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		keys := append([]uint64(nil), s.keys...)
+		recs := make([]*Record, len(keys))
+		for j, k := range keys {
+			recs[j] = s.recs[k]
+		}
+		s.mu.RUnlock()
+		for j, r := range recs {
+			data, stamp, ok := r.ExportAt(svv)
+			if !ok {
+				continue
+			}
+			if !fn(name, keys[j], data, stamp) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ExportAt returns the version of the record a checkpoint at snapshot snap
+// should carry: the newest version visible at snap, or — when concurrent
+// writers evicted every snap-visible version from the bounded chain — the
+// oldest retained version (newer than snap; its redo entry is in the replay
+// suffix). ok is false for tombstones and empty records.
+func (r *Record) ExportAt(snap vclock.Vector) (data []byte, stamp Stamp, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, v := range r.versions {
+		if v.stamp.VisibleAt(snap) {
+			if v.deleted {
+				return nil, Stamp{}, false
+			}
+			return v.data, v.stamp, true
+		}
+	}
+	// No retained version is visible at snap. Either the record was created
+	// after snap (every version newer — exporting the oldest is safe, see
+	// package comment), or the chain cap evicted the visible version.
+	if n := len(r.versions); n > 0 {
+		v := r.versions[n-1]
+		if v.deleted {
+			return nil, Stamp{}, false
+		}
+		return v.data, v.stamp, true
+	}
+	return nil, Stamp{}, false
+}
+
+// ImportRow installs one checkpointed row with its original stamp; used by
+// recovery to rebuild a store from a snapshot file before replaying the WAL
+// suffix on top.
+func (s *Store) ImportRow(table string, key uint64, data []byte, stamp Stamp) {
+	t := s.CreateTable(table)
+	t.Record(key, true).Install(stamp, data, false, s.maxVersions)
+}
+
+// ImportRowIfNewer is ImportRow guarded against replay inversion: when the
+// record already holds versions AND the row is at or below applied[origin]
+// (the importer's clock — everything the running appliers have installed for
+// that origin), the import is skipped and false returned. Install prepends
+// blindly and reads are first-visible-wins, so importing an old snapshot row
+// over a head some applier already advanced past would otherwise shadow the
+// newer state permanently. An empty record always installs: rows that
+// predate the retained WAL (initial loads, truncated prefixes) exist only in
+// the snapshot.
+func (s *Store) ImportRowIfNewer(table string, key uint64, data []byte, stamp Stamp, applied vclock.Vector) bool {
+	t := s.CreateTable(table)
+	r := t.Record(key, true)
+	if r.VersionCount() > 0 && stamp.Origin < len(applied) && stamp.Seq <= applied[stamp.Origin] {
+		return false
+	}
+	r.Install(stamp, data, false, s.maxVersions)
+	return true
+}

@@ -97,15 +97,32 @@ type Entry struct {
 type Log struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	entries []Entry
+	entries []Entry // entries[i] holds absolute offset base+i
 	closed  bool
 
-	// visible is the subscriber-visibility watermark: cursors read
-	// entries[:visible]. Equal to len(entries) for in-memory logs; for
-	// file-backed logs it advances when a flush makes entries durable.
+	// base is the absolute offset of entries[0]. It starts at 0 and rises
+	// when truncation reclaims a checkpointed prefix; offsets are stable
+	// across truncation (an entry keeps its offset for life).
+	base uint64
+
+	// lowWater is the truncation permission: a checkpoint that captured
+	// everything below offset lowWater has committed, so the prefix
+	// [base, lowWater) is dead weight once every registered cursor has
+	// also passed it.
+	lowWater uint64
+
+	// cursors tracks live subscriptions; truncation never reclaims an
+	// entry a registered cursor has yet to read. Cursor.Close unregisters.
+	cursors map[*Cursor]struct{}
+
+	// visible is the subscriber-visibility watermark (absolute): cursors
+	// read offsets below it. Equal to base+len(entries) for in-memory
+	// logs; for file-backed logs it advances when a flush makes entries
+	// durable.
 	visible uint64
 
 	file       *os.File
+	path       string // backing file path; "" for in-memory logs
 	fileBacked bool
 	encBuf     bytes.Buffer // per-record gob scratch; framed into buf
 	buf        bytes.Buffer // framed records; drained to file by the flush leader
@@ -121,14 +138,16 @@ type Log struct {
 	updSeq atomic.Uint64
 
 	// Observability instruments (nil-safe; see Instrument).
-	appendDur  *obs.Histogram
-	kindCounts map[Kind]*obs.Counter
-	flushes    *obs.Counter
+	appendDur    *obs.Histogram
+	kindCounts   map[Kind]*obs.Counter
+	flushes      *obs.Counter
+	truncEntries *obs.Counter
+	truncBytes   *obs.Counter
 }
 
 // New returns an in-memory log.
 func New() *Log {
-	l := &Log{}
+	l := &Log{cursors: make(map[*Cursor]struct{})}
 	l.cond = sync.NewCond(&l.mu)
 	l.flushCond = sync.NewCond(&l.mu)
 	return l
@@ -169,9 +188,13 @@ func Open(path string) (*Log, error) {
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
 			break // checksummed but structurally invalid: treat as corrupt tail
 		}
-		if e.Offset != uint64(len(l.entries)) {
+		// The first record fixes the log's base: a truncated log legally
+		// starts at a non-zero offset. After that, offsets must be dense.
+		if len(l.entries) == 0 {
+			l.base = e.Offset
+		} else if e.Offset != l.base+uint64(len(l.entries)) {
 			f.Close()
-			return nil, fmt.Errorf("wal: %s corrupt: offset %d at position %d", path, e.Offset, len(l.entries))
+			return nil, fmt.Errorf("wal: %s corrupt: offset %d at position %d", path, e.Offset, l.base+uint64(len(l.entries)))
 		}
 		l.entries = append(l.entries, e)
 		if e.Kind == KindUpdate && e.Origin < len(e.TVV) {
@@ -193,8 +216,10 @@ func Open(path string) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	l.visible = uint64(len(l.entries))
+	l.visible = l.base + uint64(len(l.entries))
+	l.lowWater = l.base
 	l.file = f
+	l.path = path
 	l.fileBacked = true
 	return l, nil
 }
@@ -217,7 +242,7 @@ func (l *Log) Append(e Entry) (uint64, error) {
 	if l.flushErr != nil {
 		return 0, l.flushErr
 	}
-	e.Offset = uint64(len(l.entries))
+	e.Offset = l.base + uint64(len(l.entries))
 	if e.At.IsZero() {
 		e.At = start
 	}
@@ -243,7 +268,7 @@ func (l *Log) Append(e Entry) (uint64, error) {
 	}
 	if !l.fileBacked {
 		// In-memory: immediately visible.
-		l.visible = uint64(len(l.entries))
+		l.visible = l.base + uint64(len(l.entries))
 		l.cond.Broadcast()
 	} else if err := l.waitDurable(e.Offset); err != nil {
 		return 0, err
@@ -274,7 +299,7 @@ func (l *Log) flushLocked() {
 	l.flushing = true
 	data := append([]byte(nil), l.buf.Bytes()...)
 	l.buf.Reset()
-	target := uint64(len(l.entries))
+	target := l.base + uint64(len(l.entries))
 	f := l.file
 	l.mu.Unlock()
 	var err error
@@ -311,6 +336,8 @@ func (l *Log) Instrument(reg *obs.Registry, siteID int) {
 	l.mu.Lock()
 	l.appendDur = reg.Histogram("dynamast_wal_append_seconds", site)
 	l.flushes = reg.Counter("dynamast_wal_flushes_total", site)
+	l.truncEntries = reg.Counter("dynamast_wal_truncated_entries_total", site)
+	l.truncBytes = reg.Counter("dynamast_wal_truncated_bytes_total", site)
 	l.kindCounts = map[Kind]*obs.Counter{
 		KindUpdate:  reg.Counter("dynamast_wal_entries_total", site, obs.L("kind", KindUpdate.String())),
 		KindRelease: reg.Counter("dynamast_wal_entries_total", site, obs.L("kind", KindRelease.String())),
@@ -323,21 +350,161 @@ func (l *Log) Instrument(reg *obs.Registry, siteID int) {
 		func() float64 { return float64(l.LastUpdateSeq()) }, site)
 }
 
-// Len returns the number of published (subscriber-visible) entries.
+// Len returns the absolute end offset of the published (subscriber-visible)
+// log: the number of entries ever published, unaffected by truncation.
 func (l *Log) Len() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.visible
 }
 
-// Get returns the entry at offset, if published.
+// Get returns the entry at offset, if published and still retained.
 func (l *Log) Get(offset uint64) (Entry, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if offset >= l.visible {
+	if offset >= l.visible || offset < l.base {
 		return Entry{}, false
 	}
-	return l.entries[offset], true
+	return l.entries[offset-l.base], true
+}
+
+// Base returns the absolute offset of the oldest retained entry (0 until
+// truncation has reclaimed a prefix).
+func (l *Log) Base() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// LowWater returns the current truncation low-water mark.
+func (l *Log) LowWater() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lowWater
+}
+
+// Path returns the backing file path ("" for an in-memory log).
+func (l *Log) Path() string { return l.path }
+
+// FirstUpdateOffsetAfter returns the absolute offset of the first published
+// update entry whose origin-dimension commit sequence exceeds seq, or the
+// log's end offset when seq already covers every published update. Because a
+// site's commit sequences are assigned in append order, this is the exact
+// replay start for a replica whose version vector shows seq for this origin.
+func (l *Log) FirstUpdateOffsetAfter(seq uint64) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.entries {
+		off := l.base + uint64(i)
+		if off >= l.visible {
+			break
+		}
+		e := &l.entries[i]
+		if e.Kind == KindUpdate && e.Origin < len(e.TVV) && e.TVV[e.Origin] > seq {
+			return off
+		}
+	}
+	return l.visible
+}
+
+// SetLowWater raises the truncation low-water mark to off (never lowered)
+// and reclaims the dead prefix: every entry below min(low-water, slowest
+// registered cursor, durability watermark) is dropped from memory and — for
+// file-backed logs — rewritten out of the backing file via an atomic
+// temp-file rename, so a crash mid-truncation leaves either the old or the
+// new file, both valid. Returns how many entries were reclaimed.
+func (l *Log) SetLowWater(off uint64) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if off > l.lowWater {
+		l.lowWater = off
+	}
+	floor := l.lowWater
+	if floor > l.visible {
+		floor = l.visible
+	}
+	for c := range l.cursors {
+		if c.next < floor {
+			floor = c.next
+		}
+	}
+	if floor <= l.base || l.closed {
+		return 0, nil
+	}
+	dropped := floor - l.base
+
+	if l.fileBacked {
+		// Quiesce flushing: the rewrite must see a stable durable prefix
+		// and must not race a leader's file write.
+		for l.flushing {
+			l.flushCond.Wait()
+		}
+		if l.flushErr != nil {
+			return 0, l.flushErr
+		}
+		var oldSize int64
+		if st, err := l.file.Stat(); err == nil {
+			oldSize = st.Size()
+		}
+		nf, err := l.rewriteFrom(dropped)
+		if err != nil {
+			return 0, fmt.Errorf("wal: truncate %s: %w", l.path, err)
+		}
+		l.file.Close()
+		l.file = nf
+		if st, err := nf.Stat(); err == nil && oldSize > st.Size() {
+			l.truncBytes.Add(uint64(oldSize - st.Size()))
+		}
+	}
+
+	l.entries = append([]Entry(nil), l.entries[dropped:]...)
+	l.base = floor
+	l.truncEntries.Add(dropped)
+	return dropped, nil
+}
+
+// rewriteFrom writes the retained durable suffix (entries[keep:] up to the
+// durability watermark) to a temp file and renames it over the log's path,
+// returning the new file positioned for appends. Caller holds l.mu with no
+// flush in flight; pending undurable frames stay in l.buf and land in the
+// new file on the next flush.
+func (l *Log) rewriteFrom(keep uint64) (*os.File, error) {
+	tmp := l.path + ".tmp"
+	nf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	durable := l.visible - l.base // entries with bytes already in the file
+	var out bytes.Buffer
+	for i := keep; i < durable; i++ {
+		l.encBuf.Reset()
+		if err := gob.NewEncoder(&l.encBuf).Encode(&l.entries[i]); err != nil {
+			nf.Close()
+			os.Remove(tmp)
+			return nil, err
+		}
+		payload := l.encBuf.Bytes()
+		var hdr [frameHeaderSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+		out.Write(hdr[:])
+		out.Write(payload)
+	}
+	if _, err := nf.Write(out.Bytes()); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return nil, err
+	}
+	return nf, nil
 }
 
 // Close flushes any buffered appends, marks the log closed, waking blocked
@@ -345,9 +512,9 @@ func (l *Log) Get(offset uint64) (Entry, bool) {
 // backing file if any.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	if l.fileBacked && uint64(len(l.entries)) > 0 {
+	if l.fileBacked && len(l.entries) > 0 {
 		// Drain the tail (also waits out any in-flight leader).
-		_ = l.waitDurable(uint64(len(l.entries)) - 1)
+		_ = l.waitDurable(l.base + uint64(len(l.entries)) - 1)
 	}
 	for l.flushing {
 		l.flushCond.Wait()
@@ -364,15 +531,35 @@ func (l *Log) Close() error {
 	return nil
 }
 
-// Cursor reads a log in order starting at a subscription offset.
+// Cursor reads a log in order starting at a subscription offset. A live
+// cursor pins the log's truncation floor at its position; callers that
+// abandon a cursor before the log closes must Close it, or the prefix it
+// has yet to read is retained forever.
 type Cursor struct {
 	log  *Log
 	next uint64
 }
 
-// Subscribe returns a cursor positioned at offset from.
+// Subscribe returns a registered cursor positioned at offset from (clamped
+// up to the oldest retained entry when the prefix was already truncated).
 func (l *Log) Subscribe(from uint64) *Cursor {
-	return &Cursor{log: l, next: from}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < l.base {
+		from = l.base
+	}
+	c := &Cursor{log: l, next: from}
+	l.cursors[c] = struct{}{}
+	return c
+}
+
+// Close unregisters the cursor so it no longer pins the truncation floor.
+// Reads after Close still work but lose the retention guarantee. Idempotent.
+func (c *Cursor) Close() {
+	l := c.log
+	l.mu.Lock()
+	delete(l.cursors, c)
+	l.mu.Unlock()
 }
 
 // Next blocks until the next entry is available and returns it; ok is false
@@ -381,13 +568,16 @@ func (c *Cursor) Next() (Entry, bool) {
 	l := c.log
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if c.next < l.base {
+		c.next = l.base
+	}
 	for c.next >= l.visible {
 		if l.closed {
 			return Entry{}, false
 		}
 		l.cond.Wait()
 	}
-	e := l.entries[c.next]
+	e := l.entries[c.next-l.base]
 	c.next++
 	return e, true
 }
@@ -402,6 +592,9 @@ func (c *Cursor) NextBatch(dst []Entry, max int) ([]Entry, bool) {
 	l := c.log
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if c.next < l.base {
+		c.next = l.base
+	}
 	for c.next >= l.visible {
 		if l.closed {
 			return dst, false
@@ -412,7 +605,8 @@ func (c *Cursor) NextBatch(dst []Entry, max int) ([]Entry, bool) {
 	if max > 0 && uint64(max) < n {
 		n = uint64(max)
 	}
-	dst = append(dst, l.entries[c.next:c.next+n]...)
+	i := c.next - l.base
+	dst = append(dst, l.entries[i:i+n]...)
 	c.next += n
 	return dst, true
 }
@@ -422,10 +616,13 @@ func (c *Cursor) TryNext() (Entry, bool) {
 	l := c.log
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if c.next < l.base {
+		c.next = l.base
+	}
 	if c.next >= l.visible {
 		return Entry{}, false
 	}
-	e := l.entries[c.next]
+	e := l.entries[c.next-l.base]
 	c.next++
 	return e, true
 }
@@ -476,6 +673,8 @@ func (b *Broker) Instrument(reg *obs.Registry) {
 	reg.Help("dynamast_wal_entries", "Entries currently retained in each site's update log.")
 	reg.Help("dynamast_wal_last_update_seq", "Commit sequence of the newest update published per site.")
 	reg.Help("dynamast_wal_flushes_total", "Group-commit file flushes per site (appends/flushes = mean batch size).")
+	reg.Help("dynamast_wal_truncated_entries_total", "Log entries reclaimed by checkpoint-driven prefix truncation.")
+	reg.Help("dynamast_wal_truncated_bytes_total", "Backing-file bytes reclaimed by prefix truncation.")
 	for i, l := range b.logs {
 		l.Instrument(reg, i)
 	}

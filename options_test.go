@@ -1,0 +1,129 @@
+package dynamast_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dynamast"
+)
+
+// The functional-options construction path end to end, including a
+// context-first transaction pair.
+func TestNewWithOptions(t *testing.T) {
+	c, err := dynamast.New(
+		dynamast.WithSites(3),
+		dynamast.WithPartitioner(dynamast.PartitionByRange(100)),
+		dynamast.WithDurableDir(t.TempDir()),
+		dynamast.WithCheckpointEvery(time.Hour),
+		dynamast.WithSeed(7),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.CreateTable("kv")
+
+	ctx := context.Background()
+	sess := c.Session(1)
+	ref := dynamast.RowRef{Table: "kv", Key: 7}
+	if err := sess.UpdateCtx(ctx, []dynamast.RowRef{ref}, func(tx dynamast.Tx) error {
+		return tx.Write(ref, []byte("v"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.ReadCtx(ctx, func(tx dynamast.Tx) error {
+		if data, ok := tx.Read(ref); !ok || string(data) != "v" {
+			t.Fatalf("read %q %v", data, ok)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The historical Config-struct call shape still works: a Config value is
+// itself an Option.
+func TestConfigStructStillAnOption(t *testing.T) {
+	c, err := dynamast.New(dynamast.Config{
+		Sites:       2,
+		Partitioner: dynamast.PartitionByRange(100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// Later options refine a leading Config.
+	c, err = dynamast.New(
+		dynamast.Config{Sites: 2, Partitioner: dynamast.PartitionByRange(100)},
+		dynamast.WithSites(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := len(c.Sites()); got != 3 {
+		t.Fatalf("WithSites after Config: %d sites, want 3", got)
+	}
+}
+
+func TestWithFaultsRejectsBadSpec(t *testing.T) {
+	_, err := dynamast.New(
+		dynamast.WithSites(2),
+		dynamast.WithPartitioner(dynamast.PartitionByRange(100)),
+		dynamast.WithFaults("not-a-spec", 42),
+	)
+	if err == nil {
+		t.Fatal("malformed fault spec did not error")
+	}
+}
+
+// A cancelled context interrupts both transaction entry points before any
+// work happens.
+func TestCtxCancellation(t *testing.T) {
+	c, err := dynamast.New(
+		dynamast.WithSites(2),
+		dynamast.WithPartitioner(dynamast.PartitionByRange(100)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.CreateTable("kv")
+	sess := c.Session(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ref := dynamast.RowRef{Table: "kv", Key: 1}
+	err = sess.UpdateCtx(ctx, []dynamast.RowRef{ref}, func(tx dynamast.Tx) error {
+		t.Fatal("transaction logic ran under a cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("UpdateCtx under cancelled ctx: %v", err)
+	}
+	if err := sess.ReadCtx(ctx, func(tx dynamast.Tx) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReadCtx under cancelled ctx: %v", err)
+	}
+	// The session stays usable after a cancellation.
+	if err := sess.Update([]dynamast.RowRef{ref}, func(tx dynamast.Tx) error {
+		return tx.Write(ref, []byte("v"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The exported sentinels survive the session layer's wrapping.
+func TestErrorTaxonomy(t *testing.T) {
+	if !dynamast.Retryable(dynamast.ErrSiteDown) {
+		t.Fatal("ErrSiteDown must be retryable")
+	}
+	wrapped := errors.Join(errors.New("outer"), dynamast.ErrStaleEpoch)
+	if !errors.Is(wrapped, dynamast.ErrStaleEpoch) {
+		t.Fatal("ErrStaleEpoch lost through wrapping")
+	}
+	if dynamast.ErrConnLost == nil {
+		t.Fatal("ErrConnLost unexported")
+	}
+}
