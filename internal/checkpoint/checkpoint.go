@@ -7,8 +7,11 @@
 //	<root>/checkpoint-<seq>/manifest.json   written last, via temp+rename
 //
 // Snapshot files reuse the WAL's framing — every row is
-// [u32 length][u32 CRC-32C][gob payload], little-endian — so bit rot and
-// torn writes are detectable. Unlike the WAL, a snapshot tolerates no torn
+// [u32 length][u32 CRC-32C][payload], little-endian — so bit rot and torn
+// writes are detectable. Row payloads are written in the binary codec
+// format (internal/codec); files written by pre-codec builds carry gob
+// payloads in the same frames, which ReadSnapshot accepts per frame via the
+// magic-byte fallback. Unlike the WAL, a snapshot tolerates no torn
 // tail: the manifest records each file's exact row and byte counts, and a
 // file that fails CRC or count verification invalidates the whole
 // checkpoint (recovery falls back to the previous one, then to full
@@ -22,9 +25,7 @@ package checkpoint
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -36,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"dynamast/internal/codec"
 	"dynamast/internal/storage"
 	"dynamast/internal/vclock"
 )
@@ -112,11 +114,11 @@ func SnapshotName(site int) string { return fmt.Sprintf("site-%d.snap", site) }
 
 // SnapshotWriter streams CRC-framed rows to a snapshot file.
 type SnapshotWriter struct {
-	f      *os.File
-	w      *bufio.Writer
-	encBuf bytes.Buffer
-	info   SnapshotInfo
-	err    error
+	f    *os.File
+	w    *bufio.Writer
+	enc  []byte // per-row encode scratch, reused across Write calls
+	info SnapshotInfo
+	err  error
 }
 
 // CreateSnapshot creates (truncating) the snapshot file at path.
@@ -133,12 +135,8 @@ func (s *SnapshotWriter) Write(r Row) error {
 	if s.err != nil {
 		return s.err
 	}
-	s.encBuf.Reset()
-	if err := gob.NewEncoder(&s.encBuf).Encode(&r); err != nil {
-		s.err = err
-		return err
-	}
-	payload := s.encBuf.Bytes()
+	s.enc = encodeRowTimed(s.enc[:0], &r)
+	payload := s.enc
 	var hdr [frameHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
@@ -184,6 +182,9 @@ func ReadSnapshot(path string, fn func(Row) error) (uint64, error) {
 		return 0, fmt.Errorf("checkpoint: read %s: %w", path, err)
 	}
 	var rows uint64
+	var goodBytes int
+	intern := make(map[string]string)
+	decStart := time.Now()
 	off := 0
 	for off < len(data) {
 		if off+frameHeaderSize > len(data) {
@@ -199,15 +200,17 @@ func ReadSnapshot(path string, fn func(Row) error) (uint64, error) {
 			return rows, fmt.Errorf("checkpoint: %s: CRC mismatch at byte %d", path, off)
 		}
 		var r Row
-		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&r); err != nil {
+		if err := decodeRowPayload(payload, &r, intern); err != nil {
 			return rows, fmt.Errorf("checkpoint: %s: decode at byte %d: %w", path, off, err)
 		}
+		goodBytes += int(n)
 		if err := fn(r); err != nil {
 			return rows, err
 		}
 		rows++
 		off += frameHeaderSize + int(n)
 	}
+	codec.RecordDecode(codec.SurfaceCheckpoint, goodBytes, time.Since(decStart))
 	return rows, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dynamast/internal/codec"
 	"dynamast/internal/obs"
 	"dynamast/internal/selector"
 	"dynamast/internal/sitemgr"
@@ -150,6 +151,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	c.tracer = obs.NewTracer(cfg.TraceRing)
 	c.net.Instrument(c.obs)
+	codec.Instrument(c.obs)
 	if cfg.Faults != nil {
 		c.net.SetInjector(cfg.Faults)
 		cfg.Faults.Instrument(c.obs)

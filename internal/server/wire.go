@@ -1,0 +1,298 @@
+package server
+
+import (
+	"sort"
+	"time"
+
+	"dynamast/internal/codec"
+)
+
+// Binary wire schemas (format v1) for the server's RPC bodies. Every
+// client-facing request/response implements codec.Message, so the transport
+// layer uses the zero-allocation binary path instead of the gob fallback.
+// The one deliberate exception is the metrics RPC: MetricsReply embeds the
+// full observability snapshot (nested maps of label sets), is operator-path
+// rather than transaction-path, and stays on gob.
+//
+// All Unmarshal methods obey the codec ownership rule — every decoded
+// []byte/string is freshly allocated — and assign every field, so a reused
+// destination struct cannot leak stale state between calls.
+
+var (
+	_ codec.Message = (*createTableReq)(nil)
+	_ codec.Message = (*createTableResp)(nil)
+	_ codec.Message = (*TxnRequest)(nil)
+	_ codec.Message = (*TxnResponse)(nil)
+	_ codec.Message = (*StatsRequest)(nil)
+	_ codec.Message = (*StatsReply)(nil)
+	_ codec.Message = (*FaultsRequest)(nil)
+	_ codec.Message = (*FaultsReply)(nil)
+	_ codec.Message = (*CheckpointRequest)(nil)
+	_ codec.Message = (*CheckpointReply)(nil)
+)
+
+// MarshalTo implements codec.Message.
+func (m *createTableReq) MarshalTo(buf []byte) []byte {
+	buf = codec.AppendHeader(buf, codec.Version1)
+	return codec.AppendString(buf, m.Name)
+}
+
+// Unmarshal implements codec.Message.
+func (m *createTableReq) Unmarshal(data []byte) error {
+	r := codec.NewReader(data)
+	m.Name = r.String()
+	return r.Done()
+}
+
+// MarshalTo implements codec.Message.
+func (m *createTableResp) MarshalTo(buf []byte) []byte {
+	return codec.AppendHeader(buf, codec.Version1)
+}
+
+// Unmarshal implements codec.Message.
+func (m *createTableResp) Unmarshal(data []byte) error {
+	return codec.NewReader(data).Done()
+}
+
+// appendOp appends one operation's fields.
+func appendOp(buf []byte, op *Op) []byte {
+	buf = codec.AppendUvarint(buf, uint64(op.Kind))
+	buf = codec.AppendString(buf, op.Table)
+	buf = codec.AppendUvarint(buf, op.Key)
+	buf = codec.AppendUvarint(buf, op.Lo)
+	buf = codec.AppendUvarint(buf, op.Hi)
+	buf = codec.AppendBytes(buf, op.Value)
+	return codec.AppendInt(buf, op.Delta)
+}
+
+// decodeOp decodes one operation's fields.
+func decodeOp(r *codec.Reader, op *Op) {
+	op.Kind = OpKind(r.Uvarint())
+	op.Table = r.String()
+	op.Key = r.Uvarint()
+	op.Lo = r.Uvarint()
+	op.Hi = r.Uvarint()
+	op.Value = r.Bytes()
+	op.Delta = r.Int()
+}
+
+// MarshalTo implements codec.Message.
+func (m *TxnRequest) MarshalTo(buf []byte) []byte {
+	buf = codec.AppendHeader(buf, codec.Version1)
+	buf = codec.AppendInt(buf, int64(m.Client))
+	buf = codec.AppendRefs(buf, m.WriteSet)
+	buf = codec.AppendUvarint(buf, uint64(len(m.Ops)))
+	for i := range m.Ops {
+		buf = appendOp(buf, &m.Ops[i])
+	}
+	return buf
+}
+
+// Unmarshal implements codec.Message.
+func (m *TxnRequest) Unmarshal(data []byte) error {
+	r := codec.NewReader(data)
+	m.Client = int(r.Int())
+	m.WriteSet = r.Refs()
+	m.Ops = nil
+	if n := r.Uvarint(); n > 0 && r.Err() == nil {
+		m.Ops = make([]Op, n)
+		for i := range m.Ops {
+			decodeOp(r, &m.Ops[i])
+			if r.Err() != nil {
+				m.Ops = nil
+				break
+			}
+		}
+	}
+	return r.Done()
+}
+
+// MarshalTo implements codec.Message.
+func (m *TxnResponse) MarshalTo(buf []byte) []byte {
+	buf = codec.AppendHeader(buf, codec.Version1)
+	buf = codec.AppendUvarint(buf, uint64(len(m.Results)))
+	for i := range m.Results {
+		res := &m.Results[i]
+		buf = codec.AppendBool(buf, res.Found)
+		buf = codec.AppendBytes(buf, res.Value)
+		buf = codec.AppendKVs(buf, res.Rows)
+	}
+	return buf
+}
+
+// Unmarshal implements codec.Message.
+func (m *TxnResponse) Unmarshal(data []byte) error {
+	r := codec.NewReader(data)
+	m.Results = nil
+	if n := r.Uvarint(); n > 0 && r.Err() == nil {
+		m.Results = make([]OpResult, n)
+		for i := range m.Results {
+			m.Results[i].Found = r.Bool()
+			m.Results[i].Value = r.Bytes()
+			m.Results[i].Rows = r.KVs()
+			if r.Err() != nil {
+				m.Results = nil
+				break
+			}
+		}
+	}
+	return r.Done()
+}
+
+// MarshalTo implements codec.Message.
+func (m *StatsRequest) MarshalTo(buf []byte) []byte {
+	return codec.AppendHeader(buf, codec.Version1)
+}
+
+// Unmarshal implements codec.Message.
+func (m *StatsRequest) Unmarshal(data []byte) error {
+	return codec.NewReader(data).Done()
+}
+
+// MarshalTo implements codec.Message.
+func (m *StatsReply) MarshalTo(buf []byte) []byte {
+	buf = codec.AppendHeader(buf, codec.Version1)
+	buf = codec.AppendUvarint(buf, m.Commits)
+	buf = codec.AppendUint64s(buf, m.PerSiteCommits)
+	buf = codec.AppendUvarint(buf, m.WriteTxns)
+	buf = codec.AppendUvarint(buf, m.ReadTxns)
+	buf = codec.AppendUvarint(buf, m.RemasterTxns)
+	buf = codec.AppendUvarint(buf, m.PartsMoved)
+	buf = codec.AppendUint64s(buf, m.RoutedPerSite)
+	buf = codec.AppendUvarint(buf, uint64(len(m.SiteVectors)))
+	for _, v := range m.SiteVectors {
+		buf = codec.AppendUint64s(buf, v)
+	}
+	return buf
+}
+
+// Unmarshal implements codec.Message.
+func (m *StatsReply) Unmarshal(data []byte) error {
+	r := codec.NewReader(data)
+	m.Commits = r.Uvarint()
+	m.PerSiteCommits = r.Uint64s()
+	m.WriteTxns = r.Uvarint()
+	m.ReadTxns = r.Uvarint()
+	m.RemasterTxns = r.Uvarint()
+	m.PartsMoved = r.Uvarint()
+	m.RoutedPerSite = r.Uint64s()
+	m.SiteVectors = nil
+	if n := r.Uvarint(); n > 0 && r.Err() == nil {
+		m.SiteVectors = make([][]uint64, n)
+		for i := range m.SiteVectors {
+			m.SiteVectors[i] = r.Uint64s()
+			if r.Err() != nil {
+				m.SiteVectors = nil
+				break
+			}
+		}
+	}
+	return r.Done()
+}
+
+// MarshalTo implements codec.Message.
+func (m *FaultsRequest) MarshalTo(buf []byte) []byte {
+	buf = codec.AppendHeader(buf, codec.Version1)
+	return codec.AppendString(buf, m.Spec)
+}
+
+// Unmarshal implements codec.Message.
+func (m *FaultsRequest) Unmarshal(data []byte) error {
+	r := codec.NewReader(data)
+	m.Spec = r.String()
+	return r.Done()
+}
+
+// MarshalTo implements codec.Message. The Injected map is emitted in sorted
+// key order so equal replies encode to equal bytes.
+func (m *FaultsReply) MarshalTo(buf []byte) []byte {
+	buf = codec.AppendHeader(buf, codec.Version1)
+	buf = codec.AppendBool(buf, m.Enabled)
+	buf = codec.AppendInt(buf, m.Seed)
+	buf = codec.AppendUvarint(buf, uint64(len(m.Rules)))
+	for i := range m.Rules {
+		rule := &m.Rules[i]
+		buf = codec.AppendString(buf, rule.Category)
+		buf = codec.AppendString(buf, rule.Kind)
+		buf = codec.AppendFloat(buf, rule.Prob)
+		buf = codec.AppendInt(buf, int64(rule.Delay))
+	}
+	buf = codec.AppendUvarint(buf, uint64(len(m.Injected)))
+	keys := make([]string, 0, len(m.Injected))
+	for k := range m.Injected {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		buf = codec.AppendString(buf, k)
+		buf = codec.AppendUvarint(buf, m.Injected[k])
+	}
+	buf = codec.AppendUvarint(buf, m.RPCRetries)
+	return codec.AppendUvarint(buf, m.Failovers)
+}
+
+// Unmarshal implements codec.Message.
+func (m *FaultsReply) Unmarshal(data []byte) error {
+	r := codec.NewReader(data)
+	m.Enabled = r.Bool()
+	m.Seed = r.Int()
+	m.Rules = nil
+	if n := r.Uvarint(); n > 0 && r.Err() == nil {
+		m.Rules = make([]FaultRuleInfo, n)
+		for i := range m.Rules {
+			m.Rules[i].Category = r.String()
+			m.Rules[i].Kind = r.String()
+			m.Rules[i].Prob = r.Float()
+			m.Rules[i].Delay = time.Duration(r.Int())
+			if r.Err() != nil {
+				m.Rules = nil
+				break
+			}
+		}
+	}
+	m.Injected = nil
+	if n := r.Uvarint(); r.Err() == nil {
+		m.Injected = make(map[string]uint64, n)
+		for i := uint64(0); i < n; i++ {
+			k := r.String()
+			v := r.Uvarint()
+			if r.Err() != nil {
+				m.Injected = nil
+				break
+			}
+			m.Injected[k] = v
+		}
+	}
+	m.RPCRetries = r.Uvarint()
+	m.Failovers = r.Uvarint()
+	return r.Done()
+}
+
+// MarshalTo implements codec.Message.
+func (m *CheckpointRequest) MarshalTo(buf []byte) []byte {
+	return codec.AppendHeader(buf, codec.Version1)
+}
+
+// Unmarshal implements codec.Message.
+func (m *CheckpointRequest) Unmarshal(data []byte) error {
+	return codec.NewReader(data).Done()
+}
+
+// MarshalTo implements codec.Message.
+func (m *CheckpointReply) MarshalTo(buf []byte) []byte {
+	buf = codec.AppendHeader(buf, codec.Version1)
+	buf = codec.AppendUvarint(buf, m.Seq)
+	buf = codec.AppendUint64s(buf, m.Rows)
+	buf = codec.AppendUint64s(buf, m.Bytes)
+	return codec.AppendUint64s(buf, m.LowWater)
+}
+
+// Unmarshal implements codec.Message.
+func (m *CheckpointReply) Unmarshal(data []byte) error {
+	r := codec.NewReader(data)
+	m.Seq = r.Uvarint()
+	m.Rows = r.Uint64s()
+	m.Bytes = r.Uint64s()
+	m.LowWater = r.Uint64s()
+	return r.Done()
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"dynamast/internal/codec"
+	"dynamast/internal/storage"
+)
+
+// roundTrip marshals src and unmarshals into dst (same concrete type),
+// checking the payload is binary-format and decodes cleanly.
+func roundTrip(t *testing.T, src, dst codec.Message) {
+	t.Helper()
+	payload := src.MarshalTo(nil)
+	if !codec.IsBinary(payload) {
+		t.Fatalf("%T payload is not binary-format", src)
+	}
+	if err := dst.Unmarshal(payload); err != nil {
+		t.Fatalf("%T unmarshal: %v", src, err)
+	}
+	if !reflect.DeepEqual(src, dst) {
+		t.Fatalf("%T round trip mismatch:\n got %+v\nwant %+v", src, dst, src)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	roundTrip(t, &createTableReq{Name: "accounts"}, &createTableReq{})
+	roundTrip(t, &createTableResp{}, &createTableResp{})
+	roundTrip(t, &TxnRequest{
+		Client:   42,
+		WriteSet: []storage.RowRef{{Table: "accounts", Key: 1}, {Table: "orders", Key: 9}},
+		Ops: []Op{
+			{Kind: OpGet, Table: "accounts", Key: 1},
+			{Kind: OpPut, Table: "accounts", Key: 1, Value: []byte("v")},
+			{Kind: OpAdd, Table: "counters", Key: 7, Delta: -3},
+			{Kind: OpScan, Table: "orders", Lo: 5, Hi: 50},
+		},
+	}, &TxnRequest{})
+	roundTrip(t, &TxnRequest{Client: 0}, &TxnRequest{})
+	roundTrip(t, &TxnResponse{Results: []OpResult{
+		{Found: true, Value: []byte{0, 1, 2}},
+		{Found: false},
+		{Found: true, Rows: []storage.KV{{Key: 1, Value: []byte("a")}, {Key: 2, Value: nil}}},
+	}}, &TxnResponse{})
+	roundTrip(t, &StatsRequest{}, &StatsRequest{})
+	roundTrip(t, &StatsReply{
+		Commits:        100,
+		PerSiteCommits: []uint64{40, 60},
+		WriteTxns:      70,
+		ReadTxns:       30,
+		RemasterTxns:   5,
+		PartsMoved:     12,
+		RoutedPerSite:  []uint64{55, 45},
+		SiteVectors:    [][]uint64{{1, 2}, {3, 4}},
+	}, &StatsReply{})
+	roundTrip(t, &FaultsRequest{Spec: "rpc:drop:0.1:5ms"}, &FaultsRequest{})
+	roundTrip(t, &FaultsReply{
+		Enabled: true,
+		Seed:    -42,
+		Rules: []FaultRuleInfo{
+			{Category: "rpc", Kind: "drop", Prob: 0.25, Delay: 5 * time.Millisecond},
+			{Category: "disk", Kind: "error", Prob: 0.001},
+		},
+		Injected:   map[string]uint64{"rpc/drop": 17, "disk/error": 2},
+		RPCRetries: 9,
+		Failovers:  1,
+	}, &FaultsReply{})
+	roundTrip(t, &CheckpointRequest{}, &CheckpointRequest{})
+	roundTrip(t, &CheckpointReply{
+		Seq:      3,
+		Rows:     []uint64{10, 20},
+		Bytes:    []uint64{1000, 2000},
+		LowWater: []uint64{5, 6},
+	}, &CheckpointReply{})
+}
+
+// TestWireUnmarshalResetsDest checks that decoding into a dirty struct
+// leaves no stale fields behind (the transport may reuse destinations).
+func TestWireUnmarshalResetsDest(t *testing.T) {
+	dirty := &TxnRequest{
+		Client:   99,
+		WriteSet: []storage.RowRef{{Table: "stale", Key: 1}},
+		Ops:      []Op{{Kind: OpPut, Table: "stale", Value: []byte("old")}},
+	}
+	payload := (&TxnRequest{Client: 1}).MarshalTo(nil)
+	if err := dirty.Unmarshal(payload); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dirty, &TxnRequest{Client: 1}) {
+		t.Fatalf("stale state survived unmarshal: %+v", dirty)
+	}
+}
+
+// TestWireGarbageRejected checks that corrupt payloads error instead of
+// panicking, for every message type.
+func TestWireGarbageRejected(t *testing.T) {
+	msgs := []codec.Message{
+		&createTableReq{}, &createTableResp{}, &TxnRequest{}, &TxnResponse{},
+		&StatsRequest{}, &StatsReply{}, &FaultsRequest{}, &FaultsReply{},
+		&CheckpointRequest{}, &CheckpointReply{},
+	}
+	inputs := [][]byte{
+		nil,
+		{codec.Magic},
+		{codec.Magic, codec.Version1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		{codec.Magic, 0x7f},
+		{0x42, 0x42, 0x42},
+	}
+	for _, m := range msgs {
+		for _, in := range inputs {
+			if err := m.Unmarshal(in); err == nil && len(in) > codec.HeaderSize {
+				t.Fatalf("%T accepted garbage %v", m, in)
+			}
+		}
+	}
+}

@@ -374,7 +374,13 @@ func (s *Site) applyLoop(origin int) {
 	defer s.wg.Done()
 	cur := s.cfg.Broker.Log(origin).Subscribe(0)
 	defer cur.Close()
-	var batch []wal.Entry
+	// The batch buffer is pooled across applier generations (site restarts,
+	// recovery appliers); entries only borrow the log's write sets, so the
+	// pool's zero-on-put keeps parked buffers from pinning payload memory.
+	bp := wal.GetBatch()
+	defer wal.PutBatch(bp)
+	batch := *bp
+	defer func() { *bp = batch }()
 	for {
 		var ok bool
 		batch, ok = cur.NextBatch(batch[:0], maxRefreshBatch)

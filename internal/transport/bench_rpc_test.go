@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"dynamast/internal/codec"
+)
+
+// benchBody mimics a transaction submission: a session id, a write-set-like
+// ref list, and a value payload. benchBodyBin implements codec.Message so
+// the binary path is used; benchBodyGob is field-identical but rides the
+// gob fallback, giving the before/after comparison one build can measure.
+type benchBodyBin struct {
+	Client int64
+	Tables []string
+	Keys   []uint64
+	Value  []byte
+}
+
+type benchBodyGob struct {
+	Client int64
+	Tables []string
+	Keys   []uint64
+	Value  []byte
+}
+
+func (m *benchBodyBin) MarshalTo(buf []byte) []byte {
+	buf = codec.AppendHeader(buf, codec.Version1)
+	buf = codec.AppendInt(buf, m.Client)
+	buf = codec.AppendUvarint(buf, uint64(len(m.Tables)))
+	for _, t := range m.Tables {
+		buf = codec.AppendString(buf, t)
+	}
+	buf = codec.AppendUint64s(buf, m.Keys)
+	return codec.AppendBytes(buf, m.Value)
+}
+
+func (m *benchBodyBin) Unmarshal(data []byte) error {
+	r := codec.NewReader(data)
+	m.Client = r.Int()
+	m.Tables = nil
+	if n := r.Uvarint(); n > 0 && r.Err() == nil {
+		m.Tables = make([]string, n)
+		for i := range m.Tables {
+			m.Tables[i] = r.String()
+			if r.Err() != nil {
+				m.Tables = nil
+				break
+			}
+		}
+	}
+	m.Keys = r.Uint64s()
+	m.Value = r.Bytes()
+	return r.Done()
+}
+
+func benchBodyFields() (int64, []string, []uint64, []byte) {
+	return 42,
+		[]string{"accounts", "orders"},
+		[]uint64{100, 205, 317},
+		bytes.Repeat([]byte{0xAB}, 128)
+}
+
+// BenchmarkRPCBodyEncodeDecode isolates body serialization round-trip
+// (encode + decode, no network) in both formats.
+func BenchmarkRPCBodyEncodeDecode(b *testing.B) {
+	cl, tbl, keys, val := benchBodyFields()
+	b.Run("binary", func(b *testing.B) {
+		src := &benchBodyBin{Client: cl, Tables: tbl, Keys: keys, Value: val}
+		var buf []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf, _ = encodeBody(src, buf[:0])
+			var dst benchBodyBin
+			if err := decodeBody(buf, &dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gob", func(b *testing.B) {
+		src := &benchBodyGob{Client: cl, Tables: tbl, Keys: keys, Value: val}
+		var buf []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = encodeBody(src, buf[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			var dst benchBodyGob
+			if err := decodeBody(buf, &dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRPCRoundTrip measures a full echo call over TCP loopback — frame
+// encode, kernel round trip, frame decode, body decode — in both body
+// formats. Network time dominates; the interesting columns are allocs/op
+// and the binary-vs-gob delta.
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	cl, tbl, keys, val := benchBodyFields()
+	run := func(b *testing.B, method string, arg, reply any) {
+		s := NewServer()
+		Handle(s, "echo_bin", func(req *benchBodyBin) (*benchBodyBin, error) { return req, nil })
+		Handle(s, "echo_gob", func(req *benchBodyGob) (*benchBodyGob, error) { return req, nil })
+		addr, err := s.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		c, err := Dial(addr.String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.Call(method, arg, reply); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("binary", func(b *testing.B) {
+		arg := &benchBodyBin{Client: cl, Tables: tbl, Keys: keys, Value: val}
+		run(b, "echo_bin", arg, &benchBodyBin{})
+	})
+	b.Run("gob", func(b *testing.B) {
+		arg := &benchBodyGob{Client: cl, Tables: tbl, Keys: keys, Value: val}
+		run(b, "echo_gob", arg, &benchBodyGob{})
+	})
+}
+
+func TestBenchBodyRoundTrip(t *testing.T) {
+	cl, tbl, keys, val := benchBodyFields()
+	src := &benchBodyBin{Client: cl, Tables: tbl, Keys: keys, Value: val}
+	buf, err := encodeBody(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst benchBodyBin
+	if err := decodeBody(buf, &dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Client != src.Client || len(dst.Tables) != 2 || len(dst.Keys) != 3 || !bytes.Equal(dst.Value, src.Value) {
+		t.Fatalf("round trip mismatch: %+v", dst)
+	}
+}

@@ -1,21 +1,42 @@
 package transport
 
 import (
+	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
 	"time"
+
+	"dynamast/internal/codec"
 )
 
 // This file implements the real networked RPC used by multi-process
-// deployments (cmd/dynamastd, examples/cluster): a minimal gob-framed
+// deployments (cmd/dynamastd, examples/cluster): a length-prefixed binary
 // request/response protocol with per-connection multiplexing. The paper
-// uses Apache Thrift for the same role; only request/response semantics are
-// required by the system.
+// uses Apache Thrift (compact protocol) for the same role; this layer
+// mirrors it with the internal/codec wire format.
+//
+// Wire shape: every message is [u32 length][payload], little-endian, where
+// the payload is a codec frame — magic+version header, a flags byte
+// (response / has-error), the call id, the method name, an optional error
+// string, and the request/response body as the frame's tail. Bodies of
+// types that implement codec.Message travel in the binary format; other
+// types fall back to gob (the first body byte discriminates), which keeps
+// rarely-called operator RPCs with deep payloads (metrics snapshots) off
+// the hand-rolled schema list without a second protocol.
+//
+// Buffer discipline: encode scratch and read buffers come from the codec
+// pool. A read buffer is owned by the message decoded from it and is
+// returned to the pool once the body has been consumed — on the server,
+// after the handler returns (handlers must copy what they keep, which the
+// codec's decode rule already guarantees); on the client, after the reply
+// is decoded.
 
 // frame is the wire unit, used for both requests and responses.
 type frame struct {
@@ -26,10 +47,118 @@ type frame struct {
 	Resp   bool
 }
 
-// Handler processes one request body and returns a response body.
-type Handler func(body []byte) ([]byte, error)
+const (
+	rpcFlagResp = 1 << 0
+	rpcFlagErr  = 1 << 1
 
-// Server dispatches gob-framed RPC requests to registered handlers.
+	// maxRPCFrame bounds a message's claimed length so a corrupt or
+	// malicious length prefix cannot ask for an absurd allocation.
+	maxRPCFrame = 64 << 20
+
+	// rpcReadBuffer sizes each connection's buffered reader.
+	rpcReadBuffer = 64 << 10
+)
+
+// appendFrame appends f's codec payload (header, flags, id, method,
+// optional error, body tail) to buf.
+func appendFrame(buf []byte, f *frame) []byte {
+	buf = codec.AppendHeader(buf, codec.Version1)
+	var flags byte
+	if f.Resp {
+		flags |= rpcFlagResp
+	}
+	if f.Err != "" {
+		flags |= rpcFlagErr
+	}
+	buf = append(buf, flags)
+	buf = codec.AppendUvarint(buf, f.ID)
+	buf = codec.AppendString(buf, f.Method)
+	if f.Err != "" {
+		buf = codec.AppendString(buf, f.Err)
+	}
+	return append(buf, f.Body...)
+}
+
+// decodeFrame parses a codec payload into f. f.Body aliases payload — the
+// caller keeps the backing buffer alive until the body is consumed.
+func decodeFrame(payload []byte, f *frame) error {
+	r := codec.NewReader(payload)
+	flags := byte(r.Uvarint())
+	f.ID = r.Uvarint()
+	f.Method = r.String()
+	f.Resp = flags&rpcFlagResp != 0
+	if flags&rpcFlagErr != 0 {
+		f.Err = r.String()
+	} else {
+		f.Err = ""
+	}
+	f.Body = r.Tail()
+	return r.Err()
+}
+
+// writeFrame serializes f with a length prefix and writes it to w in one
+// call. The caller serializes writers (per-connection write mutex).
+func writeFrame(w io.Writer, f *frame) error {
+	bp := codec.GetBuf()
+	buf := append((*bp)[:0], 0, 0, 0, 0) // length prefix placeholder
+	start := time.Now()
+	buf = appendFrame(buf, f)
+	codec.RecordEncode(codec.SurfaceRPC, len(buf)-4, time.Since(start))
+	if len(buf)-4 > maxRPCFrame {
+		*bp = buf[:0]
+		codec.PutBuf(bp)
+		return fmt.Errorf("rpc: frame too large (%d bytes)", len(buf)-4)
+	}
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	_, err := w.Write(buf)
+	*bp = buf[:0]
+	codec.PutBuf(bp)
+	return err
+}
+
+// readFrame reads one length-prefixed message from br into a pooled buffer
+// and decodes it into f. On success the returned buffer backs f.Body; the
+// caller must codec.PutBuf it once the body is dead. On error the buffer
+// has already been recycled.
+func readFrame(br *bufio.Reader, f *frame) (*[]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxRPCFrame {
+		return nil, fmt.Errorf("rpc: frame length %d exceeds limit", n)
+	}
+	bp := codec.GetBuf()
+	buf := *bp
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	*bp = buf
+	if _, err := io.ReadFull(br, buf); err != nil {
+		codec.PutBuf(bp)
+		return nil, err
+	}
+	start := time.Now()
+	err := decodeFrame(buf, f)
+	codec.RecordDecode(codec.SurfaceRPC, int(n), time.Since(start))
+	if err != nil {
+		codec.PutBuf(bp)
+		return nil, fmt.Errorf("rpc: bad frame: %w", err)
+	}
+	return bp, nil
+}
+
+// Handler processes one request body and appends its response body to dst
+// (which arrives empty with pooled capacity), returning the extended
+// slice. The request body is only valid for the duration of the call;
+// anything retained must be copied — which the codec's decode ownership
+// rule provides for free.
+type Handler func(req []byte, dst []byte) ([]byte, error)
+
+// Server dispatches framed RPC requests to registered handlers.
 type Server struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
@@ -98,30 +227,38 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	br := bufio.NewReaderSize(conn, rpcReadBuffer)
 	var wmu sync.Mutex
 	for {
 		var req frame
-		if err := dec.Decode(&req); err != nil {
+		bp, err := readFrame(br, &req)
+		if err != nil {
 			return
 		}
 		s.mu.RLock()
 		h := s.handlers[req.Method]
 		s.mu.RUnlock()
-		go func(req frame) {
+		go func(req frame, bp *[]byte) {
 			resp := frame{ID: req.ID, Method: req.Method, Resp: true}
+			bodyBuf := codec.GetBuf()
+			body := (*bodyBuf)[:0]
 			if h == nil {
 				resp.Err = fmt.Sprintf("rpc: unknown method %q", req.Method)
-			} else if body, err := h(req.Body); err != nil {
+			} else if body, err = h(req.Body, body); err != nil {
 				resp.Err = err.Error()
 			} else {
 				resp.Body = body
 			}
+			// The handler has returned; the request body is dead.
+			codec.PutBuf(bp)
 			wmu.Lock()
-			defer wmu.Unlock()
-			_ = enc.Encode(&resp)
-		}(req)
+			_ = writeFrame(conn, &resp)
+			wmu.Unlock()
+			if body != nil {
+				*bodyBuf = body[:0]
+			}
+			codec.PutBuf(bodyBuf)
+		}(req, bp)
 	}
 }
 
@@ -146,7 +283,6 @@ func (s *Server) Close() error {
 // concurrent use.
 type Client struct {
 	conn net.Conn
-	enc  *gob.Encoder
 	wmu  sync.Mutex
 
 	mu      sync.Mutex
@@ -159,9 +295,11 @@ type Client struct {
 // to a pending call. Keeping the failure as a typed error (rather than
 // flattening it into frame.Err, which carries server-side error strings)
 // lets retry logic distinguish connection loss from an application error
-// whose text merely resembles one.
+// whose text merely resembles one. buf, when non-nil, is the pooled read
+// buffer backing resp.Body; the receiver recycles it after decoding.
 type callResult struct {
 	resp frame
+	buf  *[]byte
 	err  error
 }
 
@@ -173,7 +311,6 @@ func Dial(addr string) (*Client, error) {
 	}
 	c := &Client{
 		conn:    conn,
-		enc:     gob.NewEncoder(conn),
 		pending: make(map[uint64]chan callResult),
 	}
 	go c.readLoop()
@@ -181,10 +318,11 @@ func Dial(addr string) (*Client, error) {
 }
 
 func (c *Client) readLoop() {
-	dec := gob.NewDecoder(c.conn)
+	br := bufio.NewReaderSize(c.conn, rpcReadBuffer)
 	for {
 		var resp frame
-		if err := dec.Decode(&resp); err != nil {
+		bp, err := readFrame(br, &resp)
+		if err != nil {
 			c.fail(fmt.Errorf("%w: %v", ErrConnLost, err))
 			return
 		}
@@ -193,7 +331,9 @@ func (c *Client) readLoop() {
 		delete(c.pending, resp.ID)
 		c.mu.Unlock()
 		if ch != nil {
-			ch <- callResult{resp: resp}
+			ch <- callResult{resp: resp, buf: bp}
+		} else {
+			codec.PutBuf(bp) // call was abandoned; nobody will decode this
 		}
 	}
 }
@@ -227,8 +367,8 @@ func isConnErr(err error) bool {
 	return errors.Is(err, ErrConnLost)
 }
 
-// Call invokes method with the gob-encoded arg and decodes the response
-// into reply (which may be nil for methods without results). Equivalent to
+// Call invokes method with the encoded arg and decodes the response into
+// reply (which may be nil for methods without results). Equivalent to
 // CallCtx with a background context (no deadline).
 func (c *Client) Call(method string, arg, reply any) error {
 	return c.CallCtx(context.Background(), method, arg, reply)
@@ -249,14 +389,17 @@ func (c *Client) CallTimeout(method string, arg, reply any, timeout time.Duratio
 // discarded by the read loop) and returns an error wrapping ErrTimeout and
 // the context error.
 func (c *Client) CallCtx(ctx context.Context, method string, arg, reply any) error {
-	body, err := encodeGob(arg)
+	bodyBuf := codec.GetBuf()
+	body, err := encodeBody(arg, (*bodyBuf)[:0])
 	if err != nil {
+		codec.PutBuf(bodyBuf)
 		return fmt.Errorf("rpc: encode %s: %w", method, err)
 	}
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
+		codec.PutBuf(bodyBuf)
 		return err
 	}
 	c.nextID++
@@ -266,8 +409,12 @@ func (c *Client) CallCtx(ctx context.Context, method string, arg, reply any) err
 	c.mu.Unlock()
 
 	c.wmu.Lock()
-	err = c.enc.Encode(&frame{ID: id, Method: method, Body: body})
+	err = writeFrame(c.conn, &frame{ID: id, Method: method, Body: body})
 	c.wmu.Unlock()
+	if body != nil {
+		*bodyBuf = body[:0]
+	}
+	codec.PutBuf(bodyBuf)
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
@@ -292,13 +439,16 @@ func (c *Client) CallCtx(ctx context.Context, method string, arg, reply any) err
 	if res.err != nil {
 		return res.err
 	}
+	err = nil
 	if res.resp.Err != "" {
-		return errors.New(res.resp.Err)
+		err = errors.New(res.resp.Err)
+	} else if reply != nil {
+		err = decodeBody(res.resp.Body, reply)
 	}
-	if reply == nil {
-		return nil
+	if res.buf != nil {
+		codec.PutBuf(res.buf) // reply decoded (and copied); buffer is dead
 	}
-	return decodeGob(res.resp.Body, reply)
+	return err
 }
 
 // RetryPolicy bounds CallRetry: at most Attempts tries, each under
@@ -378,36 +528,54 @@ func (c *Client) Close() error {
 	return err
 }
 
-// Handle registers a typed handler: the request body is gob-decoded into
-// Req, and the returned Resp is gob-encoded.
+// Handle registers a typed handler: the request body is decoded into Req,
+// and the returned Resp is encoded into the response. Types implementing
+// codec.Message use their binary wire schema; anything else rides the gob
+// fallback (see encodeBody).
 func Handle[Req, Resp any](s *Server, method string, fn func(*Req) (*Resp, error)) {
-	s.Register(method, func(body []byte) ([]byte, error) {
+	s.Register(method, func(body, dst []byte) ([]byte, error) {
 		var req Req
-		if err := decodeGob(body, &req); err != nil {
+		if err := decodeBody(body, &req); err != nil {
 			return nil, fmt.Errorf("rpc: decode %s: %w", method, err)
 		}
 		resp, err := fn(&req)
 		if err != nil {
 			return nil, err
 		}
-		return encodeGob(resp)
+		return encodeBody(resp, dst)
 	})
 }
 
-func encodeGob(v any) ([]byte, error) {
+// encodeBody appends v's encoding to dst: the binary wire schema when v
+// implements codec.Message, a self-contained gob stream otherwise (whose
+// first byte is never the codec magic, so decodeBody can discriminate).
+// A nil v encodes as an empty body.
+func encodeBody(v any, dst []byte) ([]byte, error) {
 	if v == nil {
 		return nil, nil
 	}
-	var buf sliceWriter
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	if m, ok := v.(codec.Message); ok {
+		return m.MarshalTo(dst), nil
+	}
+	sw := sliceWriter(dst)
+	if err := gob.NewEncoder(&sw).Encode(v); err != nil {
 		return nil, err
 	}
-	return buf, nil
+	return sw, nil
 }
 
-func decodeGob(body []byte, v any) error {
+// decodeBody decodes a body produced by encodeBody into v. An empty body
+// leaves v at its zero value (nil request/reply convention).
+func decodeBody(body []byte, v any) error {
 	if len(body) == 0 {
 		return nil
+	}
+	if codec.IsBinary(body) {
+		m, ok := v.(codec.Message)
+		if !ok {
+			return fmt.Errorf("rpc: binary body for non-Message type %T", v)
+		}
+		return m.Unmarshal(body)
 	}
 	return gob.NewDecoder(byteReader{&body}).Decode(v)
 }

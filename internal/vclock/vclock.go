@@ -19,6 +19,7 @@
 package vclock
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strings"
 )
@@ -183,6 +184,19 @@ func CanApply(svv, tvv Vector, origin int) bool {
 		}
 	}
 	return true
+}
+
+// AppendBinary appends v's wire encoding — a uvarint dimension count
+// followed by one uvarint per dimension — to buf and returns the extended
+// slice. This is the vector's shape on every binary wire surface (WAL
+// entries, RPC bodies, checkpoint manifolds); decoding lives with the
+// codec's Reader, which reuses caller capacity.
+func (v Vector) AppendBinary(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(v)))
+	for _, x := range v {
+		buf = binary.AppendUvarint(buf, x)
+	}
+	return buf
 }
 
 // String renders v as "[a b c]".

@@ -1,0 +1,109 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+
+	"dynamast/internal/codec"
+)
+
+// Wire schema (format v1) for one log entry. The payload rides inside the
+// CRC-32C frame ([u32 length][u32 CRC][payload]) and begins with the codec
+// magic+version header; the fields follow in declaration order. Legacy logs
+// carry self-contained gob payloads in the same frames — the first payload
+// byte discriminates (gob never starts with 0x00), so one log file may mix
+// both formats and still replay, which is exactly what happens to a log
+// written partly by a pre-codec build and extended by this one.
+
+// appendEntryPayload appends e's binary payload (header included) to buf.
+func appendEntryPayload(buf []byte, e *Entry) []byte {
+	buf = codec.AppendHeader(buf, codec.Version1)
+	buf = codec.AppendUvarint(buf, e.Offset)
+	buf = codec.AppendUvarint(buf, uint64(e.Kind))
+	buf = codec.AppendInt(buf, int64(e.Origin))
+	buf = codec.AppendTime(buf, e.At)
+	buf = codec.AppendVector(buf, e.TVV)
+	buf = codec.AppendWrites(buf, e.Writes)
+	buf = codec.AppendUint64s(buf, e.Partitions)
+	buf = codec.AppendInt(buf, int64(e.Peer))
+	buf = codec.AppendUvarint(buf, e.Epoch)
+	return buf
+}
+
+// decodeEntryPayload decodes one frame payload into e, accepting both the
+// binary format and legacy gob (the fallback reader for logs written by
+// pre-codec builds). intern, when non-nil, deduplicates table-name strings
+// across a replay. Decoded slices are freshly allocated — entries live for
+// the life of the log and their write payloads escape into MVCC version
+// chains, so nothing here may alias pooled or mapped memory.
+func decodeEntryPayload(payload []byte, e *Entry, intern map[string]string) error {
+	if !codec.IsBinary(payload) {
+		codec.RecordLegacy(codec.SurfaceWAL)
+		*e = Entry{}
+		return gob.NewDecoder(bytes.NewReader(payload)).Decode(e)
+	}
+	r := codec.NewReader(payload)
+	if intern != nil {
+		r.SetIntern(intern)
+	}
+	e.Offset = r.Uvarint()
+	e.Kind = Kind(r.Uvarint())
+	e.Origin = int(r.Int())
+	e.At = r.Time()
+	e.TVV = r.Vector(nil)
+	e.Writes = r.Writes()
+	e.Partitions = r.Uint64s()
+	e.Peer = int(r.Int())
+	e.Epoch = r.Uvarint()
+	return r.Done()
+}
+
+// appendFrame appends the on-disk frame for payload: length and CRC-32C
+// header, then the payload bytes.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// WriteLegacyLog writes entries to path in the pre-codec format — CRC-32C
+// frames around self-contained gob payloads — exactly as builds before the
+// binary codec did. It exists for compatibility tests and downgrade
+// tooling; new logs are always written in the binary format.
+func WriteLegacyLog(path string, entries []Entry) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	var out []byte
+	var encBuf bytes.Buffer
+	for i := range entries {
+		encBuf.Reset()
+		if err := gob.NewEncoder(&encBuf).Encode(&entries[i]); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: legacy encode: %w", err)
+		}
+		out = appendFrame(out, encBuf.Bytes())
+	}
+	if _, err := f.Write(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// encodeTimed encodes e into buf, charging the codec's WAL-surface
+// encode counters.
+func encodeTimed(buf []byte, e *Entry) []byte {
+	start := time.Now()
+	buf = appendEntryPayload(buf, e)
+	codec.RecordEncode(codec.SurfaceWAL, len(buf), time.Since(start))
+	return buf
+}

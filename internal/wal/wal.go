@@ -6,14 +6,15 @@
 // to replay a log from a known offset for redo-based recovery. This package
 // provides both: every site owns one Log; appends are totally ordered and
 // assigned dense offsets; subscribers read entries in order via cursors;
-// and a Log may be file-backed, in which case entries are gob-encoded to an
-// append-only file and can be replayed after a crash.
+// and a Log may be file-backed, in which case entries are encoded with the
+// zero-allocation binary codec (internal/codec) to an append-only file and
+// can be replayed after a crash. Logs written by pre-codec builds carry gob
+// payloads in the same CRC frames; replay detects the format per frame, so
+// legacy and mixed-format logs recover unchanged.
 package wal
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -22,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dynamast/internal/codec"
 	"dynamast/internal/obs"
 	"dynamast/internal/storage"
 	"dynamast/internal/vclock"
@@ -56,10 +58,12 @@ func (k Kind) String() string {
 }
 
 // On-disk framing: every record is [u32 length][u32 CRC-32C][payload], all
-// little-endian, where each payload is a self-contained gob encoding of one
-// Entry. The checksum turns silent corruption and torn tail writes into
-// detectable conditions: Open verifies each frame and truncates the file at
-// the last intact record instead of replaying garbage.
+// little-endian, where each payload is a self-contained encoding of one
+// Entry — the binary codec format (first byte 0x00) for records this build
+// writes, legacy gob for records written by older builds. The checksum
+// turns silent corruption and torn tail writes into detectable conditions:
+// Open verifies each frame and truncates the file at the last intact record
+// instead of replaying garbage.
 const frameHeaderSize = 8
 
 // maxFrame bounds a frame's claimed length so a corrupt header cannot ask
@@ -124,9 +128,19 @@ type Log struct {
 	file       *os.File
 	path       string // backing file path; "" for in-memory logs
 	fileBacked bool
-	encBuf     bytes.Buffer // per-record gob scratch; framed into buf
-	buf        bytes.Buffer // framed records; drained to file by the flush leader
-	torn       uint64       // trailing bytes discarded as torn/corrupt at Open
+
+	// encScratch is the shared per-record encode buffer: Append and the
+	// truncation rewrite both serialize entries through it (under mu), so
+	// steady-state encoding allocates nothing.
+	encScratch []byte
+
+	// buf accumulates framed records for the next group commit; spare is
+	// the buffer the previous flush drained, swapped back in so the flush
+	// leader never allocates to capture its write set.
+	buf   []byte
+	spare []byte
+
+	torn uint64 // trailing bytes discarded as torn/corrupt at Open
 
 	flushing  bool       // a flush leader is writing outside mu
 	flushCond *sync.Cond // signalled when a flush completes
@@ -170,10 +184,14 @@ func Open(path string) (*Log, error) {
 	}
 
 	// Walk the frames, verifying each checksum and decoding the record
-	// (each frame is a self-contained gob message); `good` is the byte
-	// offset after the last intact record.
+	// (each frame is a self-contained message — binary codec or legacy
+	// gob, detected per frame); `good` is the byte offset after the last
+	// intact record. One intern dictionary spans the walk so repeated
+	// table names decode to shared strings.
 	l := New()
 	good := 0
+	decStart := time.Now()
+	intern := make(map[string]string)
 	for off := 0; off+frameHeaderSize <= len(data); {
 		n := binary.LittleEndian.Uint32(data[off:])
 		sum := binary.LittleEndian.Uint32(data[off+4:])
@@ -185,7 +203,7 @@ func Open(path string) (*Log, error) {
 			break // bit rot or torn write inside the record
 		}
 		var e Entry
-		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
+		if err := decodeEntryPayload(payload, &e, intern); err != nil {
 			break // checksummed but structurally invalid: treat as corrupt tail
 		}
 		// The first record fixes the log's base: a truncated log legally
@@ -203,6 +221,7 @@ func Open(path string) (*Log, error) {
 		off += frameHeaderSize + int(n)
 		good = off
 	}
+	codec.RecordDecode(codec.SurfaceWAL, good, time.Since(decStart))
 	if good < len(data) {
 		l.torn = uint64(len(data) - good)
 		fmt.Fprintf(os.Stderr, "wal: %s: dropping %d torn/corrupt trailing bytes (log intact through byte %d)\n",
@@ -247,20 +266,12 @@ func (l *Log) Append(e Entry) (uint64, error) {
 		e.At = start
 	}
 	if l.fileBacked {
-		// Each record is a self-contained gob message so replay can verify
-		// and decode frames independently (a fresh encoder per record; the
-		// per-record type descriptor is the price of per-record recovery).
-		l.encBuf.Reset()
-		if err := gob.NewEncoder(&l.encBuf).Encode(&e); err != nil {
-			return 0, fmt.Errorf("wal: encode: %w", err)
-		}
-		// Frame the record: length + CRC-32C ahead of the gob payload.
-		payload := l.encBuf.Bytes()
-		var hdr [frameHeaderSize]byte
-		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
-		l.buf.Write(hdr[:])
-		l.buf.Write(payload)
+		// Each record is a self-contained binary-codec message framed with
+		// length + CRC-32C, so replay can verify and decode frames
+		// independently. The encode scratch is shared (under mu) with the
+		// truncation rewrite; steady state allocates nothing.
+		l.encScratch = encodeTimed(l.encScratch[:0], &e)
+		l.buf = appendFrame(l.buf, l.encScratch)
 	}
 	l.entries = append(l.entries, e)
 	if e.Kind == KindUpdate && e.Origin < len(e.TVV) {
@@ -292,13 +303,17 @@ func (l *Log) waitDurable(off uint64) error {
 }
 
 // flushLocked drains the encode buffer to the file in one write, releasing
-// l.mu during the write (appenders keep encoding into a fresh buffer), and
-// advances the visibility watermark over everything the write covered.
-// Caller holds l.mu; it is held again on return.
+// l.mu during the write (appenders keep encoding into the swapped-in spare
+// buffer), and advances the visibility watermark over everything the write
+// covered. The two buffers rotate: the leader takes l.buf, installs
+// l.spare for concurrent appenders, and puts its drained buffer back as
+// the next spare — so steady-state flushing allocates nothing. Caller
+// holds l.mu; it is held again on return.
 func (l *Log) flushLocked() {
 	l.flushing = true
-	data := append([]byte(nil), l.buf.Bytes()...)
-	l.buf.Reset()
+	data := l.buf
+	l.buf = l.spare[:0]
+	l.spare = nil // owned by this flush until it completes
 	target := l.base + uint64(len(l.entries))
 	f := l.file
 	l.mu.Unlock()
@@ -308,6 +323,7 @@ func (l *Log) flushLocked() {
 	}
 	l.mu.Lock()
 	l.flushing = false
+	l.spare = data[:0]
 	if err != nil {
 		if l.flushErr == nil {
 			l.flushErr = fmt.Errorf("wal: flush: %w", err)
@@ -474,23 +490,18 @@ func (l *Log) rewriteFrom(keep uint64) (*os.File, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Re-encode the retained suffix through the same shared scratch the
+	// append path uses (caller holds mu, so the buffers are quiescent);
+	// entries replayed from a legacy gob log are rewritten in the binary
+	// format here, which is how a mixed-format log converges to pure
+	// binary over time.
 	durable := l.visible - l.base // entries with bytes already in the file
-	var out bytes.Buffer
+	var out []byte
 	for i := keep; i < durable; i++ {
-		l.encBuf.Reset()
-		if err := gob.NewEncoder(&l.encBuf).Encode(&l.entries[i]); err != nil {
-			nf.Close()
-			os.Remove(tmp)
-			return nil, err
-		}
-		payload := l.encBuf.Bytes()
-		var hdr [frameHeaderSize]byte
-		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
-		out.Write(hdr[:])
-		out.Write(payload)
+		l.encScratch = encodeTimed(l.encScratch[:0], &l.entries[i])
+		out = appendFrame(out, l.encScratch)
 	}
-	if _, err := nf.Write(out.Bytes()); err != nil {
+	if _, err := nf.Write(out); err != nil {
 		nf.Close()
 		os.Remove(tmp)
 		return nil, err
@@ -609,6 +620,33 @@ func (c *Cursor) NextBatch(dst []Entry, max int) ([]Entry, bool) {
 	dst = append(dst, l.entries[i:i+n]...)
 	c.next += n
 	return dst, true
+}
+
+// batchPool recycles []Entry buffers for NextBatch consumers (refresh
+// appliers, recovery catch-up): a subscriber loop gets one buffer for its
+// lifetime and returns it on exit, so per-loop batch storage is shared
+// across subscriber generations instead of re-grown by each.
+var batchPool = sync.Pool{
+	New: func() any {
+		b := make([]Entry, 0, 64)
+		return &b
+	},
+}
+
+// GetBatch returns a pooled, zero-length entry buffer for NextBatch.
+func GetBatch() *[]Entry { return batchPool.Get().(*[]Entry) }
+
+// PutBatch zeroes and returns an entry buffer to the pool. Zeroing drops
+// the entries' references to write sets and vectors, so a parked pool
+// buffer never pins replicated payload memory.
+func PutBatch(b *[]Entry) {
+	if b == nil {
+		return
+	}
+	s := (*b)[:cap(*b)]
+	clear(s)
+	*b = s[:0]
+	batchPool.Put(b)
 }
 
 // TryNext returns the next entry if one is available without blocking.
