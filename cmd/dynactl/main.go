@@ -24,24 +24,41 @@
 //	                                   switches to Prometheus exposition
 //	                                   format, "traces N" appends the N most
 //	                                   recent transaction lifecycle traces
+//
+// HTTP commands (against the daemon's -metrics-listen endpoint, -http flag;
+// these do not open an RPC connection):
+//
+//	traces [slow] [N]                  the N most recent (or, with "slow",
+//	                                   slowest-first) transaction lifecycle
+//	                                   traces from /debug/traces
+//	spans [N]                          summaries of retained distributed
+//	                                   traces from /debug/spans
+//	trace <hexid>                      one distributed trace's span tree,
+//	                                   rendered with parent indentation
+//	flightrec                          the flight-recorder event ring
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"dynamast/internal/obs"
 	"dynamast/internal/server"
 	"dynamast/internal/storage"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "dynamastd address")
+	httpAddr := flag.String("http", "127.0.0.1:9090", "dynamastd -metrics-listen address (traces/spans/trace/flightrec commands)")
 	client := flag.Int("client", 1, "client/session id")
 	flag.Parse()
 	args := flag.Args()
@@ -50,16 +67,151 @@ func main() {
 		os.Exit(2)
 	}
 
+	cmd, args := args[0], args[1:]
+	switch cmd {
+	case "traces", "spans", "trace", "flightrec":
+		// HTTP-only commands: no RPC session needed.
+		if err := runHTTP(*httpAddr, cmd, args); err != nil {
+			log.Fatalf("dynactl: %s: %v", cmd, err)
+		}
+		return
+	}
+
 	cl, err := server.Dial(*addr, *client)
 	if err != nil {
 		log.Fatalf("dynactl: connect %s: %v", *addr, err)
 	}
 	defer cl.Close()
 
-	cmd, args := args[0], args[1:]
 	if err := run(cl, cmd, args); err != nil {
 		log.Fatalf("dynactl: %s: %v", cmd, err)
 	}
+}
+
+// getJSON fetches a path from the daemon's metrics listener and decodes the
+// JSON body into out.
+func getJSON(addr, path string, out any) error {
+	url := "http://" + addr + path
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// runHTTP serves the trace-inspection commands off the daemon's HTTP
+// observability endpoints.
+func runHTTP(addr, cmd string, args []string) error {
+	switch cmd {
+	case "traces":
+		slow, n := false, 0
+		for _, a := range args {
+			if a == "slow" {
+				slow = true
+				continue
+			}
+			v, err := strconv.Atoi(a)
+			if err != nil || v < 0 {
+				return fmt.Errorf("usage: traces [slow] [N]")
+			}
+			n = v
+		}
+		path := fmt.Sprintf("/debug/traces?n=%d", n)
+		if slow {
+			path = fmt.Sprintf("/debug/traces?slowest=%d", n)
+		}
+		var traces []obs.TraceJSON
+		if err := getJSON(addr, path, &traces); err != nil {
+			return err
+		}
+		for _, tr := range traces {
+			fmt.Printf("trace %d client=%d site=%d seq=%d remastered=%v total=%s\n",
+				tr.ID, tr.Client, tr.Site, tr.Seq, tr.Remastered, tr.Total)
+			for _, st := range []string{"route", "remaster", "execute", "commit", "wal_publish", "refresh_apply"} {
+				if ns, ok := tr.Stages[st]; ok {
+					fmt.Printf("  %-13s %s\n", st, time.Duration(ns))
+				}
+			}
+		}
+		fmt.Printf("(%d traces)\n", len(traces))
+		return nil
+
+	case "spans":
+		n := 0
+		if len(args) == 1 {
+			v, err := strconv.Atoi(args[0])
+			if err != nil || v < 0 {
+				return fmt.Errorf("usage: spans [N]")
+			}
+			n = v
+		} else if len(args) > 1 {
+			return fmt.Errorf("usage: spans [N]")
+		}
+		var sums []obs.TraceSummaryJSON
+		if err := getJSON(addr, fmt.Sprintf("/debug/spans?n=%d", n), &sums); err != nil {
+			return err
+		}
+		for _, s := range sums {
+			fmt.Printf("trace %s  root=%-8s spans=%-3d dur=%s\n", s.Trace, s.Root, s.Spans, s.Dur)
+		}
+		fmt.Printf("(%d traces)\n", len(sums))
+		return nil
+
+	case "trace":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: trace <hexid>")
+		}
+		var spans []obs.SpanJSON
+		if err := getJSON(addr, "/debug/spans?trace="+args[0], &spans); err != nil {
+			return err
+		}
+		printSpanTree(spans)
+		return nil
+
+	case "flightrec":
+		var events []obs.FlightEvent
+		if err := getJSON(addr, "/debug/flightrecorder", &events); err != nil {
+			return err
+		}
+		for _, ev := range events {
+			fmt.Printf("%6d  %s  %-12s site=%-3d %s\n",
+				ev.Seq, ev.At.Format(time.RFC3339Nano), ev.Kind, ev.Site, ev.Msg)
+		}
+		fmt.Printf("(%d events)\n", len(events))
+		return nil
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+// printSpanTree renders a span list as an indented tree (children under
+// parents, siblings in start order); orphaned spans print at the root.
+func printSpanTree(spans []obs.SpanJSON) {
+	children := make(map[string][]obs.SpanJSON)
+	ids := make(map[string]bool, len(spans))
+	for _, sp := range spans {
+		ids[sp.ID] = true
+	}
+	for _, sp := range spans {
+		p := sp.Parent
+		if p != "" && !ids[p] {
+			p = "" // orphan (parent evicted or remote): show at root
+		}
+		children[p] = append(children[p], sp)
+	}
+	var walk func(parent, indent string)
+	walk = func(parent, indent string) {
+		for _, sp := range children[parent] {
+			fmt.Printf("%s%-14s site=%-3d dur=%-12s id=%s\n", indent, sp.Name, sp.Site, sp.Dur, sp.ID)
+			walk(sp.ID, indent+"  ")
+		}
+	}
+	walk("", "")
+	fmt.Printf("(%d spans)\n", len(spans))
 }
 
 func run(cl *server.Client, cmd string, args []string) error {

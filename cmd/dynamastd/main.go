@@ -33,9 +33,11 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"dynamast"
 	"dynamast/internal/obs"
@@ -54,6 +56,11 @@ func main() {
 	faultSpec := flag.String("fault-spec", "", "fault-injection rules, comma-separated category:kind:prob[:delay] (e.g. \"remaster:drop:0.01,txn:delay:0.05:1ms\"); empty = injector disabled")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault-decision stream")
 	heartbeat := flag.Duration("heartbeat-interval", 0, "site failure-detection probe interval (0 = detection disabled)")
+	traceSample := flag.Int("trace-sample", 0, "head-sample 1 in N update transactions for distributed span tracing, served on /debug/spans (0 = off)")
+	sloSpec := flag.String("slo", "", "SLO targets, comma-separated metric:quantile:threshold (e.g. \"dynamast_txn_seconds:p99:250ms\"); empty = disabled")
+	sloInterval := flag.Duration("slo-interval", time.Second, "SLO evaluation window")
+	flightDir := flag.String("flight-dir", "", "directory for flight-recorder snapshots on failover/recovery/panic (empty = no disk snapshots)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the metrics listener")
 	flag.Parse()
 
 	cfg := dynamast.Config{
@@ -61,8 +68,18 @@ func main() {
 		Partitioner:            dynamast.PartitionByRange(*partitionSize),
 		WALDir:                 *walDir,
 		TraceRing:              *traceRing,
+		TraceSampleEvery:       *traceSample,
+		SLOInterval:            *sloInterval,
+		FlightDir:              *flightDir,
 		CheckpointEvery:        *checkpointEvery,
 		CheckpointEveryRecords: *checkpointRecords,
+	}
+	if *sloSpec != "" {
+		targets, err := obs.ParseSLOSpec(*sloSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.SLOTargets = targets
 	}
 	if (*checkpointEvery > 0 || *checkpointRecords > 0) && *walDir == "" {
 		log.Fatal("dynamastd: -checkpoint-every requires -wal-dir")
@@ -84,6 +101,18 @@ func main() {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
+	if *flightDir != "" {
+		// The flight recorder is the black box: on a crash, persist what the
+		// process saw before dying.
+		defer func() {
+			if r := recover(); r != nil {
+				if path, err := obs.SnapshotFlight("panic"); err == nil {
+					fmt.Fprintf(os.Stderr, "dynamastd: flight snapshot at %s\n", path)
+				}
+				panic(r)
+			}
+		}()
+	}
 
 	if *walDir != "" {
 		// Recover whatever the directory holds: newest valid checkpoint plus
@@ -122,9 +151,21 @@ func main() {
 			log.Fatal(err)
 		}
 		defer ln.Close()
-		go http.Serve(ln, obs.Handler(cluster.Obs(), cluster.Tracer()))
+		mux := http.NewServeMux()
+		mux.Handle("/", obs.Handler(cluster.Obs(), cluster.Tracer(), cluster.Spans()))
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		go http.Serve(ln, mux)
 		fmt.Printf("dynamastd: metrics on http://%s/metrics, traces on http://%s/debug/traces\n",
 			ln.Addr(), ln.Addr())
+		if *pprofOn {
+			fmt.Printf("dynamastd: pprof on http://%s/debug/pprof/\n", ln.Addr())
+		}
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -38,6 +38,7 @@ import (
 
 	"dynamast/internal/checkpoint"
 	"dynamast/internal/core"
+	"dynamast/internal/obs"
 	"dynamast/internal/selector"
 	"dynamast/internal/sitemgr"
 	"dynamast/internal/storage"
@@ -88,6 +89,18 @@ type (
 	Manifest = checkpoint.Manifest
 	// RecoveryStats describes what the last Cluster.Recover run did.
 	RecoveryStats = core.RecoveryStats
+	// SLOTarget is one watched latency quantile threshold (Config.SLOTargets).
+	SLOTarget = obs.SLOTarget
+	// SLOBreach is one detected SLO threshold violation.
+	SLOBreach = obs.Breach
+	// SpanContext identifies a position in a distributed trace; remote
+	// clients ship it in the RPC frame to stitch cross-site spans.
+	SpanContext = obs.SpanContext
+	// Span is one timed operation of a sampled distributed trace.
+	Span = obs.Span
+	// FlightEvent is one flight-recorder entry (failovers, faults, retries,
+	// SLO breaches; see Cluster and obs.FlightEvents).
+	FlightEvent = obs.FlightEvent
 )
 
 // New builds and starts a DynaMast cluster from functional options:
@@ -111,6 +124,10 @@ func WithCheckpointEveryRecords(n uint64) Option      { return core.WithCheckpoi
 func WithFailureDetection(fd FailureDetection) Option { return core.WithFailureDetection(fd) }
 func WithSelectorReplicas(n int) Option               { return core.WithSelectorReplicas(n) }
 func WithSeed(seed int64) Option                      { return core.WithSeed(seed) }
+func WithTraceSampling(n int) Option                  { return core.WithTraceSampling(n) }
+func WithSLO(spec string, every time.Duration) Option { return core.WithSLO(spec, every) }
+func WithSLOTargets(ts ...SLOTarget) Option           { return core.WithSLOTargets(ts...) }
+func WithFlightDir(dir string) Option                 { return core.WithFlightDir(dir) }
 
 // PartitionByRange groups keys of every table into partitions of size
 // contiguous keys — the paper's YCSB partitioning.

@@ -1,0 +1,22 @@
+package codec
+
+// Trace-context field codec. A sampled RPC frame carries its distributed
+// trace context — trace id then span id, both uvarints — between the frame
+// header fields and the body tail; unsampled frames carry nothing (the
+// transport gates the field on a flags bit, keeping the unsampled encoding
+// byte-identical to the pre-tracing wire format). The helpers take raw
+// uint64s so this package stays dependency-free: the obs SpanContext type
+// lives above codec in the import graph.
+
+// AppendTraceContext appends a trace context (trace id, span id) to buf.
+func AppendTraceContext(buf []byte, trace, span uint64) []byte {
+	buf = AppendUvarint(buf, trace)
+	return AppendUvarint(buf, span)
+}
+
+// TraceContext reads a trace context written by AppendTraceContext.
+func (r *Reader) TraceContext() (trace, span uint64) {
+	trace = r.Uvarint()
+	span = r.Uvarint()
+	return trace, span
+}

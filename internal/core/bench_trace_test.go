@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dynamast/internal/obs"
+	"dynamast/internal/storage"
+	"dynamast/internal/systems"
+)
+
+// BenchmarkUpdateTxnTracing measures the update-transaction hot path with
+// the observability tentpole at three settings — tracing disabled (the
+// default every benchmark and Fig4a run uses), 1-in-16 head sampling with a
+// running SLO engine, and every-transaction sampling — pinning the
+// acceptance bound that the disabled path costs nothing and the sampled
+// paths stay within noise of it.
+func BenchmarkUpdateTxnTracing(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		sample int
+		slo    bool
+	}{
+		{"off", 0, false},
+		{"sampled-16", 16, true},
+		{"sampled-1", 1, true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := Config{
+				Sites:            4,
+				Partitioner:      partitionBy100,
+				TraceSampleEvery: mode.sample,
+			}
+			if mode.slo {
+				cfg.SLOTargets = []obs.SLOTarget{{
+					Metric: "dynamast_txn_seconds", Labels: []obs.Label{obs.L("type", "update")},
+					Quantile: 0.99, Threshold: time.Second,
+				}}
+				cfg.SLOInterval = 10 * time.Millisecond
+			}
+			c, err := NewCluster(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			c.CreateTable("kv")
+			var rows []systems.LoadRow
+			for k := uint64(0); k < 1000; k++ {
+				rows = append(rows, systems.LoadRow{Ref: ref(k), Data: []byte{0}})
+			}
+			c.Load(rows)
+			sess := c.Session(1)
+			key := ref(7)
+			ws := []storage.RowRef{key}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sess.Update(ws, func(tx systems.Tx) error {
+					return tx.Write(key, []byte{byte(i)})
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

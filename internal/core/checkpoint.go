@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dynamast/internal/checkpoint"
+	"dynamast/internal/obs"
 	"dynamast/internal/sitemgr"
 	"dynamast/internal/vclock"
 )
@@ -403,5 +404,11 @@ func (c *Cluster) recover(initialPlacement map[uint64]int) error {
 	c.ckptMu.Lock()
 	c.lastRecovery = st
 	c.ckptMu.Unlock()
+	obs.RecordEvent(obs.FlightRecovery, obs.SelectorSite,
+		"recovered in %v: checkpoint=%v rows=%d replayed own=%d refresh=%d",
+		st.Duration.Round(time.Millisecond), st.UsedCheckpoint, st.RowsRestored, st.ReplayedOwn, st.ReplayedRefresh)
+	if _, err := obs.SnapshotFlight("recovery"); err != nil {
+		fmt.Fprintf(os.Stderr, "core: flight snapshot after recovery: %v\n", err)
+	}
 	return nil
 }

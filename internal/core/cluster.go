@@ -79,6 +79,19 @@ type Config struct {
 	// TraceRing caps the in-memory ring of recent transaction lifecycle
 	// traces (0 = obs.DefaultTraceRing).
 	TraceRing int
+	// TraceSampleEvery head-samples one in every N locally originated update
+	// transactions for distributed span tracing (0 disables sampling; RPC
+	// clients that send their own trace context are always honored).
+	TraceSampleEvery int
+	// SLOTargets are watched latency quantile thresholds; breaches count in
+	// dynamast_slo_breaches_total and land in the flight recorder.
+	SLOTargets []obs.SLOTarget
+	// SLOInterval is the SLO evaluation window (0 = 1s; only meaningful with
+	// SLOTargets).
+	SLOInterval time.Duration
+	// FlightDir, when set, is where flight-recorder snapshots are written on
+	// failover, recovery, and SLO breaches.
+	FlightDir string
 
 	// optErr carries a construction error recorded by an Option (e.g. a
 	// malformed WithFaults spec) so NewWithOptions can surface it.
@@ -119,8 +132,11 @@ type Cluster struct {
 	obReplayed   *obs.Counter
 	recoverDur   *obs.Histogram
 
-	obs    *obs.Registry
-	tracer *obs.Tracer
+	obs     *obs.Registry
+	tracer  *obs.Tracer
+	spans   *obs.SpanRecorder
+	sampler *obs.Sampler
+	slo     *obs.SLOEngine
 	// Session-level instruments (see instrument).
 	updateDur *obs.Histogram
 	readDur   *obs.Histogram
@@ -150,6 +166,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.obs = obs.NewRegistry()
 	}
 	c.tracer = obs.NewTracer(cfg.TraceRing)
+	c.spans = obs.NewSpanRecorder(cfg.TraceRing)
+	c.sampler = obs.NewSampler(cfg.TraceSampleEvery)
+	if cfg.FlightDir != "" {
+		if err := obs.SetFlightDir(cfg.FlightDir); err != nil {
+			return nil, fmt.Errorf("core: flight dir: %w", err)
+		}
+	}
 	c.net.Instrument(c.obs)
 	codec.Instrument(c.obs)
 	if cfg.Faults != nil {
@@ -183,6 +206,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Costs:       cfg.Costs,
 			Obs:         c.obs,
 			Tracer:      c.tracer,
+			Spans:       c.spans,
 		})
 		if err != nil {
 			c.broker.Close()
@@ -209,6 +233,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Net:           c.net,
 		Seed:          cfg.Seed,
 		Obs:           c.obs,
+		Spans:         c.spans,
 	})
 	if err != nil {
 		c.broker.Close()
@@ -217,6 +242,21 @@ func NewCluster(cfg Config) (*Cluster, error) {
 
 	c.repl = selector.NewReplicated(c.sel, cfg.SelectorReplicas, c.net)
 	c.instrument()
+
+	c.slo = obs.NewSLOEngine(c.obs)
+	for _, t := range cfg.SLOTargets {
+		if err := c.slo.Watch(t); err != nil {
+			c.broker.Close()
+			return nil, err
+		}
+	}
+	if len(cfg.SLOTargets) > 0 {
+		interval := cfg.SLOInterval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		c.slo.Start(interval)
+	}
 
 	for _, s := range c.sites {
 		s.Start()
@@ -269,6 +309,9 @@ func (c *Cluster) instrument() {
 	c.ckptDur = reg.Histogram("dynamast_checkpoint_seconds")
 	c.obReplayed = reg.Counter("dynamast_recovery_replayed_records_total")
 	c.recoverDur = reg.Histogram("dynamast_recovery_seconds")
+	c.spans.Instrument(reg)
+	obs.InstrumentFlight(reg)
+	obs.RegisterGoRuntime(reg)
 }
 
 // Obs exposes the cluster's metrics registry.
@@ -276,6 +319,13 @@ func (c *Cluster) Obs() *obs.Registry { return c.obs }
 
 // Tracer exposes the transaction-lifecycle trace ring.
 func (c *Cluster) Tracer() *obs.Tracer { return c.tracer }
+
+// Spans exposes the distributed-trace span recorder.
+func (c *Cluster) Spans() *obs.SpanRecorder { return c.spans }
+
+// SLO exposes the SLO engine (nil-safe methods; no targets unless
+// configured).
+func (c *Cluster) SLO() *obs.SLOEngine { return c.slo }
 
 // Name implements systems.System.
 func (c *Cluster) Name() string { return "dynamast" }
@@ -348,6 +398,7 @@ func (c *Cluster) Stats() systems.Stats {
 func (c *Cluster) Close() {
 	c.closeOnce.Do(func() {
 		c.closing.Store(true)
+		c.slo.Stop()
 		close(c.hbStop)
 		close(c.ckptStop)
 		c.hbWG.Wait()

@@ -3,9 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
+	"dynamast/internal/obs"
 	"dynamast/internal/sitemgr"
 	"dynamast/internal/transport"
 	"dynamast/internal/vclock"
@@ -214,5 +216,11 @@ func (c *Cluster) Failover(dead int) error {
 	c.failedOver[dead] = true
 	c.failovers.Add(1)
 	c.obFailovers.Inc()
+	obs.RecordEvent(obs.FlightFailover, dead,
+		"site %d failed over: %d partition(s) re-mastered across %d survivor(s)",
+		dead, len(parts), len(survivors))
+	if _, err := obs.SnapshotFlight("failover"); err != nil {
+		fmt.Fprintf(os.Stderr, "core: flight snapshot after failover: %v\n", err)
+	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"dynamast/internal/obs"
 	"dynamast/internal/selector"
 	"dynamast/internal/sitemgr"
 	"dynamast/internal/transport"
@@ -113,4 +114,37 @@ func WithSelectorReplicas(n int) Option {
 // WithSeed fixes the read-routing randomization seed.
 func WithSeed(seed int64) Option {
 	return optionFunc(func(c *Config) { c.Seed = seed })
+}
+
+// WithTraceSampling head-samples one in every n locally originated update
+// transactions for distributed span tracing (n <= 0 disables sampling).
+func WithTraceSampling(n int) Option {
+	return optionFunc(func(c *Config) { c.TraceSampleEvery = n })
+}
+
+// WithSLO watches latency SLO targets described by a
+// "metric:quantile:threshold" spec (see obs.ParseSLOSpec), evaluated every
+// interval (0 = 1s). A malformed spec surfaces as an error from New.
+func WithSLO(spec string, interval time.Duration) Option {
+	return optionFunc(func(c *Config) {
+		targets, err := obs.ParseSLOSpec(spec)
+		if err != nil {
+			c.optErr = fmt.Errorf("core: WithSLO: %w", err)
+			return
+		}
+		c.SLOTargets = append(c.SLOTargets, targets...)
+		c.SLOInterval = interval
+	})
+}
+
+// WithSLOTargets watches pre-built SLO targets (programmatic form of
+// WithSLO).
+func WithSLOTargets(targets ...obs.SLOTarget) Option {
+	return optionFunc(func(c *Config) { c.SLOTargets = append(c.SLOTargets, targets...) })
+}
+
+// WithFlightDir writes flight-recorder snapshots under dir on failover,
+// recovery, and panic (see obs.SnapshotFlight).
+func WithFlightDir(dir string) Option {
+	return optionFunc(func(c *Config) { c.FlightDir = dir })
 }

@@ -56,6 +56,11 @@ type Session struct {
 	id     int
 	cvv    vclock.Vector
 	router selector.Router
+
+	// nextSC, when sampled, is the distributed trace context the next update
+	// transaction joins (set by the RPC server when a remote client shipped
+	// one in the frame); consumed by the next UpdateCtx.
+	nextSC obs.SpanContext
 }
 
 // Session opens a session for client id. With replica selectors
@@ -84,6 +89,12 @@ func (a sessionClient) Read(_ []storage.RowRef, fn func(systems.Tx) error) error
 // CVV returns a copy of the session's client version vector.
 func (s *Session) CVV() vclock.Vector { return s.cvv.Clone() }
 
+// SetTraceContext primes the session's next update transaction to join the
+// given distributed trace (the RPC server calls this with the context a
+// remote client carried in its frame). sc.Span is the root span the
+// transaction records; the zero context clears any pending one.
+func (s *Session) SetTraceContext(sc obs.SpanContext) { s.nextSC = sc }
+
 // Update executes fn as an update transaction with the declared write set:
 // the client sends begin_transaction to the site selector, which remasters
 // if needed and returns the execution site and minimum begin version; the
@@ -107,6 +118,20 @@ func (s *Session) UpdateCtx(ctx context.Context, writeSet []storage.RowRef, fn f
 	c := s.c
 	bd := &c.breakdown
 
+	// Join the remote client's trace when one was shipped, else make the
+	// local head-sampling decision. The route span id is fixed up front so
+	// the selector's release/grant spans (recorded mid-route) parent on the
+	// same id the route span is later recorded under.
+	sc := s.nextSC
+	s.nextSC = obs.SpanContext{}
+	if !sc.Sampled() && c.sampler.Sample() {
+		sc = obs.NewTraceContext()
+	}
+	var routeSpan uint64
+	if sc.Sampled() {
+		routeSpan = obs.NewSpanID()
+	}
+
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -115,7 +140,7 @@ func (s *Session) UpdateCtx(ctx context.Context, writeSet []storage.RowRef, fn f
 		t0 := time.Now()
 		c.net.Send(transport.CatRoute, transport.MsgOverhead+transport.SizeOfRefs(writeSet))
 		t1 := time.Now()
-		route, err := s.routeCtx(ctx, attempt, writeSet)
+		route, err := s.routeCtx(ctx, attempt, writeSet, obs.SpanContext{Trace: sc.Trace, Span: routeSpan})
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return cerr
@@ -159,6 +184,9 @@ func (s *Session) UpdateCtx(ctx context.Context, writeSet []storage.RowRef, fn f
 			return fmt.Errorf("core: begin after %d retries: %w", attempt, err)
 		}
 		t5 := time.Now()
+		if sc.Sampled() {
+			tx.SetSpan(sc)
+		}
 		// Run the stored procedure, then charge its modelled CPU through
 		// the site's execution slots.
 		ferr := fn(txAdapter{tx})
@@ -193,7 +221,7 @@ func (s *Session) UpdateCtx(ctx context.Context, writeSet []storage.RowRef, fn f
 		bd.record(phaseLogic, t6.Sub(t5))
 		bd.record(phaseCommit, t7.Sub(t6))
 		bd.count.Add(1)
-		c.trace(s.id, route, tvv, t0, t1, t2, t4, t6, t7, t8, tx.WALPublish())
+		c.trace(s.id, route, tvv, sc, routeSpan, t0, t1, t2, t4, t6, t7, t8, tx.WALPublish())
 		return nil
 	}
 }
@@ -206,10 +234,15 @@ func (s *Session) UpdateCtx(ctx context.Context, writeSet []storage.RowRef, fn f
 // observes the result. The replica fallback resubmits through the master
 // selector after a data site rejected the transaction on stale replica
 // metadata (Appendix I).
-func (s *Session) routeCtx(ctx context.Context, attempt int, writeSet []storage.RowRef) (selector.Route, error) {
+func (s *Session) routeCtx(ctx context.Context, attempt int, writeSet []storage.RowRef, sc obs.SpanContext) (selector.Route, error) {
 	route := func(cvv vclock.Vector) (selector.Route, error) {
 		if rep, ok := s.router.(*selector.Replica); ok && attempt > 0 {
 			return rep.RouteToMaster(s.id, writeSet, cvv)
+		}
+		if sc.Sampled() {
+			if tr, ok := s.router.(tracedRouter); ok {
+				return tr.RouteWriteTraced(s.id, writeSet, cvv, sc)
+			}
 		}
 		return s.router.RouteWrite(s.id, writeSet, cvv)
 	}
@@ -265,11 +298,30 @@ func (s *Session) beginCtx(ctx context.Context, site *sitemgr.Site, minVV vclock
 	}
 }
 
+// tracedRouter is the optional routing capability carrying a sampled trace
+// context; both *selector.Selector and *selector.Replica implement it.
+type tracedRouter interface {
+	RouteWriteTraced(client int, writeSet []storage.RowRef, cvv vclock.Vector, sc obs.SpanContext) (selector.Route, error)
+}
+
 // trace assembles the transaction's lifecycle trace, records it in the
 // trace ring, and feeds the per-stage histograms. The refresh-apply stage
 // is completed later by the replicas' appliers (see sitemgr.applyLoop).
+// For sampled transactions it also records the selector-side spans: the
+// root txn span, the route span (whose release/grant children the selector
+// recorded mid-route), and the execute span at the routed site; the commit
+// and wal_flush spans were recorded inside Txn.Commit.
 func (c *Cluster) trace(client int, route selector.Route, tvv vclock.Vector,
+	sc obs.SpanContext, routeSpan uint64,
 	t0, t1, t2, t4, t6, t7, t8 time.Time, walPublish time.Duration) {
+	if sc.Sampled() {
+		c.spans.Record(obs.Span{Trace: sc.Trace, ID: sc.Span,
+			Name: "txn", Site: obs.SelectorSite, Start: t0, Dur: t8.Sub(t0)})
+		c.spans.Record(obs.Span{Trace: sc.Trace, ID: routeSpan, Parent: sc.Span,
+			Name: "route", Site: obs.SelectorSite, Start: t1, Dur: t2.Sub(t1)})
+		c.spans.Record(obs.Span{Trace: sc.Trace, Parent: sc.Span,
+			Name: "execute", Site: route.Site, Start: t4, Dur: t6.Sub(t4)})
+	}
 	clamp := func(d time.Duration) time.Duration {
 		if d < 0 {
 			return 0

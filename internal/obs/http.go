@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -9,21 +10,40 @@ import (
 
 // Handler serves the observability endpoints over HTTP:
 //
-//	/metrics        Prometheus text exposition of the registry
-//	/debug/traces   JSON dump of recent transaction traces
-//	                (?n=50 limits, ?sort=slow orders by total latency)
+//	/metrics               Prometheus text exposition of the registry
+//	/debug/traces          JSON dump of recent transaction traces
+//	                       (?n=50 limits, ?slowest=50 or ?sort=slow orders
+//	                       by total latency)
+//	/debug/spans           distributed-trace span trees: without parameters
+//	                       a summary of retained traces (?n= limits), with
+//	                       ?trace=<hex id> the full span list of one trace
+//	/debug/flightrecorder  the process flight-recorder ring as JSON
 //
-// dynamastd mounts it behind the -metrics-listen flag.
-func Handler(r *Registry, t *Tracer) http.Handler {
+// dynamastd mounts it behind the -metrics-listen flag. The Tracer and
+// SpanRecorder may be nil (the endpoints serve empty lists).
+func Handler(r *Registry, t *Tracer, sr *SpanRecorder) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.Snapshot().WritePrometheus(w)
 	})
 	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
-		n, _ := strconv.Atoi(req.URL.Query().Get("n"))
+		q := req.URL.Query()
+		n, ok := intParam(w, q.Get("n"), "n")
+		if !ok {
+			return
+		}
 		var traces []Trace
-		if req.URL.Query().Get("sort") == "slow" {
+		if s := q.Get("slowest"); s != "" {
+			sn, ok := intParam(w, s, "slowest")
+			if !ok {
+				return
+			}
+			if sn > 0 {
+				n = sn
+			}
+			traces = t.Slowest(n)
+		} else if q.Get("sort") == "slow" {
 			traces = t.Slowest(n)
 		} else {
 			traces = t.Recent(n)
@@ -31,7 +51,50 @@ func Handler(r *Registry, t *Tracer) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(TracesJSON(traces))
 	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		if id := q.Get("trace"); id != "" {
+			trace, err := strconv.ParseUint(id, 16, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad trace id %q: want hex", id), http.StatusBadRequest)
+				return
+			}
+			spans := sr.Spans(trace)
+			if spans == nil {
+				http.Error(w, fmt.Sprintf("trace %s not retained", id), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(SpansJSON(spans))
+			return
+		}
+		n, ok := intParam(w, q.Get("n"), "n")
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(SummariesJSON(sr.Summaries(n)))
+	})
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(FlightEvents())
+	})
 	return mux
+}
+
+// intParam parses an optional non-negative integer query parameter,
+// answering 400 (and returning ok=false) on malformed input. An empty
+// value is 0 — "no limit" for the list endpoints.
+func intParam(w http.ResponseWriter, val, name string) (int, bool) {
+	if val == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil || n < 0 {
+		http.Error(w, fmt.Sprintf("bad parameter %s=%q: want a non-negative integer", name, val), http.StatusBadRequest)
+		return 0, false
+	}
+	return n, true
 }
 
 // TraceJSON is the wire form of a Trace: stage durations keyed by name, in
@@ -68,6 +131,66 @@ func TracesJSON(traces []Trace) []TraceJSON {
 			TotalNS:    int64(tr.Total),
 			Total:      tr.Total.Round(time.Microsecond).String(),
 			Stages:     stages,
+		}
+	}
+	return out
+}
+
+// SpanJSON is the wire form of a Span. Trace and span ids render as hex
+// strings: uint64 values overflow the 2^53 integer precision of JSON
+// consumers.
+type SpanJSON struct {
+	Trace  string    `json:"trace"`
+	ID     string    `json:"id"`
+	Parent string    `json:"parent,omitempty"`
+	Name   string    `json:"name"`
+	Site   int       `json:"site"`
+	Start  time.Time `json:"start"`
+	DurNS  int64     `json:"dur_ns"`
+	Dur    string    `json:"dur"`
+}
+
+// SpansJSON converts spans to their wire form.
+func SpansJSON(spans []Span) []SpanJSON {
+	out := make([]SpanJSON, len(spans))
+	for i, sp := range spans {
+		out[i] = SpanJSON{
+			Trace: fmt.Sprintf("%016x", sp.Trace),
+			ID:    fmt.Sprintf("%016x", sp.ID),
+			Name:  sp.Name,
+			Site:  sp.Site,
+			Start: sp.Start,
+			DurNS: int64(sp.Dur),
+			Dur:   sp.Dur.Round(time.Microsecond).String(),
+		}
+		if sp.Parent != 0 {
+			out[i].Parent = fmt.Sprintf("%016x", sp.Parent)
+		}
+	}
+	return out
+}
+
+// TraceSummaryJSON is the wire form of a TraceSummary.
+type TraceSummaryJSON struct {
+	Trace string    `json:"trace"`
+	Spans int       `json:"spans"`
+	Root  string    `json:"root,omitempty"`
+	Start time.Time `json:"start"`
+	DurNS int64     `json:"dur_ns"`
+	Dur   string    `json:"dur"`
+}
+
+// SummariesJSON converts trace summaries to their wire form.
+func SummariesJSON(sums []TraceSummary) []TraceSummaryJSON {
+	out := make([]TraceSummaryJSON, len(sums))
+	for i, s := range sums {
+		out[i] = TraceSummaryJSON{
+			Trace: fmt.Sprintf("%016x", s.Trace),
+			Spans: s.Spans,
+			Root:  s.Root,
+			Start: s.Start,
+			DurNS: int64(s.Dur),
+			Dur:   s.Dur.Round(time.Microsecond).String(),
 		}
 	}
 	return out

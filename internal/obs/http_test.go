@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testHandler builds a Handler over a populated registry, tracer, and span
+// recorder, returning the pieces for assertions.
+func testHandler(t *testing.T) (http.Handler, *Tracer, *SpanRecorder) {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter("dynamast_test_commits_total", L("site", "0")).Add(7)
+	reg.Help("dynamast_test_commits_total", "Commits at site 0.")
+	reg.Gauge("dynamast_test_mastered_partitions").Set(12)
+	reg.Histogram("dynamast_test_txn_seconds").Observe(0.002)
+
+	tr := NewTracer(16)
+	for i := 0; i < 3; i++ {
+		trc := Trace{Client: 1, Site: i, Seq: uint64(i + 1), Start: time.Now(),
+			Total: time.Duration(i+1) * time.Millisecond}
+		trc.Stages[StageRoute] = time.Microsecond
+		tr.Record(trc)
+	}
+
+	sr := NewSpanRecorder(16)
+	return Handler(reg, tr, sr), tr, sr
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+func TestHandlerMetricsFormat(t *testing.T) {
+	h, _, _ := testHandler(t)
+	rec := get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q, want Prometheus text exposition", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, `dynamast_test_commits_total{site="0"} 7`) {
+		t.Fatalf("/metrics missing labelled counter; body:\n%s", body)
+	}
+	if !strings.Contains(body, "# HELP dynamast_test_commits_total Commits at site 0.") {
+		t.Fatal("/metrics missing HELP line")
+	}
+	if !strings.Contains(body, "# TYPE dynamast_test_commits_total counter") {
+		t.Fatal("/metrics missing TYPE line")
+	}
+	if !strings.Contains(body, "dynamast_test_mastered_partitions 12") {
+		t.Fatal("/metrics missing gauge sample")
+	}
+	if !strings.Contains(body, "dynamast_test_txn_seconds_bucket") ||
+		!strings.Contains(body, `le="+Inf"`) {
+		t.Fatal("/metrics missing histogram le-series")
+	}
+}
+
+func TestHandlerTraces(t *testing.T) {
+	h, _, _ := testHandler(t)
+
+	rec := get(t, h, "/debug/traces")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/traces = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var all []TraceJSON
+	if err := json.NewDecoder(rec.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("got %d traces, want 3", len(all))
+	}
+	// Newest first: the last-recorded trace (site 2, total 3ms) leads.
+	if all[0].Site != 2 || all[0].TotalNS != int64(3*time.Millisecond) {
+		t.Fatalf("first trace = %+v, want the newest", all[0])
+	}
+	if all[0].Stages["route"] != int64(time.Microsecond) {
+		t.Fatalf("stages_ns missing route: %+v", all[0].Stages)
+	}
+
+	var limited []TraceJSON
+	rec = get(t, h, "/debug/traces?n=2")
+	if err := json.NewDecoder(rec.Body).Decode(&limited); err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 2 {
+		t.Fatalf("?n=2 returned %d traces", len(limited))
+	}
+
+	var slowest []TraceJSON
+	rec = get(t, h, "/debug/traces?slowest=2")
+	if err := json.NewDecoder(rec.Body).Decode(&slowest); err != nil {
+		t.Fatal(err)
+	}
+	if len(slowest) != 2 || slowest[0].TotalNS < slowest[1].TotalNS {
+		t.Fatalf("?slowest=2 not ordered by latency: %+v", slowest)
+	}
+	if slowest[0].TotalNS != int64(3*time.Millisecond) {
+		t.Fatalf("slowest trace TotalNS = %d, want 3ms", slowest[0].TotalNS)
+	}
+}
+
+func TestHandlerTracesBadParams(t *testing.T) {
+	h, _, _ := testHandler(t)
+	for _, path := range []string{
+		"/debug/traces?n=abc",
+		"/debug/traces?n=-1",
+		"/debug/traces?slowest=xyz",
+		"/debug/traces?slowest=-5",
+		"/debug/spans?n=abc",
+		"/debug/spans?n=-2",
+		"/debug/spans?trace=nothex",
+	} {
+		if rec := get(t, h, path); rec.Code != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400", path, rec.Code)
+		}
+	}
+}
+
+func TestHandlerSpans(t *testing.T) {
+	h, _, sr := testHandler(t)
+	sc := NewTraceContext()
+	sr.Record(Span{Trace: sc.Trace, ID: sc.Span, Name: "txn", Site: SelectorSite,
+		Start: time.Now(), Dur: 2 * time.Millisecond})
+	sr.Record(Span{Trace: sc.Trace, Parent: sc.Span, Name: "execute", Site: 1,
+		Start: time.Now(), Dur: time.Millisecond})
+
+	rec := get(t, h, "/debug/spans")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/spans = %d, want 200", rec.Code)
+	}
+	var sums []TraceSummaryJSON
+	if err := json.NewDecoder(rec.Body).Decode(&sums); err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 || sums[0].Spans != 2 || sums[0].Root != "txn" {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	wantID := fmt.Sprintf("%016x", sc.Trace)
+	if sums[0].Trace != wantID {
+		t.Fatalf("summary trace id %q, want hex %q", sums[0].Trace, wantID)
+	}
+
+	rec = get(t, h, "/debug/spans?trace="+wantID)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/spans?trace= = %d, want 200", rec.Code)
+	}
+	var spans []SpanJSON
+	if err := json.NewDecoder(rec.Body).Decode(&spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "txn" || spans[0].Parent != "" || spans[0].Site != SelectorSite {
+		t.Fatalf("root span JSON wrong: %+v", spans[0])
+	}
+	if spans[1].Parent != fmt.Sprintf("%016x", sc.Span) {
+		t.Fatalf("child parent = %q, want root's hex id", spans[1].Parent)
+	}
+	if spans[1].DurNS != int64(time.Millisecond) || spans[1].Dur != "1ms" {
+		t.Fatalf("child durations wrong: %+v", spans[1])
+	}
+
+	if rec := get(t, h, "/debug/spans?trace=00000000deadbeef"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown trace = %d, want 404", rec.Code)
+	}
+}
+
+func TestHandlerFlightRecorder(t *testing.T) {
+	h, _, _ := testHandler(t)
+	tag := fmt.Sprintf("http-test-%d", FlightEventCount())
+	RecordEvent(FlightRPCRetry, SelectorSite, "retrying (%s)", tag)
+
+	rec := get(t, h, "/debug/flightrecorder")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/flightrecorder = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var events []FlightEvent
+	if err := json.NewDecoder(rec.Body).Decode(&events); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range events {
+		if ev.Kind == FlightRPCRetry && strings.Contains(ev.Msg, tag) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("recorded event missing from /debug/flightrecorder")
+	}
+}
+
+func TestHandlerNilTracerAndRecorder(t *testing.T) {
+	h := Handler(NewRegistry(), nil, nil)
+	for _, path := range []string{"/debug/traces", "/debug/spans", "/metrics"} {
+		if rec := get(t, h, path); rec.Code != http.StatusOK {
+			t.Errorf("GET %s with nil sources = %d, want 200", path, rec.Code)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Go runtime telemetry: goroutine count, heap occupancy and GC pause
+// distribution exported as dynamast_go_* instruments. ReadMemStats
+// stops-the-world, so one collector caches the stats with a short
+// staleness window shared by every gauge — a metrics scrape costs at most
+// one ReadMemStats regardless of how many runtime series it renders.
+
+// goStatsStaleness bounds how old the cached MemStats may be when served.
+const goStatsStaleness = 100 * time.Millisecond
+
+// goCollector caches runtime.MemStats and drains the GC pause ring into a
+// histogram as generations complete.
+type goCollector struct {
+	mu     sync.Mutex
+	at     time.Time
+	ms     runtime.MemStats
+	lastGC uint32
+	pause  *Histogram
+}
+
+// stat refreshes the cache if stale and returns f applied to it, all under
+// the collector lock so readers never see a torn MemStats.
+func (c *goCollector) stat(f func(*runtime.MemStats) float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if time.Since(c.at) >= goStatsStaleness {
+		runtime.ReadMemStats(&c.ms)
+		c.at = time.Now()
+		// Drain pauses of GC generations finished since the last refresh.
+		// The runtime keeps the last 256 pauses; skip any overwritten ones.
+		n := c.ms.NumGC
+		start := c.lastGC
+		if n-start > uint32(len(c.ms.PauseNs)) {
+			start = n - uint32(len(c.ms.PauseNs))
+		}
+		for g := start; g < n; g++ {
+			c.pause.Observe(float64(c.ms.PauseNs[g%uint32(len(c.ms.PauseNs))]) / 1e9)
+		}
+		c.lastGC = n
+	}
+	return f(&c.ms)
+}
+
+// RegisterGoRuntime registers the dynamast_go_* runtime instruments in reg.
+// Safe to call more than once per registry (collectors are replaced).
+func RegisterGoRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Help("dynamast_go_goroutines", "Live goroutines in the process.")
+	reg.Help("dynamast_go_heap_bytes", "Heap bytes in use (runtime HeapAlloc).")
+	reg.Help("dynamast_go_heap_objects", "Live heap objects.")
+	reg.Help("dynamast_go_gc_total", "Completed GC cycles.")
+	reg.Help("dynamast_go_gc_pause_seconds", "Stop-the-world GC pause durations.")
+	c := &goCollector{pause: reg.Histogram("dynamast_go_gc_pause_seconds")}
+	// Seed lastGC so historical pauses from before registration are not
+	// re-observed on the first scrape.
+	c.mu.Lock()
+	runtime.ReadMemStats(&c.ms)
+	c.lastGC = c.ms.NumGC
+	c.at = time.Now()
+	c.mu.Unlock()
+	reg.Func("dynamast_go_goroutines", KindGauge,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.Func("dynamast_go_heap_bytes", KindGauge,
+		func() float64 { return c.stat(func(ms *runtime.MemStats) float64 { return float64(ms.HeapAlloc) }) })
+	reg.Func("dynamast_go_heap_objects", KindGauge,
+		func() float64 { return c.stat(func(ms *runtime.MemStats) float64 { return float64(ms.HeapObjects) }) })
+	reg.Func("dynamast_go_gc_total", KindCounter,
+		func() float64 { return c.stat(func(ms *runtime.MemStats) float64 { return float64(ms.NumGC) }) })
+}

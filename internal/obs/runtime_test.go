@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterGoRuntime(t *testing.T) {
+	reg := NewRegistry()
+	RegisterGoRuntime(reg)
+	snap := reg.Snapshot()
+	if v, ok := snap.Value("dynamast_go_goroutines"); !ok || v < 1 {
+		t.Fatalf("dynamast_go_goroutines = %v (ok=%v), want >= 1", v, ok)
+	}
+	if v, ok := snap.Value("dynamast_go_heap_bytes"); !ok || v <= 0 {
+		t.Fatalf("dynamast_go_heap_bytes = %v (ok=%v), want > 0", v, ok)
+	}
+	if v, ok := snap.Value("dynamast_go_heap_objects"); !ok || v <= 0 {
+		t.Fatalf("dynamast_go_heap_objects = %v (ok=%v), want > 0", v, ok)
+	}
+	if _, ok := snap.Value("dynamast_go_gc_total"); !ok {
+		t.Fatal("dynamast_go_gc_total not registered")
+	}
+	if _, ok := snap.Get("dynamast_go_gc_pause_seconds"); !ok {
+		t.Fatal("dynamast_go_gc_pause_seconds not registered")
+	}
+
+	// The runtime series render through the Prometheus exposition too.
+	var sb strings.Builder
+	if err := snap.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"dynamast_go_goroutines", "dynamast_go_heap_bytes",
+		"dynamast_go_gc_total", "dynamast_go_gc_pause_seconds_bucket",
+	} {
+		if !strings.Contains(sb.String(), name) {
+			t.Errorf("Prometheus exposition missing %s", name)
+		}
+	}
+
+	// Re-registration replaces collectors without panicking.
+	RegisterGoRuntime(reg)
+	RegisterGoRuntime(nil)
+}

@@ -135,7 +135,15 @@ func (t *Tracer) Record(tr Trace) Trace {
 	tr.ID = t.seq
 	slot := t.next
 	if old := t.ring[slot]; old.ID != 0 {
-		delete(t.byStamp, traceStamp{old.Site, old.Seq})
+		// Drop the evicted trace's stamp entry — but only if it still points
+		// here. A commit stamp can recur (a recovered site restarts its
+		// sequence), in which case the entry was re-pointed at a newer slot;
+		// deleting it would strand that slot's refresh-apply completion and
+		// let the index grow past the ring under stamp churn.
+		st := traceStamp{old.Site, old.Seq}
+		if cur, ok := t.byStamp[st]; ok && cur == slot {
+			delete(t.byStamp, st)
+		}
 	}
 	t.ring[slot] = tr
 	if tr.Seq != 0 {

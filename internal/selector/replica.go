@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"dynamast/internal/obs"
 	"dynamast/internal/storage"
 	"dynamast/internal/transport"
 	"dynamast/internal/vclock"
@@ -99,6 +100,18 @@ func (r *Replica) Learn(parts []uint64, site int) {
 // the replica routes locally; otherwise it forwards to the master
 // selector (one extra routing hop), learning the outcome.
 func (r *Replica) RouteWrite(client int, writeSet []storage.RowRef, cvv vclock.Vector) (Route, error) {
+	return r.routeWrite(client, writeSet, cvv, obs.SpanContext{})
+}
+
+// RouteWriteTraced is RouteWrite carrying a sampled trace context: a
+// forwarded decision hands sc to the master selector, whose remaster
+// chains record their release/grant spans under it. Locally decided
+// (single-sited) routes involve no remastering, so no extra spans arise.
+func (r *Replica) RouteWriteTraced(client int, writeSet []storage.RowRef, cvv vclock.Vector, sc obs.SpanContext) (Route, error) {
+	return r.routeWrite(client, writeSet, cvv, sc)
+}
+
+func (r *Replica) routeWrite(client int, writeSet []storage.RowRef, cvv vclock.Vector, sc obs.SpanContext) (Route, error) {
 	parts := r.parent.writeParts(writeSet)
 	if len(parts) == 0 {
 		return Route{Site: 0}, nil
@@ -121,7 +134,7 @@ func (r *Replica) RouteWrite(client int, writeSet []storage.RowRef, cvv vclock.V
 	// Forward to the master selector: one replica->master round trip.
 	r.net.RoundTrip(transport.CatRoute,
 		transport.MsgOverhead+transport.SizeOfRefs(writeSet), transport.MsgOverhead)
-	route, err := r.parent.RouteWrite(client, writeSet, cvv)
+	route, err := r.parent.routeWrite(client, writeSet, cvv, sc)
 	if err == nil {
 		r.Learn(parts, route.Site)
 	}

@@ -51,6 +51,9 @@ type Config struct {
 	// Obs receives the selector's metrics (routing counters, remaster
 	// latency, strategy feature scores); nil disables instrumentation.
 	Obs *obs.Registry
+	// Spans receives the release/grant spans of sampled traced routing
+	// decisions (RouteWriteTraced); nil disables span recording.
+	Spans *obs.SpanRecorder
 }
 
 // Route is a routing decision returned to the client.
@@ -152,6 +155,8 @@ type Selector struct {
 	// remastering exclude them until failover completes.
 	downSites []atomic.Bool
 
+	spans *obs.SpanRecorder
+
 	ob selectorInstruments
 }
 
@@ -246,6 +251,7 @@ func New(cfg Config) (*Selector, error) {
 		siteLoad:    make([]atomic.Uint64, len(cfg.Sites)),
 		routed:      make([]atomic.Uint64, len(cfg.Sites)),
 		downSites:   make([]atomic.Bool, len(cfg.Sites)),
+		spans:       cfg.Spans,
 	}
 	w := cfg.Weights
 	s.weights.Store(&w)
@@ -475,6 +481,18 @@ func (s *Selector) writePartsLarge(writeSet []storage.RowRef) []uint64 {
 // masters are currently distributed (§V-B). cvv is the client's session
 // vector, used by the refresh-delay feature.
 func (s *Selector) RouteWrite(client int, writeSet []storage.RowRef, cvv vclock.Vector) (Route, error) {
+	return s.routeWrite(client, writeSet, cvv, obs.SpanContext{})
+}
+
+// RouteWriteTraced is RouteWrite under a sampled distributed trace: sc is
+// the route span's context, and any remaster chain records one release span
+// (at the source site) and one grant span (at the destination) per chain as
+// children of sc.Span.
+func (s *Selector) RouteWriteTraced(client int, writeSet []storage.RowRef, cvv vclock.Vector, sc obs.SpanContext) (Route, error) {
+	return s.routeWrite(client, writeSet, cvv, sc)
+}
+
+func (s *Selector) routeWrite(client int, writeSet []storage.RowRef, cvv vclock.Vector, sc obs.SpanContext) (Route, error) {
 	start := time.Now()
 	parts := s.writeParts(writeSet)
 	if len(parts) == 0 {
@@ -539,7 +557,7 @@ func (s *Selector) RouteWrite(client int, writeSet []storage.RowRef, cvv vclock.
 		return Route{}, err
 	}
 	remStart := time.Now()
-	minVV, moved, err := s.remaster(parts, infos, dest)
+	minVV, moved, err := s.remaster(parts, infos, dest, sc)
 	wait := time.Since(remStart)
 	if err != nil {
 		return Route{}, err
@@ -781,7 +799,7 @@ func (s *Selector) remasterCall(peer, reqSize int, op func() (vclock.Vector, err
 // back to the source strictly out-epochs whatever the destination logged,
 // so recovery arbitration stays unambiguous. Selector metadata updates per
 // chain, so a failed chain never undoes — or blocks — a succeeded one.
-func (s *Selector) remaster(parts []uint64, infos []*partInfo, dest int) (vclock.Vector, int, error) {
+func (s *Selector) remaster(parts []uint64, infos []*partInfo, dest int, sc obs.SpanContext) (vclock.Vector, int, error) {
 	type chain struct {
 		src  int
 		ids  []uint64
@@ -812,15 +830,31 @@ func (s *Selector) remaster(parts []uint64, infos []*partInfo, dest int) (vclock
 		go func(c *chain) {
 			defer wg.Done()
 			epoch := s.epochs.Add(1)
+			relStart := time.Now()
 			relVV, err := s.remasterCall(c.src,
 				transport.MsgOverhead+transport.SizeOfPartitions(c.ids),
 				func() (vclock.Vector, error) { return s.sites[c.src].Release(c.ids, dest, epoch) })
+			if sc.Sampled() && err == nil {
+				s.spans.Record(obs.Span{
+					Trace: sc.Trace, Parent: sc.Span, Name: "release", Site: c.src,
+					Start: relStart, Dur: time.Since(relStart),
+				})
+			}
 			if err == nil {
+				grantStart := time.Now()
 				var grantVV vclock.Vector
 				grantVV, err = s.remasterCall(dest,
 					transport.MsgOverhead+transport.SizeOfPartitions(c.ids)+transport.SizeOfVector(relVV),
 					func() (vclock.Vector, error) { return s.sites[dest].Grant(c.ids, relVV, c.src, epoch) })
 				if err == nil {
+					if sc.Sampled() {
+						s.spans.Record(obs.Span{
+							Trace: sc.Trace, Parent: sc.Span, Name: "grant", Site: dest,
+							Start: grantStart, Dur: time.Since(grantStart),
+						})
+					}
+					obs.RecordEvent(obs.FlightRemaster, dest,
+						"epoch %d: %d partition(s) remastered %d -> %d", epoch, len(c.ids), c.src, dest)
 					// Chain complete: flip this chain's metadata now (the
 					// caller holds the partitions' exclusive locks).
 					for _, ix := range c.idxs {

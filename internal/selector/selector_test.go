@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"dynamast/internal/obs"
 	"dynamast/internal/sitemgr"
 	"dynamast/internal/storage"
 	"dynamast/internal/transport"
@@ -552,7 +553,7 @@ func TestRemasterRollbackFencesPhantomGrant(t *testing.T) {
 	inj.PartitionOneWay(1, transport.SelectorNode)
 
 	info.mu.Lock()
-	_, _, err = sel.remaster([]uint64{0}, []*partInfo{info}, 1)
+	_, _, err = sel.remaster([]uint64{0}, []*partInfo{info}, 1, obs.SpanContext{})
 	info.mu.Unlock()
 	if err == nil {
 		t.Fatal("remaster with every destination response lost should fail")

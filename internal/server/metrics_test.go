@@ -42,7 +42,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 	}()
 
 	// The same handler dynamastd mounts behind -metrics-listen.
-	web := httptest.NewServer(obs.Handler(cluster.Obs(), cluster.Tracer()))
+	web := httptest.NewServer(obs.Handler(cluster.Obs(), cluster.Tracer(), cluster.Spans()))
 	defer web.Close()
 
 	cl, err := Dial(addr.String(), 1)
@@ -207,7 +207,7 @@ func TestMetricsContentType(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
-	go http.Serve(ln, obs.Handler(cluster.Obs(), cluster.Tracer()))
+	go http.Serve(ln, obs.Handler(cluster.Obs(), cluster.Tracer(), cluster.Spans()))
 	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
 	if err != nil {
 		t.Fatal(err)

@@ -6,6 +6,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -93,7 +94,7 @@ func Serve(cluster *core.Cluster, addr string) (*Server, net.Addr, error) {
 		rpc:      transport.NewServer(),
 		sessions: make(map[int]*lockedSession),
 	}
-	transport.Handle(s.rpc, "txn", s.handleTxn)
+	transport.HandleTraced(s.rpc, "txn", s.handleTxn)
 	transport.Handle(s.rpc, "create_table", s.handleCreateTable)
 	transport.Handle(s.rpc, "stats", s.handleStats)
 	transport.Handle(s.rpc, "metrics", s.handleMetrics)
@@ -128,11 +129,18 @@ func (s *Server) handleCreateTable(req *createTableReq) (*createTableResp, error
 	return &createTableResp{}, nil
 }
 
-func (s *Server) handleTxn(req *TxnRequest) (*TxnResponse, error) {
+// handleTxn executes one submitted transaction. tc is the distributed trace
+// context the client carried in its RPC frame (zero when unsampled): the
+// server-side session joins that trace, recording the root txn span and the
+// whole downstream span tree under the client's trace id.
+func (s *Server) handleTxn(tc obs.SpanContext, req *TxnRequest) (*TxnResponse, error) {
 	ls := s.session(req.Client)
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
 	sess := ls.sess
+	if tc.Sampled() {
+		sess.SetTraceContext(tc)
+	}
 	resp := &TxnResponse{Results: make([]OpResult, len(req.Ops))}
 	run := func(tx systems.Tx) error {
 		for i, op := range req.Ops {
@@ -358,8 +366,17 @@ func (c *Client) CreateTable(name string) error {
 
 // Txn submits a transaction and returns the per-op results.
 func (c *Client) Txn(writeSet []storage.RowRef, ops []Op) ([]OpResult, error) {
+	return c.TxnTraced(obs.SpanContext{}, writeSet, ops)
+}
+
+// TxnTraced is Txn carrying a sampled distributed trace context (start one
+// with obs.NewTraceContext): the context rides the RPC frame — zero extra
+// bytes when unsampled — and the server records the transaction's span tree
+// under it. Fetch the spans afterwards from /debug/spans?trace=<id>.
+func (c *Client) TxnTraced(sc obs.SpanContext, writeSet []storage.RowRef, ops []Op) ([]OpResult, error) {
 	var resp TxnResponse
-	err := c.rpc.Call("txn", &TxnRequest{Client: c.id, WriteSet: writeSet, Ops: ops}, &resp)
+	err := c.rpc.CallTraced(context.Background(), sc, "txn",
+		&TxnRequest{Client: c.id, WriteSet: writeSet, Ops: ops}, &resp)
 	if err != nil {
 		return nil, err
 	}

@@ -75,6 +75,9 @@ type Config struct {
 	// Tracer receives refresh-apply completions for the transaction
 	// lifecycle traces; nil disables them.
 	Tracer *obs.Tracer
+	// Spans receives the commit/WAL-flush/refresh-apply spans of sampled
+	// distributed traces; nil disables span recording.
+	Spans *obs.SpanRecorder
 }
 
 // ErrNotMaster is returned when a transaction's write set includes a
@@ -172,6 +175,7 @@ type Site struct {
 	// built without a registry).
 	ob     siteInstruments
 	tracer *obs.Tracer
+	spans  *obs.SpanRecorder
 }
 
 // siteInstruments are the site's registered metrics.
@@ -273,6 +277,7 @@ func New(cfg Config) (*Site, error) {
 	s.cfg.ApplySlots = cfg.ApplySlots
 	s.pcond = sync.NewCond(&s.pmu)
 	s.tracer = cfg.Tracer
+	s.spans = cfg.Spans
 	s.instrument(cfg.Obs)
 	return s, nil
 }
@@ -512,6 +517,7 @@ func (s *Site) applyBatch(origin int, batch []wal.Entry) bool {
 			s.ob.lastLag.Set(lag.Seconds())
 			s.ob.refreshStage.ObserveDuration(lag)
 			s.tracer.RefreshApplied(origin, c.TVV[origin], lag)
+			s.spans.RefreshApplied(origin, c.TVV[origin], s.id, lag, now)
 		}
 		i = end
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"dynamast/internal/obs"
 	"dynamast/internal/storage"
 	"dynamast/internal/vclock"
 	"dynamast/internal/wal"
@@ -30,6 +31,12 @@ type Txn struct {
 	// walPublish is the update-log append time measured during Commit;
 	// sessions read it to split the commit stage in lifecycle traces.
 	walPublish time.Duration
+
+	// sc is the sampled trace context of the distributed transaction this
+	// txn executes (zero when unsampled); Commit records its commit and
+	// wal_flush spans under it and registers the commit stamp so refresh
+	// application at remote sites can attach to the same trace.
+	sc obs.SpanContext
 
 	// Operation counts, priced by the site's cost model.
 	nReads   int
@@ -283,13 +290,35 @@ func (t *Txn) Commit() (vclock.Vector, error) {
 	}
 	s.commits.Add(1)
 	s.ob.commits.Inc()
-	s.ob.commitDur.ObserveDuration(time.Since(start))
+	commitDur := time.Since(start)
+	s.ob.commitDur.ObserveDuration(commitDur)
+	if t.sc.Sampled() {
+		// Record the commit critical section and its WAL append as spans,
+		// and register the commit stamp (origin, seq): when remote sites
+		// apply this commit as a refresh transaction they look the stamp up
+		// and attach their refresh_apply spans under the commit span,
+		// closing the trace's cross-site causal edge.
+		commitID := obs.NewSpanID()
+		s.spans.Record(obs.Span{
+			Trace: t.sc.Trace, ID: commitID, Parent: t.sc.Span,
+			Name: "commit", Site: s.id, Start: start, Dur: commitDur,
+		})
+		s.spans.Record(obs.Span{
+			Trace: t.sc.Trace, Parent: commitID,
+			Name: "wal_flush", Site: s.id, Start: walStart, Dur: t.walPublish,
+		})
+		s.spans.RegisterStamp(s.id, seq, obs.SpanContext{Trace: t.sc.Trace, Span: commitID})
+	}
 	return tvv, nil
 }
 
 // WALPublish returns the update-log append time of a committed
 // transaction (zero before Commit and for read-only transactions).
 func (t *Txn) WALPublish() time.Duration { return t.walPublish }
+
+// SetSpan attaches a sampled trace context (the distributed transaction's
+// root span) under which Commit records its commit and wal_flush spans.
+func (t *Txn) SetSpan(sc obs.SpanContext) { t.sc = sc }
 
 // Abort releases the transaction's locks without installing writes.
 func (t *Txn) Abort() {

@@ -199,6 +199,7 @@ func (i *Injector) Decide(cat Category, from, to int) (err error, delay time.Dur
 	}
 	if i.Partitioned(from, to) {
 		i.injected[cat][FaultDrop].Add(1)
+		obs.RecordEvent(obs.FlightFaultInject, to, "partition drop on %s traffic %d->%d", cat, from, to)
 		return &Fault{Category: cat, Kind: FaultDrop}, 0
 	}
 	i.mu.RLock()
@@ -216,6 +217,7 @@ func (i *Injector) Decide(cat Category, from, to int) (err error, delay time.Dur
 		case FaultDelay:
 			delay += r.Delay
 		default:
+			obs.RecordEvent(obs.FlightFaultInject, to, "injected %s on %s traffic %d->%d", r.Kind, cat, from, to)
 			return &Fault{Category: cat, Kind: r.Kind}, delay
 		}
 	}
@@ -357,8 +359,11 @@ func parseCategory(s string) (Category, error) {
 // dynamast_rpc_retries_total.
 var rpcRetries atomic.Uint64
 
-// CountRetry records one RPC retry.
-func CountRetry() { rpcRetries.Add(1) }
+// CountRetry records one RPC retry (retry counter + flight recorder).
+func CountRetry() {
+	rpcRetries.Add(1)
+	obs.RecordEvent(obs.FlightRPCRetry, obs.SelectorSite, "rpc attempt retried")
+}
 
 // RPCRetries returns the process-wide retry count.
 func RPCRetries() uint64 { return rpcRetries.Load() }

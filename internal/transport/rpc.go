@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dynamast/internal/codec"
+	"dynamast/internal/obs"
 )
 
 // This file implements the real networked RPC used by multi-process
@@ -38,18 +39,24 @@ import (
 // codec's decode rule already guarantees); on the client, after the reply
 // is decoded.
 
-// frame is the wire unit, used for both requests and responses.
+// frame is the wire unit, used for both requests and responses. Trace/Span
+// carry the distributed trace context of sampled requests; both zero means
+// unsampled, and the frame encoding is then byte-identical to the
+// pre-tracing wire format (the context rides behind a reserved flags bit).
 type frame struct {
 	ID     uint64
 	Method string
 	Body   []byte
 	Err    string
 	Resp   bool
+	Trace  uint64
+	Span   uint64
 }
 
 const (
-	rpcFlagResp = 1 << 0
-	rpcFlagErr  = 1 << 1
+	rpcFlagResp  = 1 << 0
+	rpcFlagErr   = 1 << 1
+	rpcFlagTrace = 1 << 2
 
 	// maxRPCFrame bounds a message's claimed length so a corrupt or
 	// malicious length prefix cannot ask for an absurd allocation.
@@ -70,11 +77,17 @@ func appendFrame(buf []byte, f *frame) []byte {
 	if f.Err != "" {
 		flags |= rpcFlagErr
 	}
+	if f.Trace != 0 {
+		flags |= rpcFlagTrace
+	}
 	buf = append(buf, flags)
 	buf = codec.AppendUvarint(buf, f.ID)
 	buf = codec.AppendString(buf, f.Method)
 	if f.Err != "" {
 		buf = codec.AppendString(buf, f.Err)
+	}
+	if f.Trace != 0 {
+		buf = codec.AppendTraceContext(buf, f.Trace, f.Span)
 	}
 	return append(buf, f.Body...)
 }
@@ -91,6 +104,11 @@ func decodeFrame(payload []byte, f *frame) error {
 		f.Err = r.String()
 	} else {
 		f.Err = ""
+	}
+	if flags&rpcFlagTrace != 0 {
+		f.Trace, f.Span = r.TraceContext()
+	} else {
+		f.Trace, f.Span = 0, 0
 	}
 	f.Body = r.Tail()
 	return r.Err()
@@ -158,10 +176,14 @@ func readFrame(br *bufio.Reader, f *frame) (*[]byte, error) {
 // rule provides for free.
 type Handler func(req []byte, dst []byte) ([]byte, error)
 
+// TracedHandler is a Handler that additionally receives the request's
+// distributed trace context (zero for unsampled requests).
+type TracedHandler func(tc obs.SpanContext, req []byte, dst []byte) ([]byte, error)
+
 // Server dispatches framed RPC requests to registered handlers.
 type Server struct {
 	mu       sync.RWMutex
-	handlers map[string]Handler
+	handlers map[string]TracedHandler
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
@@ -171,7 +193,7 @@ type Server struct {
 // NewServer returns a server with no handlers registered.
 func NewServer() *Server {
 	return &Server{
-		handlers: make(map[string]Handler),
+		handlers: make(map[string]TracedHandler),
 		conns:    make(map[net.Conn]struct{}),
 	}
 }
@@ -179,6 +201,13 @@ func NewServer() *Server {
 // Register installs a handler for method. Registering after Serve starts is
 // allowed.
 func (s *Server) Register(method string, h Handler) {
+	s.RegisterTraced(method, func(_ obs.SpanContext, req, dst []byte) ([]byte, error) {
+		return h(req, dst)
+	})
+}
+
+// RegisterTraced installs a trace-context-aware handler for method.
+func (s *Server) RegisterTraced(method string, h TracedHandler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = h
@@ -244,7 +273,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			body := (*bodyBuf)[:0]
 			if h == nil {
 				resp.Err = fmt.Sprintf("rpc: unknown method %q", req.Method)
-			} else if body, err = h(req.Body, body); err != nil {
+			} else if body, err = h(obs.SpanContext{Trace: req.Trace, Span: req.Span}, req.Body, body); err != nil {
 				resp.Err = err.Error()
 			} else {
 				resp.Body = body
@@ -389,6 +418,14 @@ func (c *Client) CallTimeout(method string, arg, reply any, timeout time.Duratio
 // discarded by the read loop) and returns an error wrapping ErrTimeout and
 // the context error.
 func (c *Client) CallCtx(ctx context.Context, method string, arg, reply any) error {
+	return c.CallTraced(ctx, obs.SpanContext{}, method, arg, reply)
+}
+
+// CallTraced is CallCtx carrying a distributed trace context: a sampled tc
+// rides the request frame behind the trace flags bit, so the server-side
+// handler can join its spans to the caller's trace. A zero tc leaves the
+// frame byte-identical to an untraced call.
+func (c *Client) CallTraced(ctx context.Context, tc obs.SpanContext, method string, arg, reply any) error {
 	bodyBuf := codec.GetBuf()
 	body, err := encodeBody(arg, (*bodyBuf)[:0])
 	if err != nil {
@@ -409,7 +446,7 @@ func (c *Client) CallCtx(ctx context.Context, method string, arg, reply any) err
 	c.mu.Unlock()
 
 	c.wmu.Lock()
-	err = writeFrame(c.conn, &frame{ID: id, Method: method, Body: body})
+	err = writeFrame(c.conn, &frame{ID: id, Method: method, Body: body, Trace: tc.Trace, Span: tc.Span})
 	c.wmu.Unlock()
 	if body != nil {
 		*bodyBuf = body[:0]
@@ -533,12 +570,20 @@ func (c *Client) Close() error {
 // codec.Message use their binary wire schema; anything else rides the gob
 // fallback (see encodeBody).
 func Handle[Req, Resp any](s *Server, method string, fn func(*Req) (*Resp, error)) {
-	s.Register(method, func(body, dst []byte) ([]byte, error) {
+	HandleTraced(s, method, func(_ obs.SpanContext, req *Req) (*Resp, error) {
+		return fn(req)
+	})
+}
+
+// HandleTraced registers a typed handler that also receives the request's
+// distributed trace context (zero when the caller did not sample).
+func HandleTraced[Req, Resp any](s *Server, method string, fn func(obs.SpanContext, *Req) (*Resp, error)) {
+	s.RegisterTraced(method, func(tc obs.SpanContext, body, dst []byte) ([]byte, error) {
 		var req Req
 		if err := decodeBody(body, &req); err != nil {
 			return nil, fmt.Errorf("rpc: decode %s: %w", method, err)
 		}
-		resp, err := fn(&req)
+		resp, err := fn(tc, &req)
 		if err != nil {
 			return nil, err
 		}

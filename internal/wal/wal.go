@@ -153,10 +153,12 @@ type Log struct {
 
 	// Observability instruments (nil-safe; see Instrument).
 	appendDur    *obs.Histogram
+	flushDur     *obs.Histogram
 	kindCounts   map[Kind]*obs.Counter
 	flushes      *obs.Counter
 	truncEntries *obs.Counter
 	truncBytes   *obs.Counter
+	siteID       int // set by Instrument; labels flight-recorder events
 }
 
 // New returns an in-memory log.
@@ -318,10 +320,13 @@ func (l *Log) flushLocked() {
 	f := l.file
 	l.mu.Unlock()
 	var err error
+	flushStart := time.Now()
 	if len(data) > 0 && f != nil {
 		_, err = f.Write(data)
 	}
+	flushTook := time.Since(flushStart)
 	l.mu.Lock()
+	l.flushDur.ObserveDuration(flushTook)
 	l.flushing = false
 	l.spare = data[:0]
 	if err != nil {
@@ -350,7 +355,9 @@ func (l *Log) Instrument(reg *obs.Registry, siteID int) {
 	}
 	site := obs.Site(siteID)
 	l.mu.Lock()
+	l.siteID = siteID
 	l.appendDur = reg.Histogram("dynamast_wal_append_seconds", site)
+	l.flushDur = reg.Histogram("dynamast_wal_flush_seconds", site)
 	l.flushes = reg.Counter("dynamast_wal_flushes_total", site)
 	l.truncEntries = reg.Counter("dynamast_wal_truncated_entries_total", site)
 	l.truncBytes = reg.Counter("dynamast_wal_truncated_bytes_total", site)
@@ -476,6 +483,8 @@ func (l *Log) SetLowWater(off uint64) (uint64, error) {
 	l.entries = append([]Entry(nil), l.entries[dropped:]...)
 	l.base = floor
 	l.truncEntries.Add(dropped)
+	obs.RecordEvent(obs.FlightWALTruncate, l.siteID,
+		"truncated %d entries, new base %d (low-water %d)", dropped, l.base, l.lowWater)
 	return dropped, nil
 }
 
@@ -711,6 +720,7 @@ func (b *Broker) Instrument(reg *obs.Registry) {
 	reg.Help("dynamast_wal_entries", "Entries currently retained in each site's update log.")
 	reg.Help("dynamast_wal_last_update_seq", "Commit sequence of the newest update published per site.")
 	reg.Help("dynamast_wal_flushes_total", "Group-commit file flushes per site (appends/flushes = mean batch size).")
+	reg.Help("dynamast_wal_flush_seconds", "Group-commit file write latency per site (leader's write syscall).")
 	reg.Help("dynamast_wal_truncated_entries_total", "Log entries reclaimed by checkpoint-driven prefix truncation.")
 	reg.Help("dynamast_wal_truncated_bytes_total", "Backing-file bytes reclaimed by prefix truncation.")
 	for i, l := range b.logs {
