@@ -36,6 +36,11 @@
 //	trace <hexid>                      one distributed trace's span tree,
 //	                                   rendered with parent indentation
 //	flightrec                          the flight-recorder event ring
+//	epochs                             epoch group-commit status: configured
+//	                                   interval, seal/commit rates over a 1s
+//	                                   window, mean txns per epoch, and the
+//	                                   replication bytes the delta-coalesced
+//	                                   frames saved
 package main
 
 import (
@@ -69,7 +74,7 @@ func main() {
 
 	cmd, args := args[0], args[1:]
 	switch cmd {
-	case "traces", "spans", "trace", "flightrec":
+	case "traces", "spans", "trace", "flightrec", "epochs":
 		// HTTP-only commands: no RPC session needed.
 		if err := runHTTP(*httpAddr, cmd, args); err != nil {
 			log.Fatalf("dynactl: %s: %v", cmd, err)
@@ -184,8 +189,117 @@ func runHTTP(addr, cmd string, args []string) error {
 		}
 		fmt.Printf("(%d events)\n", len(events))
 		return nil
+
+	case "epochs":
+		if len(args) != 0 {
+			return fmt.Errorf("usage: epochs")
+		}
+		return runEpochs(addr)
 	}
 	return fmt.Errorf("unknown command %q", cmd)
+}
+
+// epochStats is one scrape of the epoch metric family, summed across sites.
+type epochStats struct {
+	interval   float64 // dynamast_epoch_interval_seconds (per-site gauge, max)
+	seals      float64 // dynamast_epoch_seals_total
+	txns       float64 // dynamast_epoch_txns_total
+	bytesSaved float64 // dynamast_epoch_bytes_saved_total
+	sealSum    float64 // dynamast_epoch_seal_seconds_sum
+	sealCount  float64 // dynamast_epoch_seal_seconds_count
+}
+
+// scrapeEpochStats pulls /metrics and folds the dynamast_epoch_* series.
+func scrapeEpochStats(addr string) (epochStats, error) {
+	var st epochStats
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return st, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, "dynamast_epoch_") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "dynamast_epoch_interval_seconds":
+			if v > st.interval {
+				st.interval = v
+			}
+		case "dynamast_epoch_seals_total":
+			st.seals += v
+		case "dynamast_epoch_txns_total":
+			st.txns += v
+		case "dynamast_epoch_bytes_saved_total":
+			st.bytesSaved += v
+		case "dynamast_epoch_seal_seconds_sum":
+			st.sealSum += v
+		case "dynamast_epoch_seal_seconds_count":
+			st.sealCount += v
+		}
+	}
+	return st, nil
+}
+
+// runEpochs scrapes the epoch metrics twice about a second apart and prints
+// configuration, rates over the window, and cumulative coalescing savings.
+func runEpochs(addr string) error {
+	before, err := scrapeEpochStats(addr)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	time.Sleep(time.Second)
+	after, err := scrapeEpochStats(addr)
+	if err != nil {
+		return err
+	}
+	window := time.Since(start).Seconds()
+
+	if after.interval <= 0 {
+		fmt.Println("epoch group commit: disabled (-epoch-interval 0)")
+		return nil
+	}
+	fmt.Printf("epoch interval:   %v\n", time.Duration(after.interval*float64(time.Second)).Round(time.Microsecond))
+	dSeals := after.seals - before.seals
+	dTxns := after.txns - before.txns
+	fmt.Printf("seals:            %.0f total, %.1f/s over the last %.1fs\n", after.seals, dSeals/window, window)
+	fmt.Printf("commits sealed:   %.0f total, %.1f/s over the last %.1fs\n", after.txns, dTxns/window, window)
+	switch {
+	case dSeals > 0:
+		fmt.Printf("txns per epoch:   %.2f (current)\n", dTxns/dSeals)
+	case after.seals > 0:
+		fmt.Printf("txns per epoch:   %.2f (lifetime; idle now)\n", after.txns/after.seals)
+	}
+	if after.sealCount > 0 {
+		mean := time.Duration(after.sealSum / after.sealCount * float64(time.Second))
+		fmt.Printf("mean seal time:   %v\n", mean.Round(time.Microsecond))
+	}
+	fmt.Printf("bytes saved:      %.0f total vs per-txn frames", after.bytesSaved)
+	if after.txns > 0 {
+		fmt.Printf(" (%.1f B/txn)", after.bytesSaved/after.txns)
+	}
+	fmt.Println()
+	return nil
 }
 
 // printSpanTree renders a span list as an indented tree (children under

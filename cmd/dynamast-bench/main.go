@@ -26,6 +26,7 @@ func main() {
 	clients := flag.Int("clients", 0, "override client count")
 	keys := flag.Uint64("keys", 0, "override YCSB key count")
 	seed := flag.Int64("seed", 1, "workload seed")
+	epochInterval := flag.Duration("epoch-interval", 0, "DynaMast epoch group-commit interval (0 = default; negative disables epochs for A/B runs)")
 	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 		scale.Keys = *keys
 	}
 	scale.Seed = *seed
+	scale.EpochInterval = *epochInterval
 
 	args := flag.Args()
 	if len(args) == 0 {

@@ -61,6 +61,7 @@ func main() {
 	sloInterval := flag.Duration("slo-interval", time.Second, "SLO evaluation window")
 	flightDir := flag.String("flight-dir", "", "directory for flight-recorder snapshots on failover/recovery/panic (empty = no disk snapshots)")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the metrics listener")
+	epochInterval := flag.Duration("epoch-interval", dynamast.DefaultEpochInterval, "epoch group-commit seal interval: commits batch into epochs flushed and replicated as one coalesced record (0 = disabled, per-transaction records)")
 	flag.Parse()
 
 	cfg := dynamast.Config{
@@ -73,6 +74,11 @@ func main() {
 		FlightDir:              *flightDir,
 		CheckpointEvery:        *checkpointEvery,
 		CheckpointEveryRecords: *checkpointRecords,
+	}
+	if *epochInterval > 0 {
+		cfg.EpochInterval = *epochInterval
+	} else {
+		cfg.EpochInterval = -1 // -epoch-interval=0 opts out
 	}
 	if *sloSpec != "" {
 		targets, err := obs.ParseSLOSpec(*sloSpec)

@@ -103,6 +103,10 @@ type (
 	FlightEvent = obs.FlightEvent
 )
 
+// DefaultEpochInterval is the epoch group-commit seal interval used when
+// epochs are enabled without an explicit WithEpochInterval.
+const DefaultEpochInterval = sitemgr.DefaultEpochInterval
+
 // New builds and starts a DynaMast cluster from functional options:
 //
 //	dynamast.New(dynamast.WithSites(4), dynamast.WithPartitioner(p))
@@ -128,6 +132,7 @@ func WithTraceSampling(n int) Option                  { return core.WithTraceSam
 func WithSLO(spec string, every time.Duration) Option { return core.WithSLO(spec, every) }
 func WithSLOTargets(ts ...SLOTarget) Option           { return core.WithSLOTargets(ts...) }
 func WithFlightDir(dir string) Option                 { return core.WithFlightDir(dir) }
+func WithEpochInterval(d time.Duration) Option        { return core.WithEpochInterval(d) }
 
 // PartitionByRange groups keys of every table into partitions of size
 // contiguous keys — the paper's YCSB partitioning.

@@ -22,6 +22,9 @@ type Scale struct {
 	Clients  int
 	Keys     uint64 // YCSB key count
 	Seed     int64
+	// EpochInterval overrides DynaMast's epoch group-commit interval for
+	// A/B comparisons (0 = the core default; negative disables epochs).
+	EpochInterval time.Duration
 }
 
 // QuickScale runs each point in well under a second.
@@ -134,6 +137,7 @@ func ycsbThroughputSweep(id, caption string, scale Scale, clientPoints []int, rm
 		wl := workload.NewYCSB(workload.YCSBConfig{Keys: scale.Keys, RMWPercent: rmwPct, Zipfian: zipf})
 		env := DefaultEnv(4)
 		env.Seed = scale.Seed
+		env.EpochInterval = scale.EpochInterval
 		opts := scale.opts()
 		opts.Clients = clients
 		rows, err := runSystems(wl, env, opts, throughputMetric)

@@ -47,6 +47,9 @@ type Env struct {
 	// InitialMaster overrides DynaMast's initial partition placement
 	// (nil = the default pseudo-random scatter).
 	InitialMaster func(part uint64) int
+	// EpochInterval overrides DynaMast's epoch group-commit interval
+	// (0 = the core default; negative disables epochs for A/B runs).
+	EpochInterval time.Duration
 }
 
 // DefaultEnv is the standard experiment environment: the paper's simulated
@@ -91,6 +94,7 @@ func Build(kind SystemKind, wl workload.Workload, env Env) (systems.System, erro
 			Costs:         env.Costs,
 			InitialMaster: env.InitialMaster,
 			Seed:          env.Seed,
+			EpochInterval: env.EpochInterval,
 		})
 		if err != nil {
 			return nil, err

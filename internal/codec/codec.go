@@ -190,6 +190,12 @@ func (r *Reader) fail(err error) {
 	}
 }
 
+// Fail records err as the Reader's sticky error (first failure wins); it
+// lets cooperating schema packages (the WAL's entry codec) report structural
+// violations — a dictionary index out of range, an absurd count — through
+// the same sticky-error channel the primitive accessors use.
+func (r *Reader) Fail(err error) { r.fail(err) }
+
 // Done returns the sticky error, or ErrCorrupt if undecoded bytes trail the
 // payload (a well-formed payload is consumed exactly).
 func (r *Reader) Done() error {

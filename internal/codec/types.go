@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"fmt"
 	"time"
 
 	"dynamast/internal/storage"
@@ -41,6 +42,89 @@ func (r *Reader) Vector(dst vclock.Vector) vclock.Vector {
 		return nil
 	}
 	return dst
+}
+
+// AppendVectorDelta appends v delta-encoded against prev (see
+// vclock.Vector.AppendDelta): same count prefix as AppendVector, zig-zag
+// per-dimension diffs instead of absolute counters.
+func AppendVectorDelta(buf []byte, prev, v vclock.Vector) []byte {
+	return v.AppendDelta(buf, prev)
+}
+
+// VectorDelta decodes a delta-encoded vector against prev, reusing dst's
+// capacity when possible. Diffs add to prev with two's-complement wrap, the
+// exact inverse of AppendVectorDelta for every uint64 value.
+func (r *Reader) VectorDelta(prev, dst vclock.Vector) vclock.Vector {
+	n := r.Uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > maxLen/8 {
+		r.fail(ErrCorrupt)
+		return nil
+	}
+	if uint64(cap(dst)) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make(vclock.Vector, n)
+	}
+	for i := range dst {
+		var p uint64
+		if i < len(prev) {
+			p = prev[i]
+		}
+		dst[i] = p + uint64(r.Int())
+	}
+	if r.err != nil {
+		return nil
+	}
+	return dst
+}
+
+// Vector delta-frame flags: the one-byte discriminator ahead of a
+// maybe-delta vector. Full vectors are the fallback on first contact (no
+// previous vector) or a dimensionality change; deltas carry diffs against
+// the stream's previous vector.
+const (
+	vectorFull  = 0
+	vectorDelta = 1
+)
+
+// AppendVectorMaybeDelta appends v either delta-encoded against prev (flag
+// byte 1) or as a full vector (flag byte 0) when no usable previous vector
+// exists — prev empty or of a different dimensionality. This is the frame
+// shape of delta-vector streams (epoch replication frames): the flag makes
+// each frame self-describing, so a receiver resynchronizes on any gap by
+// the next full frame.
+func AppendVectorMaybeDelta(buf []byte, prev, v vclock.Vector) []byte {
+	if len(prev) != len(v) || len(v) == 0 {
+		buf = append(buf, vectorFull)
+		return v.AppendBinary(buf)
+	}
+	buf = append(buf, vectorDelta)
+	return v.AppendDelta(buf, prev)
+}
+
+// VectorMaybeDelta decodes a frame appended by AppendVectorMaybeDelta,
+// resolving deltas against prev.
+func (r *Reader) VectorMaybeDelta(prev, dst vclock.Vector) vclock.Vector {
+	if r.err != nil {
+		return nil
+	}
+	if r.off >= len(r.data) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	flag := r.data[r.off]
+	r.off++
+	switch flag {
+	case vectorFull:
+		return r.Vector(dst)
+	case vectorDelta:
+		return r.VectorDelta(prev, dst)
+	}
+	r.fail(fmt.Errorf("%w: vector frame flag 0x%02x", ErrCorrupt, flag))
+	return nil
 }
 
 // AppendRef appends one row reference.

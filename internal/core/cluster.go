@@ -56,6 +56,10 @@ type Config struct {
 	CheckpointEveryRecords uint64
 	// ExecSlots is each site's execution parallelism (0 = default).
 	ExecSlots int
+	// EpochInterval is the epoch group-commit seal interval. Zero means the
+	// default (sitemgr.DefaultEpochInterval); negative disables epochs and
+	// restores per-transaction commit records. Use WithEpochInterval.
+	EpochInterval time.Duration
 	// Costs prices transactional work (zero = free; benchmarks use
 	// sitemgr.DefaultCostModel).
 	Costs sitemgr.CostModel
@@ -191,22 +195,33 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	c.broker.Instrument(c.obs)
 
+	// Epoch group commit defaults on; WithEpochInterval(0) opts out by
+	// storing a negative sentinel.
+	epochIv := cfg.EpochInterval
+	switch {
+	case epochIv < 0:
+		epochIv = 0 // explicit opt-out: per-transaction commit records
+	case epochIv == 0:
+		epochIv = sitemgr.DefaultEpochInterval
+	}
+
 	c.sites = make([]*sitemgr.Site, cfg.Sites)
 	dsites := make([]selector.DataSite, cfg.Sites)
 	for i := 0; i < cfg.Sites; i++ {
 		s, err := sitemgr.New(sitemgr.Config{
-			SiteID:      i,
-			Sites:       cfg.Sites,
-			Net:         c.net,
-			Broker:      c.broker,
-			MaxVersions: cfg.MaxVersions,
-			Partitioner: cfg.Partitioner,
-			Replicate:   true,
-			ExecSlots:   cfg.ExecSlots,
-			Costs:       cfg.Costs,
-			Obs:         c.obs,
-			Tracer:      c.tracer,
-			Spans:       c.spans,
+			SiteID:        i,
+			Sites:         cfg.Sites,
+			Net:           c.net,
+			Broker:        c.broker,
+			MaxVersions:   cfg.MaxVersions,
+			Partitioner:   cfg.Partitioner,
+			Replicate:     true,
+			ExecSlots:     cfg.ExecSlots,
+			EpochInterval: epochIv,
+			Costs:         cfg.Costs,
+			Obs:           c.obs,
+			Tracer:        c.tracer,
+			Spans:         c.spans,
 		})
 		if err != nil {
 			c.broker.Close()
@@ -406,6 +421,11 @@ func (c *Cluster) Close() {
 		// Drain any manual Checkpoint in flight; new ones refuse via closing.
 		c.ckptMu.Lock()
 		c.ckptMu.Unlock() //nolint:staticcheck // empty critical section = barrier
+		// Seal every site's in-flight epoch while the logs are still open:
+		// acked commits must reach the log before it closes.
+		for _, s := range c.sites {
+			_ = s.SealEpoch()
+		}
 		c.broker.Close()
 		for _, s := range c.sites {
 			s.Stop()
@@ -420,7 +440,14 @@ func (c *Cluster) WaitQuiesced(timeout time.Duration) error {
 	for {
 		target := make([]uint64, len(c.sites))
 		for i, s := range c.sites {
-			target[i] = s.SVV()[i]
+			if s.Alive() {
+				// Epoch-buffered commits are acked but not yet in the svv;
+				// quiescence must wait for their seal to replicate too. (A
+				// killed site sealed on Kill — its svv is already final.)
+				target[i] = s.InstalledSeq()
+			} else {
+				target[i] = s.SVV()[i]
+			}
 		}
 		ok := true
 		for _, s := range c.sites {

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dynamast/internal/obs"
+	"dynamast/internal/sitemgr"
+	"dynamast/internal/storage"
+	"dynamast/internal/systems"
+	"dynamast/internal/transport"
+	"dynamast/internal/wal"
+)
+
+// TestEpochDefaultOnLogsEpochFrames checks epochs are the default commit
+// path: a cluster built with a zero-value interval logs KindEpoch frames,
+// and WaitQuiesced covers commits still inside the seal pipeline.
+func TestEpochDefaultOnLogsEpochFrames(t *testing.T) {
+	c := newTestCluster(t, 2)
+	sess := c.Session(1)
+	for i := 0; i < 5; i++ {
+		err := sess.Update([]storage.RowRef{ref(0)}, func(tx systems.Tx) error {
+			return tx.Write(ref(0), []byte{1, 2, 3, 4, 5, 6, 7, byte(i)})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WaitQuiesced(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var epochs int
+	for i := range c.Sites() {
+		l := c.Broker().Log(i)
+		for off := l.Base(); off < l.Len(); off++ {
+			e, ok := l.Get(off)
+			if !ok {
+				continue
+			}
+			if e.Kind == wal.KindUpdate {
+				t.Fatalf("site %d logged a per-txn update with epochs on", i)
+			}
+			if e.Kind == wal.KindEpoch {
+				epochs++
+			}
+		}
+	}
+	if epochs == 0 {
+		t.Fatal("no epoch frames logged under the default configuration")
+	}
+	for _, s := range c.Sites() {
+		data, ok := s.ReadLocal(ref(0))
+		if !ok || len(data) != 8 {
+			t.Errorf("site %d: stale/missing row after quiesce: %v", s.ID(), data)
+		}
+	}
+}
+
+// TestEpochOptOutLogsPerTxnFrames checks WithEpochInterval(0) restores the
+// pre-epoch commit path: every commit logs its own KindUpdate entry.
+func TestEpochOptOutLogsPerTxnFrames(t *testing.T) {
+	c, err := NewWithOptions(Config{
+		Sites:       2,
+		Partitioner: partitionBy100,
+	}, WithEpochInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	c.CreateTable("kv")
+	sess := c.Session(1)
+	for i := 0; i < 5; i++ {
+		err := sess.Update([]storage.RowRef{ref(0)}, func(tx systems.Tx) error {
+			return tx.Write(ref(0), []byte{byte(i)})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WaitQuiesced(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var updates int
+	for i := range c.Sites() {
+		l := c.Broker().Log(i)
+		for off := l.Base(); off < l.Len(); off++ {
+			e, ok := l.Get(off)
+			if !ok {
+				continue
+			}
+			if e.Kind == wal.KindEpoch {
+				t.Fatalf("site %d logged an epoch frame with epochs disabled", i)
+			}
+			if e.Kind == wal.KindUpdate {
+				updates++
+			}
+		}
+	}
+	if updates != 5 {
+		t.Fatalf("logged %d per-txn updates with epochs disabled, want 5", updates)
+	}
+}
+
+// TestEpochReplicationByteSavings measures the replication bytes per commit
+// with epochs on vs off under a concurrent commit burst (the case epochs
+// exist for) and checks the delta-coalesced frames cut the per-transaction
+// wire cost substantially. The acceptance target is −40%; the assertion
+// allows −30% so low epoch occupancy on a loaded CI machine cannot flake
+// the suite, and logs the measured numbers.
+func TestEpochReplicationByteSavings(t *testing.T) {
+	const clients, updates = 32, 20
+	run := func(opt Option) (bytes, commits uint64) {
+		c, err := NewWithOptions(Config{
+			Sites:       3,
+			Partitioner: partitionBy100,
+		}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		c.CreateTable("kv")
+		var wg sync.WaitGroup
+		for cl := 0; cl < clients; cl++ {
+			wg.Add(1)
+			go func(cl int) {
+				defer wg.Done()
+				sess := c.Session(cl)
+				key := ref(uint64(cl))
+				for i := 0; i < updates; i++ {
+					err := sess.Update([]storage.RowRef{key}, func(tx systems.Tx) error {
+						return tx.Write(key, []byte{byte(cl), byte(i), 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(cl)
+		}
+		wg.Wait()
+		if err := c.WaitQuiesced(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range c.Network().Stats() {
+			if st.Category == transport.CatReplication {
+				bytes = st.Bytes
+			}
+		}
+		var p99 float64
+		for i := range c.Sites() {
+			if q := c.Obs().Histogram("dynamast_commit_seconds", obs.Site(i)).Quantile(0.99); q > p99 {
+				p99 = q
+			}
+		}
+		t.Logf("p99 commit latency: %v", time.Duration(p99*float64(time.Second)).Round(time.Microsecond))
+		return bytes, uint64(c.Stats().Commits)
+	}
+
+	onBytes, onCommits := run(WithEpochInterval(sitemgr.DefaultEpochInterval))
+	offBytes, offCommits := run(WithEpochInterval(0))
+	if onCommits != clients*updates || offCommits != clients*updates {
+		t.Fatalf("commits on=%d off=%d, want %d", onCommits, offCommits, clients*updates)
+	}
+	onPer := float64(onBytes) / float64(onCommits)
+	offPer := float64(offBytes) / float64(offCommits)
+	t.Logf("replication bytes/txn: epochs on %.1f, off %.1f (%.1f%% saved)",
+		onPer, offPer, 100*(1-onPer/offPer))
+	if onPer > 0.7*offPer {
+		t.Errorf("epochs save only %.1f%% replication bytes/txn, want >= 30%%", 100*(1-onPer/offPer))
+	}
+}
+
+// TestEpochConcurrentCounterConverges drives a contended read-modify-write
+// counter through concurrent sessions — the remaster-heavy worst case for
+// epoch boundaries — and checks no increment is lost and every site
+// converges to the final value once quiesced.
+func TestEpochConcurrentCounterConverges(t *testing.T) {
+	c, err := NewCluster(Config{
+		Sites:       2,
+		Partitioner: partitionBy100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	c.CreateTable("kv")
+	const clients, adds = 4, 25
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			sess := c.Session(cl)
+			ws := []storage.RowRef{ref(9)}
+			for i := 0; i < adds; i++ {
+				err := sess.Update(ws, func(tx systems.Tx) error {
+					var cur uint64
+					if data, ok := tx.Read(ref(9)); ok && len(data) >= 8 {
+						for b := 0; b < 8; b++ {
+							cur = cur<<8 | uint64(data[b])
+						}
+					}
+					cur++
+					out := make([]byte, 8)
+					for b := 0; b < 8; b++ {
+						out[b] = byte(cur >> (56 - 8*b))
+					}
+					return tx.Write(ref(9), out)
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	if err := c.WaitQuiesced(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range c.Sites() {
+		data, ok := s.ReadLocal(ref(9))
+		if !ok {
+			t.Fatalf("site %d: counter row missing", s.ID())
+		}
+		var v uint64
+		for _, b := range data {
+			v = v<<8 | uint64(b)
+		}
+		if v != clients*adds {
+			t.Errorf("site %d: counter = %d, want %d", s.ID(), v, clients*adds)
+		}
+	}
+}

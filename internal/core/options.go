@@ -148,3 +148,19 @@ func WithSLOTargets(targets ...obs.SLOTarget) Option {
 func WithFlightDir(dir string) Option {
 	return optionFunc(func(c *Config) { c.FlightDir = dir })
 }
+
+// WithEpochInterval sets the epoch group-commit seal interval: commits batch
+// into epochs sealed every d with one WAL flush, one site-vector advance,
+// and one coalesced replication record. d <= 0 disables epochs, restoring
+// per-transaction commit records (the pre-epoch wire format, byte for
+// byte). Without this option epochs default on at
+// sitemgr.DefaultEpochInterval.
+func WithEpochInterval(d time.Duration) Option {
+	return optionFunc(func(c *Config) {
+		if d <= 0 {
+			c.EpochInterval = -1
+		} else {
+			c.EpochInterval = d
+		}
+	})
+}

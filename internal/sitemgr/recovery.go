@@ -69,18 +69,34 @@ func (s *Site) RecoverLocalFrom(from uint64) (uint64, error) {
 		if !ok {
 			return applied, nil
 		}
-		if e.Kind != wal.KindUpdate {
-			continue
-		}
-		seq := e.TVV[s.id]
-		if seq <= s.clock.Get(s.id) {
-			continue
-		}
-		s.store.Apply(storage.Stamp{Origin: s.id, Seq: seq}, e.Writes)
-		s.clock.Advance(s.id, seq)
-		applied++
-		if s.nextSeq.Load() < seq {
-			s.nextSeq.Store(seq)
+		switch e.Kind {
+		case wal.KindUpdate:
+			seq := e.TVV[s.id]
+			if seq <= s.clock.Get(s.id) {
+				continue
+			}
+			s.store.Apply(storage.Stamp{Origin: s.id, Seq: seq}, e.Writes)
+			s.clock.Advance(s.id, seq)
+			applied++
+			if s.nextSeq.Load() < seq {
+				s.nextSeq.Store(seq)
+			}
+		case wal.KindEpoch:
+			// Members are seq-dense from FirstSeq; replay each like the
+			// standalone update record it coalesces.
+			first := e.FirstSeq()
+			for j := range e.Txns {
+				seq := first + uint64(j)
+				if seq <= s.clock.Get(s.id) {
+					continue
+				}
+				s.store.Apply(storage.Stamp{Origin: s.id, Seq: seq}, e.Txns[j].Writes)
+				s.clock.Advance(s.id, seq)
+				applied++
+				if s.nextSeq.Load() < seq {
+					s.nextSeq.Store(seq)
+				}
+			}
 		}
 	}
 }
@@ -277,6 +293,39 @@ func (s *Site) CatchUpFrom(offsets []uint64, target vclock.Vector) uint64 {
 				e, ok := cur.TryNext()
 				if !ok {
 					break
+				}
+				if e.Kind == wal.KindEpoch {
+					// A sealed epoch installs as one unit: the closing
+					// vector's dependency check covers every member (see
+					// vclock.CanApplyEpoch), and the clock advances straight
+					// to the last member.
+					first := e.FirstSeq()
+					last := e.TVV[origin]
+					s.applyMu[origin].Lock()
+					if last <= s.clock.Get(origin) {
+						s.applyMu[origin].Unlock()
+						continue
+					}
+					if !vclock.CanApplyEpoch(s.clock.Now(), e.TVV, origin, first) {
+						s.applyMu[origin].Unlock()
+						break
+					}
+					base := s.clock.Get(origin)
+					var n uint64
+					for j := range e.Txns {
+						seq := first + uint64(j)
+						if seq <= base {
+							continue
+						}
+						s.store.Apply(storage.Stamp{Origin: origin, Seq: seq}, e.Txns[j].Writes)
+						n++
+					}
+					s.clock.Advance(origin, last)
+					s.applyMu[origin].Unlock()
+					s.refreshes.Add(n)
+					applied += n
+					progressed = true
+					continue
 				}
 				if e.Kind != wal.KindUpdate {
 					continue

@@ -101,6 +101,16 @@ func (s *Site) Release(parts []uint64, to int, epoch uint64) (vclock.Vector, err
 	}
 	s.pmu.Unlock()
 
+	// Fence the epoch pipeline: every commit that wrote the released
+	// partitions is in the epoch buffer (writers drained above), so sealing
+	// now puts their epoch record ahead of the release record in the log —
+	// an epoch never spans a release for a partition it contains. A seal
+	// failure means the log is dead; the release append below will fail the
+	// same way and take the cleanup path.
+	if s.epochOn() {
+		_ = s.SealEpoch()
+	}
+
 	// Durably record the release while the partitions are still guarded by
 	// `releasing` (no writer can slip in), then flip ownership.
 	_, err := s.log.Append(wal.Entry{
@@ -191,6 +201,13 @@ func (s *Site) Grant(parts []uint64, relVV vclock.Vector, from int, epoch uint64
 		}
 	}
 	s.pmu.Unlock()
+
+	// Mirror Release's fencing: commits buffered before the grant seal into
+	// their own epoch record ahead of the grant entry, so epochs never
+	// straddle a mastership change in the log.
+	if s.epochOn() {
+		_ = s.SealEpoch()
+	}
 
 	if _, err := s.log.Append(wal.Entry{
 		Kind:       wal.KindGrant,

@@ -61,7 +61,10 @@ func (s *Site) Begin(minVV vclock.Vector, writeSet []storage.RowRef) (*Txn, erro
 		return nil, ErrSiteDown
 	}
 	if len(minVV) > 0 {
-		s.clock.WaitDominatesEq(minVV)
+		// Under epochs, a session's own-site freshness never waits for the
+		// seal: the self dimension is clamped when the requested sequence is
+		// already installed locally (the extended snapshot below serves it).
+		s.clock.WaitDominatesEq(s.clampFreshnessWait(minVV))
 		// Kill interrupts the clock: the wait may have returned without its
 		// freshness condition holding. A down site must never hand out a
 		// snapshot (it could violate the session's SSSI guarantee).
@@ -71,6 +74,7 @@ func (s *Site) Begin(minVV vclock.Vector, writeSet []storage.RowRef) (*Txn, erro
 	}
 	if t.readOnly {
 		t.snap = s.clock.Now()
+		s.extendSnap(t.snap)
 		return t, nil
 	}
 
@@ -88,6 +92,7 @@ func (s *Site) Begin(minVV vclock.Vector, writeSet []storage.RowRef) (*Txn, erro
 	t.refs, t.recs, t.parts = refs, recs, parts
 	t.writes = make(map[storage.RowRef]storage.Write, len(refs))
 	t.snap = s.clock.Now()
+	s.extendSnap(t.snap)
 	return t, nil
 }
 
@@ -259,6 +264,9 @@ func (t *Txn) Commit() (vclock.Vector, error) {
 	}
 
 	start := time.Now()
+	if s.epochOn() {
+		return t.commitEpoch(writes, start)
+	}
 	s.commitMu.Lock()
 	seq := s.nextSeq.Add(1)
 	tvv := t.snap.Clone()
@@ -312,6 +320,81 @@ func (t *Txn) Commit() (vclock.Vector, error) {
 	return tvv, nil
 }
 
+// commitEpoch is Commit under epoch-based group commit (epoch.go): the
+// critical section installs the versions and buffers the member — no WAL
+// append and no svv advance per transaction; the sealer pays both once per
+// epoch. File-backed sites wait for the covering seal before acking
+// (durability, measured as the WAL-publish stage); in-memory sites ack
+// immediately and the seal publishes replica visibility within one interval.
+func (t *Txn) commitEpoch(writes []storage.Write, start time.Time) (vclock.Vector, error) {
+	s := t.site
+	s.commitMu.Lock()
+	if s.down.Load() {
+		// Kill's seal barrier passed (or is about to): nothing may enter the
+		// buffer once the site is down, or an acked commit could be
+		// stranded unsealed in a dead site.
+		s.commitMu.Unlock()
+		storage.UnlockAll(t.recs)
+		s.exitWriters(t.parts)
+		s.aborts.Add(1)
+		s.ob.aborts.Inc()
+		return nil, ErrSiteDown
+	}
+	s.ep.mu.Lock()
+	err := s.ep.sealErr
+	s.ep.mu.Unlock()
+	if err != nil {
+		// A seal append failed (log closed/poisoned): the commit path is
+		// dead, abandon before installing anything.
+		s.commitMu.Unlock()
+		storage.UnlockAll(t.recs)
+		s.exitWriters(t.parts)
+		return nil, err
+	}
+	seq := s.nextSeq.Add(1)
+	tvv := t.snap.Clone()
+	tvv[s.id] = seq
+	s.store.Apply(storage.Stamp{Origin: s.id, Seq: seq}, writes)
+	s.bufferEpochTxn(seq, tvv, start, writes)
+	s.commitMu.Unlock()
+
+	storage.UnlockAll(t.recs)
+	s.bumpWatermarks(writes, tvv)
+	s.exitWriters(t.parts)
+
+	// Group commit: the ack waits for the seal that publishes this commit —
+	// the log append (and, file-backed, its durable flush) covers the whole
+	// epoch at once. Acking earlier would let a fresh session observe a
+	// cluster that never shows an already-acknowledged write; waiting keeps
+	// the pre-epoch guarantee that an acked commit is in the log. The wait
+	// is bounded by the seal interval and amortized across every member.
+	walStart := time.Now()
+	if err := s.waitSealed(seq); err != nil {
+		// Seals only fail after shutdown poisons the log; the commit is
+		// abandoned (visibility was never published to replicas).
+		t.walPublish = time.Since(walStart)
+		return nil, err
+	}
+	t.walPublish = time.Since(walStart)
+	s.commits.Add(1)
+	s.ob.commits.Inc()
+	commitDur := time.Since(start)
+	s.ob.commitDur.ObserveDuration(commitDur)
+	if t.sc.Sampled() {
+		commitID := obs.NewSpanID()
+		s.spans.Record(obs.Span{
+			Trace: t.sc.Trace, ID: commitID, Parent: t.sc.Span,
+			Name: "commit", Site: s.id, Start: start, Dur: commitDur,
+		})
+		s.spans.Record(obs.Span{
+			Trace: t.sc.Trace, Parent: commitID,
+			Name: "wal_flush", Site: s.id, Start: start, Dur: t.walPublish,
+		})
+		s.spans.RegisterStamp(s.id, seq, obs.SpanContext{Trace: t.sc.Trace, Span: commitID})
+	}
+	return tvv, nil
+}
+
 // WALPublish returns the update-log append time of a committed
 // transaction (zero before Commit and for read-only transactions).
 func (t *Txn) WALPublish() time.Duration { return t.walPublish }
@@ -338,7 +421,9 @@ func (t *Txn) Abort() {
 // ReadLocal serves a single-row read at the site's current snapshot; used
 // by partitioned systems for remote reads.
 func (s *Site) ReadLocal(ref storage.RowRef) ([]byte, bool) {
-	return s.store.Get(ref, s.clock.Now())
+	snap := s.clock.Now()
+	s.extendSnap(snap)
+	return s.store.Get(ref, snap)
 }
 
 // ScanLocal serves a range scan at the site's current snapshot.
@@ -347,5 +432,7 @@ func (s *Site) ScanLocal(table string, lo, hi uint64) []storage.KV {
 	if tb == nil {
 		return nil
 	}
-	return tb.Scan(lo, hi, s.clock.Now())
+	snap := s.clock.Now()
+	s.extendSnap(snap)
+	return tb.Scan(lo, hi, snap)
 }

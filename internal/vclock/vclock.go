@@ -186,6 +186,40 @@ func CanApply(svv, tvv Vector, origin int) bool {
 	return true
 }
 
+// CanApplyEpoch is the epoch-granular form of CanApply: it reports whether a
+// site with state svv may apply a sealed epoch from origin whose first member
+// carries local commit sequence firstSeq and whose closing commit vector
+// (the element-wise max of the members' tvvs, with the origin dimension at
+// the last member's sequence) is closing:
+//
+//	svv[k] >= closing[k] for all k != origin, and svv[origin] == firstSeq-1.
+//
+// Checking the closing vector once is sufficient for the whole epoch: a
+// member's cross-origin dependencies always reference sealed epoch
+// boundaries at the other sites (an unsealed commit is invisible to remote
+// snapshots), so every member's dependency vector is dominated by closing.
+func CanApplyEpoch(svv, closing Vector, origin int, firstSeq uint64) bool {
+	if origin < 0 || origin >= len(closing) || firstSeq == 0 {
+		return false
+	}
+	for k := range closing {
+		var sk uint64
+		if k < len(svv) {
+			sk = svv[k]
+		}
+		if k == origin {
+			if sk != firstSeq-1 {
+				return false
+			}
+			continue
+		}
+		if sk < closing[k] {
+			return false
+		}
+	}
+	return true
+}
+
 // AppendBinary appends v's wire encoding — a uvarint dimension count
 // followed by one uvarint per dimension — to buf and returns the extended
 // slice. This is the vector's shape on every binary wire surface (WAL
@@ -195,6 +229,26 @@ func (v Vector) AppendBinary(buf []byte) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(v)))
 	for _, x := range v {
 		buf = binary.AppendUvarint(buf, x)
+	}
+	return buf
+}
+
+// AppendDelta appends v's delta encoding against prev — a uvarint dimension
+// count followed by one zig-zag varint per dimension holding v[k]-prev[k]
+// (two's-complement wrap; missing trailing dimensions of prev read as zero).
+// Vectors in a refresh stream differ from their predecessor in one or two
+// dimensions by small amounts, so deltas collapse O(sites) multi-byte
+// counters to single-byte zeros; decoding lives with the codec's Reader
+// (Reader.VectorDelta), mirroring AppendBinary.
+func (v Vector) AppendDelta(buf []byte, prev Vector) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(v)))
+	for k, x := range v {
+		var p uint64
+		if k < len(prev) {
+			p = prev[k]
+		}
+		d := int64(x - p)
+		buf = binary.AppendUvarint(buf, uint64(d)<<1^uint64(d>>63))
 	}
 	return buf
 }

@@ -42,6 +42,12 @@ const (
 	// KindGrant records that the origin site was granted mastership of
 	// partitions.
 	KindGrant
+	// KindEpoch carries a sealed commit epoch: every transaction the origin
+	// committed during one group-commit interval, coalesced into a single
+	// record that replicas apply as one refresh unit. Its TVV is the epoch's
+	// closing vector (element-wise max of the members' commit vectors; the
+	// origin dimension is the last member's sequence).
+	KindEpoch
 )
 
 // String returns the kind's name.
@@ -53,6 +59,8 @@ func (k Kind) String() string {
 		return "release"
 	case KindGrant:
 		return "grant"
+	case KindEpoch:
+		return "epoch"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -72,19 +80,54 @@ const maxFrame = 64 << 20
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// Entry is one record of a site's log: either a committed update
-// transaction to be propagated as a refresh transaction, or a mastership
-// change (release/grant) recorded for recovery.
+// EpochTxn is one member transaction of a sealed commit epoch (KindEpoch):
+// its commit vector, commit time, and write set. Members are ordered by the
+// origin's commit sequence, which is dense across the epoch — member i
+// carries sequence TVV[origin]-len(Txns)+1+i.
+type EpochTxn struct {
+	TVV    vclock.Vector
+	At     time.Time
+	Writes []storage.Write
+}
+
+// Entry is one record of a site's log: a committed update transaction to be
+// propagated as a refresh transaction, a sealed commit epoch batching many
+// of them, or a mastership change (release/grant) recorded for recovery.
 type Entry struct {
 	Offset     uint64
 	Kind       Kind
 	Origin     int           // site the entry originated at
 	At         time.Time     // append time; replicas use it to model pipeline delay
-	TVV        vclock.Vector // commit timestamp (KindUpdate)
+	TVV        vclock.Vector // commit timestamp (KindUpdate); closing vector (KindEpoch)
 	Writes     []storage.Write
-	Partitions []uint64 // partitions whose mastership changed (release/grant)
-	Peer       int      // the other site involved in a mastership change
-	Epoch      uint64   // remaster epoch fencing the change (0 = unfenced)
+	Partitions []uint64   // partitions whose mastership changed (release/grant)
+	Peer       int        // the other site involved in a mastership change
+	Epoch      uint64     // remaster epoch fencing the change (0 = unfenced)
+	Txns       []EpochTxn // member transactions of a sealed epoch (KindEpoch only)
+}
+
+// IsUpdate reports whether the entry carries committed writes replicas must
+// apply (a single update transaction or a sealed epoch of them).
+func (e *Entry) IsUpdate() bool { return e.Kind == KindUpdate || e.Kind == KindEpoch }
+
+// lastSeq returns the origin-dimension commit sequence the entry advances a
+// replica to (0 for mastership records).
+func (e *Entry) lastSeq() uint64 {
+	if e.IsUpdate() && e.Origin >= 0 && e.Origin < len(e.TVV) {
+		return e.TVV[e.Origin]
+	}
+	return 0
+}
+
+// FirstSeq returns the origin-dimension commit sequence of the entry's first
+// member: the sequence itself for a single update, the opening sequence for
+// a sealed epoch (its members are seq-dense through TVV[origin]).
+func (e *Entry) FirstSeq() uint64 {
+	last := e.lastSeq()
+	if e.Kind == KindEpoch && len(e.Txns) > 0 && uint64(len(e.Txns)) <= last {
+		return last - uint64(len(e.Txns)) + 1
+	}
+	return last
 }
 
 // Log is one site's ordered update log. The zero value is not usable; use
@@ -217,8 +260,8 @@ func Open(path string) (*Log, error) {
 			return nil, fmt.Errorf("wal: %s corrupt: offset %d at position %d", path, e.Offset, l.base+uint64(len(l.entries)))
 		}
 		l.entries = append(l.entries, e)
-		if e.Kind == KindUpdate && e.Origin < len(e.TVV) {
-			l.updSeq.Store(e.TVV[e.Origin])
+		if seq := e.lastSeq(); seq > 0 {
+			l.updSeq.Store(seq)
 		}
 		off += frameHeaderSize + int(n)
 		good = off
@@ -276,8 +319,8 @@ func (l *Log) Append(e Entry) (uint64, error) {
 		l.buf = appendFrame(l.buf, l.encScratch)
 	}
 	l.entries = append(l.entries, e)
-	if e.Kind == KindUpdate && e.Origin < len(e.TVV) {
-		l.updSeq.Store(e.TVV[e.Origin])
+	if seq := e.lastSeq(); seq > 0 {
+		l.updSeq.Store(seq)
 	}
 	if !l.fileBacked {
 		// In-memory: immediately visible.
@@ -365,6 +408,7 @@ func (l *Log) Instrument(reg *obs.Registry, siteID int) {
 		KindUpdate:  reg.Counter("dynamast_wal_entries_total", site, obs.L("kind", KindUpdate.String())),
 		KindRelease: reg.Counter("dynamast_wal_entries_total", site, obs.L("kind", KindRelease.String())),
 		KindGrant:   reg.Counter("dynamast_wal_entries_total", site, obs.L("kind", KindGrant.String())),
+		KindEpoch:   reg.Counter("dynamast_wal_entries_total", site, obs.L("kind", KindEpoch.String())),
 	}
 	l.mu.Unlock()
 	reg.Func("dynamast_wal_entries", obs.KindGauge,
@@ -409,6 +453,10 @@ func (l *Log) LowWater() uint64 {
 // Path returns the backing file path ("" for an in-memory log).
 func (l *Log) Path() string { return l.path }
 
+// FileBacked reports whether appends persist to a backing file (and thus
+// block for durability) or publish immediately in memory.
+func (l *Log) FileBacked() bool { return l.fileBacked }
+
 // FirstUpdateOffsetAfter returns the absolute offset of the first published
 // update entry whose origin-dimension commit sequence exceeds seq, or the
 // log's end offset when seq already covers every published update. Because a
@@ -423,7 +471,7 @@ func (l *Log) FirstUpdateOffsetAfter(seq uint64) uint64 {
 			break
 		}
 		e := &l.entries[i]
-		if e.Kind == KindUpdate && e.Origin < len(e.TVV) && e.TVV[e.Origin] > seq {
+		if e.lastSeq() > seq {
 			return off
 		}
 	}
