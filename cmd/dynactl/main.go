@@ -41,6 +41,11 @@
 //	                                   window, mean txns per epoch, and the
 //	                                   replication bytes the delta-coalesced
 //	                                   frames saved
+//	selector                           selector control-plane HA status: the
+//	                                   node holding the leadership lease, the
+//	                                   lease epoch, standby delta-feed lag,
+//	                                   leader-change/renewal/expiry counts and
+//	                                   mean promotion latency
 package main
 
 import (
@@ -74,7 +79,7 @@ func main() {
 
 	cmd, args := args[0], args[1:]
 	switch cmd {
-	case "traces", "spans", "trace", "flightrec", "epochs":
+	case "traces", "spans", "trace", "flightrec", "epochs", "selector":
 		// HTTP-only commands: no RPC session needed.
 		if err := runHTTP(*httpAddr, cmd, args); err != nil {
 			log.Fatalf("dynactl: %s: %v", cmd, err)
@@ -195,6 +200,11 @@ func runHTTP(addr, cmd string, args []string) error {
 			return fmt.Errorf("usage: epochs")
 		}
 		return runEpochs(addr)
+	case "selector":
+		if len(args) != 0 {
+			return fmt.Errorf("usage: selector")
+		}
+		return runSelector(addr)
 	}
 	return fmt.Errorf("unknown command %q", cmd)
 }
@@ -299,6 +309,102 @@ func runEpochs(addr string) error {
 		fmt.Printf(" (%.1f B/txn)", after.bytesSaved/after.txns)
 	}
 	fmt.Println()
+	return nil
+}
+
+// selectorStats is one scrape of the selector-HA metric family.
+type selectorStats struct {
+	present    bool    // any HA-family series seen (the shard/partition gauges share the prefix but exist without a lease)
+	leader     float64 // dynamast_selector_leader (0 = initial master, i+1 = standby i)
+	changes    float64 // dynamast_selector_leader_changes_total
+	epoch      float64 // dynamast_selector_lease_epoch
+	renewals   float64 // dynamast_selector_lease_renewals_total
+	expiries   float64 // dynamast_selector_lease_expiries_total
+	lag        float64 // dynamast_selector_standby_lag
+	promoteSum float64 // dynamast_selector_promotion_seconds_sum
+	promoteCnt float64 // dynamast_selector_promotion_seconds_count
+}
+
+// scrapeSelectorStats pulls /metrics and folds the dynamast_selector_* series.
+func scrapeSelectorStats(addr string) (selectorStats, error) {
+	var st selectorStats
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return st, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, "dynamast_selector_") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "dynamast_selector_leader":
+			st.present = true
+			st.leader = v
+		case "dynamast_selector_leader_changes_total":
+			st.changes = v
+		case "dynamast_selector_lease_epoch":
+			st.epoch = v
+		case "dynamast_selector_lease_renewals_total":
+			st.renewals = v
+		case "dynamast_selector_lease_expiries_total":
+			st.expiries = v
+		case "dynamast_selector_standby_lag":
+			st.lag = v
+		case "dynamast_selector_promotion_seconds_sum":
+			st.promoteSum = v
+		case "dynamast_selector_promotion_seconds_count":
+			st.promoteCnt = v
+		}
+	}
+	return st, nil
+}
+
+// runSelector scrapes the selector-HA metrics and prints the control plane's
+// leadership state: who holds the lease, how fresh the standbys are, and how
+// often (and how fast) leadership has moved.
+func runSelector(addr string) error {
+	st, err := scrapeSelectorStats(addr)
+	if err != nil {
+		return err
+	}
+	if !st.present {
+		fmt.Println("selector HA: disabled (-selector-lease 0)")
+		return nil
+	}
+	who := "initial master"
+	if st.leader > 0 {
+		who = fmt.Sprintf("promoted standby %d", int(st.leader)-1)
+	}
+	fmt.Printf("leader:           node %d (%s)\n", int(st.leader), who)
+	fmt.Printf("lease epoch:      %.0f\n", st.epoch)
+	fmt.Printf("standby lag:      %.0f delta(s) behind the feed\n", st.lag)
+	fmt.Printf("leader changes:   %.0f\n", st.changes)
+	fmt.Printf("lease renewals:   %.0f\n", st.renewals)
+	fmt.Printf("lease expiries:   %.0f\n", st.expiries)
+	if st.promoteCnt > 0 {
+		mean := time.Duration(st.promoteSum / st.promoteCnt * float64(time.Second))
+		fmt.Printf("mean promotion:   %v over %.0f failover(s)\n", mean.Round(time.Microsecond), st.promoteCnt)
+	}
 	return nil
 }
 

@@ -62,6 +62,8 @@ func main() {
 	flightDir := flag.String("flight-dir", "", "directory for flight-recorder snapshots on failover/recovery/panic (empty = no disk snapshots)")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the metrics listener")
 	epochInterval := flag.Duration("epoch-interval", dynamast.DefaultEpochInterval, "epoch group-commit seal interval: commits batch into epochs flushed and replicated as one coalesced record (0 = disabled, per-transaction records)")
+	selectorLease := flag.Duration("selector-lease", 0, "selector leadership lease TTL: enables lease-fenced leader failover onto hot-standby replicas (0 = disabled; implies at least 2 selector replicas)")
+	selectorReplicas := flag.Int("selector-replicas", 0, "replica site-selectors fronting the master (0 = stand-alone selector, or 2 when -selector-lease is set)")
 	flag.Parse()
 
 	cfg := dynamast.Config{
@@ -74,6 +76,8 @@ func main() {
 		FlightDir:              *flightDir,
 		CheckpointEvery:        *checkpointEvery,
 		CheckpointEveryRecords: *checkpointRecords,
+		SelectorReplicas:       *selectorReplicas,
+		SelectorLease:          *selectorLease,
 	}
 	if *epochInterval > 0 {
 		cfg.EpochInterval = *epochInterval
@@ -145,6 +149,10 @@ func main() {
 	}
 	if *heartbeat > 0 {
 		fmt.Printf("dynamastd: failure detection on, heartbeat every %v\n", *heartbeat)
+	}
+	if *selectorLease > 0 {
+		fmt.Printf("dynamastd: selector HA on, lease %v, %d standby(s)\n",
+			*selectorLease, len(cluster.SelectorReplicas()))
 	}
 	if *checkpointEvery > 0 || *checkpointRecords > 0 {
 		fmt.Printf("dynamastd: checkpointing every %v / %d records into %s\n",

@@ -127,6 +127,7 @@ func WithCheckpointEvery(d time.Duration) Option      { return core.WithCheckpoi
 func WithCheckpointEveryRecords(n uint64) Option      { return core.WithCheckpointEveryRecords(n) }
 func WithFailureDetection(fd FailureDetection) Option { return core.WithFailureDetection(fd) }
 func WithSelectorReplicas(n int) Option               { return core.WithSelectorReplicas(n) }
+func WithSelectorLease(d time.Duration) Option        { return core.WithSelectorLease(d) }
 func WithSeed(seed int64) Option                      { return core.WithSeed(seed) }
 func WithTraceSampling(n int) Option                  { return core.WithTraceSampling(n) }
 func WithSLO(spec string, every time.Duration) Option { return core.WithSLO(spec, every) }
@@ -183,6 +184,9 @@ var (
 	// ErrConnLost reports a connection torn down mid-RPC by the (injected
 	// or real) wire; the operation's outcome is unknown to the caller.
 	ErrConnLost = transport.ErrConnLost
+	// ErrNoLeader reports that the selector tier is between leaders (lease
+	// failover in progress); resubmitting rides out the promotion window.
+	ErrNoLeader = selector.ErrNoLeader
 )
 
 // Retryable reports whether a session-level error is transient: the

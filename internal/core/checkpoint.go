@@ -172,8 +172,8 @@ func (c *Cluster) checkpointLocked() (*checkpoint.Manifest, error) {
 	for o := 0; o < n; o++ {
 		m.FoldOffsets[o] = c.broker.Log(o).Len()
 	}
-	m.Placement, m.PlacementEpochs = c.sel.PlacementSnapshot()
-	m.MaxEpoch = c.sel.CurrentEpoch()
+	m.Placement, m.PlacementEpochs = c.leader().PlacementSnapshot()
+	m.MaxEpoch = c.leader().CurrentEpoch()
 	for _, e := range m.PlacementEpochs {
 		if e > m.MaxEpoch {
 			m.MaxEpoch = e
@@ -390,12 +390,12 @@ func (c *Cluster) recover(initialPlacement map[uint64]int) error {
 	// Epochs allocated after recovery must out-fence everything logged
 	// before the crash, or stale pre-crash grants could win arbitration
 	// against fresh remaster chains.
-	c.sel.BumpEpoch(maxEpoch)
+	c.leader().BumpEpoch(maxEpoch)
 	for _, s := range c.sites {
 		s.AdoptMastership(owner)
 	}
 	for p, site := range owner {
-		c.sel.RegisterPartitionEpoch(p, site, maxEpoch)
+		c.leader().RegisterPartitionEpoch(p, site, maxEpoch)
 	}
 
 	st.Duration = time.Since(start)

@@ -68,6 +68,16 @@ type Config struct {
 	// locally at the replica and only remastering decisions reach the
 	// master selector. 0 keeps the stand-alone selector.
 	SelectorReplicas int
+	// SelectorLease, when positive, puts the selector tier under
+	// lease-based leadership (high availability): the replicas double as
+	// hot standbys fed by the leader's metadata delta stream, the leader
+	// renews a lease of this TTL, and on expiry a standby promotes —
+	// fencing the deposed leader's in-flight remaster chains with a fresh
+	// epoch and reconciling its mirror against the sites' WAL fold.
+	// Requires at least one replica; when SelectorReplicas is 0 it
+	// defaults to 2. Zero disables HA (the selector is a single point of
+	// failure, as in the paper's prototype).
+	SelectorLease time.Duration
 	// Seed drives read-routing randomization.
 	Seed int64
 	// Faults, when set, installs a fault injector on the simulated wire
@@ -239,7 +249,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			return int((part * 0x9E3779B97F4A7C15 >> 17) % m)
 		}
 	}
-	c.sel, err = selector.New(selector.Config{
+	selCfg := selector.Config{
 		Sites:         dsites,
 		Partitioner:   cfg.Partitioner,
 		InitialMaster: initial,
@@ -249,13 +259,28 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Seed:          cfg.Seed,
 		Obs:           c.obs,
 		Spans:         c.spans,
-	})
+	}
+	c.sel, err = selector.New(selCfg)
 	if err != nil {
 		c.broker.Close()
 		return nil, err
 	}
 
-	c.repl = selector.NewReplicated(c.sel, cfg.SelectorReplicas, c.net)
+	replicas := cfg.SelectorReplicas
+	if cfg.SelectorLease > 0 && replicas == 0 {
+		replicas = 2 // HA needs standbys; two matches the paper's testbed headroom
+	}
+	c.repl = selector.NewReplicated(c.sel, replicas, c.net)
+	if cfg.SelectorLease > 0 {
+		if _, err := c.repl.EnableHA(selCfg, selector.HAConfig{
+			Lease:  cfg.SelectorLease,
+			Broker: c.broker,
+			Obs:    c.obs,
+		}); err != nil {
+			c.broker.Close()
+			return nil, err
+		}
+	}
 	c.instrument()
 
 	c.slo = obs.NewSLOEngine(c.obs)
@@ -361,7 +386,7 @@ func (c *Cluster) Load(rows []systems.LoadRow) {
 		part := c.cfg.Partitioner(row.Ref)
 		if _, ok := seen[part]; !ok {
 			seen[part] = struct{}{}
-			master := c.sel.MasterOf(part) // registers at initial placement
+			master := c.leader().MasterOf(part) // registers at initial placement
 			for i, s := range c.sites {
 				s.SetMaster(part, i == master)
 			}
@@ -373,9 +398,34 @@ func (c *Cluster) Load(rows []systems.LoadRow) {
 	}
 }
 
-// Selector exposes the master site selector (experiments tweak weights and
-// read routing metrics through it).
-func (c *Cluster) Selector() *selector.Selector { return c.sel }
+// leader returns the selector currently holding control-plane leadership:
+// the initial master outside HA deployments, the promoted standby's
+// selector after a lease failover. Every cluster-internal selector use
+// (failover, checkpointing, stats) goes through it so control-plane
+// operations always act on live authority.
+func (c *Cluster) leader() *selector.Selector { return c.repl.Leader() }
+
+// Selector exposes the site selector currently holding leadership
+// (experiments tweak weights and read routing metrics through it). Outside
+// HA deployments this is always the single master selector.
+func (c *Cluster) Selector() *selector.Selector { return c.leader() }
+
+// SelectorHA exposes the selector high-availability state machine, nil
+// unless Config.SelectorLease enabled it.
+func (c *Cluster) SelectorHA() *selector.HA { return c.repl.HA() }
+
+// KillSelector simulates a crash of the selector node currently holding
+// leadership and returns its id (0 = initial master, i+1 = standby i). The
+// lease expires unrenewed and a surviving standby promotes; until then
+// write routing fails fast with the retryable selector.ErrNoLeader while
+// read routing keeps flowing off the replica tier. Requires HA.
+func (c *Cluster) KillSelector() int {
+	ha := c.repl.HA()
+	if ha == nil {
+		return -1
+	}
+	return ha.KillLeader()
+}
 
 // SelectorReplicas exposes the replica selector tier (empty unless
 // configured).
@@ -393,7 +443,7 @@ func (c *Cluster) Broker() *wal.Broker { return c.broker }
 // Stats implements systems.System.
 func (c *Cluster) Stats() systems.Stats {
 	st := systems.Stats{
-		Remasters:      c.sel.Metrics().RemasterTxns,
+		Remasters:      c.leader().Metrics().RemasterTxns,
 		PerSiteCommits: make([]uint64, len(c.sites)),
 		Network:        c.net.Stats(),
 	}
@@ -414,6 +464,9 @@ func (c *Cluster) Close() {
 	c.closeOnce.Do(func() {
 		c.closing.Store(true)
 		c.slo.Stop()
+		if ha := c.repl.HA(); ha != nil {
+			ha.Stop() // no promotions during teardown
+		}
 		close(c.hbStop)
 		close(c.ckptStop)
 		c.hbWG.Wait()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dynamast/internal/obs"
+	"dynamast/internal/selector"
 	"dynamast/internal/sitemgr"
 	"dynamast/internal/transport"
 	"dynamast/internal/vclock"
@@ -40,6 +41,7 @@ func Retryable(err error) bool {
 	return errors.Is(err, sitemgr.ErrSiteDown) ||
 		errors.Is(err, sitemgr.ErrNotMaster) ||
 		errors.Is(err, sitemgr.ErrReleasing) ||
+		errors.Is(err, selector.ErrNoLeader) ||
 		transport.IsInjected(err)
 }
 
@@ -59,7 +61,7 @@ func (c *Cluster) heartbeatLoop(interval time.Duration, misses int) {
 		case <-ticker.C:
 		}
 		for i, s := range c.sites {
-			if c.sel.SiteDown(i) {
+			if c.leader().SiteDown(i) {
 				// A site can be marked down with its failover incomplete
 				// (a grant leg failed mid-way); keep retrying until every
 				// orphaned partition has a live master — an abandoned
@@ -133,15 +135,20 @@ func (c *Cluster) Faults() *transport.Injector { return c.net.Injector() }
 func (c *Cluster) Failover(dead int) error {
 	c.failoverMu.Lock()
 	defer c.failoverMu.Unlock()
+	// Mark the site down on the current leader before the idempotence
+	// check: a selector promotion replays down flags from its predecessor,
+	// but a flag raced past a leadership swap must be re-installable on the
+	// new leader even after this site's failover already completed.
+	sel := c.leader()
+	sel.MarkDown(dead)
 	if c.failedOver[dead] {
 		return nil
 	}
 	c.sites[dead].Kill() // ensure it stops serving even if only partitioned
-	c.sel.MarkDown(dead)
 
 	survivors := make([]int, 0, len(c.sites)-1)
 	for i := range c.sites {
-		if i != dead && !c.sel.SiteDown(i) {
+		if i != dead && !sel.SiteDown(i) {
 			survivors = append(survivors, i)
 		}
 	}
@@ -151,7 +158,7 @@ func (c *Cluster) Failover(dead int) error {
 
 	// Union of selector metadata and log-reconstructed mastership.
 	owned := make(map[uint64]struct{})
-	for _, p := range c.sel.MasteredBy(dead) {
+	for _, p := range sel.MasteredBy(dead) {
 		owned[p] = struct{}{}
 	}
 	for p, site := range sitemgr.RecoverMastership(c.broker, nil) {
@@ -190,17 +197,29 @@ func (c *Cluster) Failover(dead int) error {
 		var lastErr error
 		for off := 0; off < len(survivors) && !granted; off++ {
 			heir := survivors[(bi+off)%len(survivors)]
-			if c.sel.SiteDown(heir) {
+			if sel.SiteDown(heir) {
 				continue
 			}
-			epoch := c.sel.NextEpoch()
+			epoch, err := sel.AllocEpoch()
+			if err != nil {
+				// The selector tier lost its lease mid-failover (leadership
+				// handover in flight). Leave the batch for the heartbeat
+				// retry, which re-runs under the promoted leader.
+				lastErr = fmt.Errorf("core: failover of site %d: %w", dead, err)
+				break
+			}
 			if _, err := c.sites[heir].Grant(ids, relVV, dead, epoch); err != nil {
 				lastErr = fmt.Errorf("core: failover grant to site %d: %w", heir, err)
 				continue
 			}
 			for _, p := range ids {
-				c.sel.RegisterPartitionEpoch(p, heir, epoch)
+				sel.RegisterPartitionEpoch(p, heir, epoch)
 			}
+			// Replica caches still point the batch at the dead site; push
+			// the heir proactively so replicas stop routing there now
+			// instead of waiting for each cached entry's ErrNotMaster
+			// bounce off a site that can no longer answer at all.
+			c.repl.LearnAll(ids, heir)
 			granted = true
 		}
 		if !granted && firstErr == nil {

@@ -111,6 +111,14 @@ func WithSelectorReplicas(n int) Option {
 	return optionFunc(func(c *Config) { c.SelectorReplicas = n })
 }
 
+// WithSelectorLease puts the selector tier under lease-based leader
+// failover with the given lease TTL: replicas double as hot standbys and
+// one promotes — fencing the deposed leader and reconciling against the
+// sites' WAL fold — when the leader's lease expires. d <= 0 disables HA.
+func WithSelectorLease(d time.Duration) Option {
+	return optionFunc(func(c *Config) { c.SelectorLease = d })
+}
+
 // WithSeed fixes the read-routing randomization seed.
 func WithSeed(seed int64) Option {
 	return optionFunc(func(c *Config) { c.Seed = seed })

@@ -236,8 +236,19 @@ func (s *Session) UpdateCtx(ctx context.Context, writeSet []storage.RowRef, fn f
 // metadata (Appendix I).
 func (s *Session) routeCtx(ctx context.Context, attempt int, writeSet []storage.RowRef, sc obs.SpanContext) (selector.Route, error) {
 	route := func(cvv vclock.Vector) (selector.Route, error) {
-		if rep, ok := s.router.(*selector.Replica); ok && attempt > 0 {
-			return rep.RouteToMaster(s.id, writeSet, cvv)
+		if attempt > 0 {
+			// A prior attempt was rejected on stale replica metadata;
+			// resubmit through the master selector, keeping any sampled
+			// trace context so the resubmit's remaster spans stay in the
+			// transaction's trace.
+			if sc.Sampled() {
+				if mr, ok := s.router.(masterRouterTraced); ok {
+					return mr.RouteToMasterTraced(s.id, writeSet, cvv, sc)
+				}
+			}
+			if mr, ok := s.router.(masterRouter); ok {
+				return mr.RouteToMaster(s.id, writeSet, cvv)
+			}
 		}
 		if sc.Sampled() {
 			if tr, ok := s.router.(tracedRouter); ok {
@@ -302,6 +313,19 @@ func (s *Session) beginCtx(ctx context.Context, site *sitemgr.Site, minVV vclock
 // context; both *selector.Selector and *selector.Replica implement it.
 type tracedRouter interface {
 	RouteWriteTraced(client int, writeSet []storage.RowRef, cvv vclock.Vector, sc obs.SpanContext) (selector.Route, error)
+}
+
+// masterRouter is the optional stale-metadata fallback: resubmit the
+// routing decision through the master selector after a data site rejected
+// the transaction (*selector.Replica implements it; the master selector
+// itself needs no fallback — its metadata is authoritative).
+type masterRouter interface {
+	RouteToMaster(client int, writeSet []storage.RowRef, cvv vclock.Vector) (selector.Route, error)
+}
+
+// masterRouterTraced is masterRouter under a sampled distributed trace.
+type masterRouterTraced interface {
+	RouteToMasterTraced(client int, writeSet []storage.RowRef, cvv vclock.Vector, sc obs.SpanContext) (selector.Route, error)
 }
 
 // trace assembles the transaction's lifecycle trace, records it in the

@@ -53,12 +53,15 @@ const (
 	FlightSLOBreach = "slo_breach"
 	// FlightRecovery marks a completed crash recovery.
 	FlightRecovery = "recovery"
+	// FlightLeaderChange marks a selector leadership change (lease expiry
+	// promotion of a standby, or the initial acquisition).
+	FlightLeaderChange = "leader_change"
 )
 
 // flightKinds lists the taxonomy for metric pre-registration.
 var flightKinds = []string{
 	FlightRemaster, FlightFailover, FlightFaultInject, FlightRPCRetry,
-	FlightWALTruncate, FlightSLOBreach, FlightRecovery,
+	FlightWALTruncate, FlightSLOBreach, FlightRecovery, FlightLeaderChange,
 }
 
 // flightRingSize is the retained-event capacity. 4096 events outlast any

@@ -1,0 +1,567 @@
+package selector
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynamast/internal/obs"
+	"dynamast/internal/sitemgr"
+	"dynamast/internal/transport"
+	"dynamast/internal/vclock"
+	"dynamast/internal/wal"
+)
+
+// Selector high availability: a leader + hot-standby control plane.
+//
+// The selector tier is DynaMast's availability-critical state: every update
+// transaction passes through it, and its partition map is the routing
+// truth. This file turns the replica tier (replica.go) into hot standbys
+// and puts leadership under a renewable lease with fencing tokens:
+//
+//   - The lease lives in a LeaseStore, standing in for the small
+//     highly-available coordination service (etcd/ZooKeeper-style) such
+//     deployments assume. Crucially, the store is also the SINGLE remaster
+//     epoch allocator, and every allocation validates the caller's lease —
+//     so the promotion fence (one fresh epoch) trivially dominates every
+//     epoch any leader ever issued, and a deposed leader cannot mint new
+//     ones. That closes the classic lagging-observer hole: no standby-side
+//     counter mirror can lag an in-flight allocation.
+//   - The leader renews its lease every Lease/4. When the lease expires
+//     (leader crashed, or stalled past the TTL), a standby promotes:
+//     (1) acquire the lease (mutually exclusive, fresh token);
+//     (2) FENCE every data site with a freshly allocated epoch, so any
+//         in-flight release/grant from the deposed leader dies with
+//         ErrStaleEpoch — and, via the sites' fence lock, every operation
+//         that will still complete is already in its WAL;
+//     (3) FOLD the per-site WALs (sitemgr.FoldMastership) — authoritative
+//         for everything the logs retain — and overlay the standby's
+//         delta-fed mirror for entries checkpoint truncation dropped,
+//         higher install epoch winning per partition;
+//     (4) REPAIR dangling releases (release logged, grant never executed:
+//         the old leader died between the two legs) by re-granting the
+//         partitions to the releasing site under a fresh epoch;
+//     (5) build a new Selector on the reconciled map and swap it in.
+//
+// The fence-before-fold order is what makes the map sound: after step (2)
+// no deposed-leader operation can reach any site's log, so the fold in
+// step (3) is a complete account of site-level ownership. Routing
+// unavailability is bounded by the expiry-detection delay plus promotion
+// work — about 1.5x the lease TTL — during which writes fail fast with the
+// retryable ErrNoLeader and reads keep flowing off the replica tier.
+
+// ErrNoLeader is returned by write routing (and lease-validated epoch
+// allocation) while the selector tier has no active leader — during the
+// window between a leader crash and a standby's promotion, or forever on a
+// deposed leader. Sessions treat it as retryable: the existing bounded
+// backoff rides out the failover window.
+var ErrNoLeader = errors.New("selector: no control-plane leader (lease failover in progress)")
+
+// leaseMsg is the modelled size of one lease-store operation on the wire.
+const leaseMsg = transport.MsgOverhead + 16
+
+// LeaseStore models the coordination service holding the selector
+// leadership lease. It is deliberately simple shared state guarded by one
+// mutex — the stand-in for a quorum system assumed reliable — but its
+// interface is exactly what a remote lease service provides: acquire with
+// TTL and fencing token, renew, and token-validated epoch allocation.
+// Every operation charges control-plane traffic.
+type LeaseStore struct {
+	net *transport.Network
+
+	mu     sync.Mutex
+	ttl    time.Duration
+	holder int // node id; -1 = vacant
+	token  uint64
+	expiry time.Time
+	epochs uint64 // the system's remaster-epoch allocator under HA
+
+	changes  atomic.Uint64 // leadership changes (distinct acquisitions)
+	renewals atomic.Uint64
+	expiries atomic.Uint64
+}
+
+// NewLeaseStore builds a lease store with the given TTL.
+func NewLeaseStore(ttl time.Duration, net *transport.Network) *LeaseStore {
+	return &LeaseStore{net: net, ttl: ttl, holder: -1}
+}
+
+func (ls *LeaseStore) charge() {
+	ls.net.Account(transport.CatLease, leaseMsg)
+}
+
+// TTL returns the lease duration.
+func (ls *LeaseStore) TTL() time.Duration { return ls.ttl }
+
+// Acquire grants the lease to node if it is vacant or expired (or already
+// held by node), returning a fresh fencing token. Exactly one concurrent
+// caller can win a vacant lease.
+func (ls *LeaseStore) Acquire(node int) (uint64, bool) {
+	ls.charge()
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	now := time.Now()
+	if ls.holder >= 0 && ls.holder != node && now.Before(ls.expiry) {
+		return 0, false
+	}
+	if ls.holder != node {
+		ls.changes.Add(1)
+	}
+	ls.holder = node
+	ls.token++
+	ls.expiry = now.Add(ls.ttl)
+	return ls.token, true
+}
+
+// Renew extends the lease if node still holds it under token. A renewal
+// after nominal expiry succeeds as long as no other node acquired in
+// between — the check is linearized by the store, so this never resurrects
+// a superseded leader.
+func (ls *LeaseStore) Renew(node int, token uint64) bool {
+	ls.charge()
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.holder != node || ls.token != token {
+		return false
+	}
+	ls.expiry = time.Now().Add(ls.ttl)
+	ls.renewals.Add(1)
+	return true
+}
+
+// Expired reports whether the lease is currently claimable: vacant, or
+// past its expiry.
+func (ls *LeaseStore) Expired() bool {
+	ls.charge()
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.holder < 0 || time.Now().After(ls.expiry)
+}
+
+// Holder returns the current lease holder and token (holder -1 = vacant;
+// the lease may be expired — see Expired).
+func (ls *LeaseStore) Holder() (int, uint64) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.holder, ls.token
+}
+
+// AllocEpoch allocates the next remaster epoch, validating that the caller
+// still holds the lease. Every epoch in an HA deployment is issued here,
+// which is what lets one fresh epoch fence out all prior leaders.
+func (ls *LeaseStore) AllocEpoch(node int, token uint64) (uint64, error) {
+	ls.charge()
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.holder != node || ls.token != token {
+		return 0, ErrNoLeader
+	}
+	ls.epochs++
+	return ls.epochs, nil
+}
+
+// CurrentEpoch returns the highest epoch allocated so far.
+func (ls *LeaseStore) CurrentEpoch() uint64 {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.epochs
+}
+
+// BumpEpoch raises the allocator to at least n (carrying over epochs a
+// pre-HA selector already issued).
+func (ls *LeaseStore) BumpEpoch(n uint64) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.epochs < n {
+		ls.epochs = n
+	}
+}
+
+// LeaderChanges returns how many distinct lease acquisitions have occurred.
+func (ls *LeaseStore) LeaderChanges() uint64 { return ls.changes.Load() }
+
+// leaseEpochs adapts the store to the selector's epochSource: allocations
+// are lease-validated, so they fail with ErrNoLeader once the owning
+// selector is deposed.
+type leaseEpochs struct {
+	store *LeaseStore
+	node  int
+	token uint64
+}
+
+func (l *leaseEpochs) Alloc() (uint64, error) { return l.store.AllocEpoch(l.node, l.token) }
+func (l *leaseEpochs) Current() uint64        { return l.store.CurrentEpoch() }
+func (l *leaseEpochs) Bump(n uint64)          { l.store.BumpEpoch(n) }
+
+// HAConfig configures the selector high-availability tier.
+type HAConfig struct {
+	// Lease is the leadership lease TTL. The leader renews (and standbys
+	// check) every Lease/4; worst-case write unavailability on a leader
+	// crash is about Lease + Lease/4 plus promotion work.
+	Lease time.Duration
+	// Broker holds the per-site WALs promotion folds; required.
+	Broker *wal.Broker
+	// Obs receives the dynamast_selector_* leadership metrics.
+	Obs *obs.Registry
+}
+
+// HA is the selector tier's leadership state machine: lease renewal on the
+// leader, expiry watch + promotion on the standbys, and the delta feed
+// keeping standby mirrors hot. In-process it is one goroutine playing all
+// the nodes' timers; the protocol state (lease, tokens, epochs) lives in
+// the LeaseStore exactly as it would in an external coordination service.
+type HA struct {
+	repl   *Replicated
+	store  *LeaseStore
+	cfg    HAConfig
+	selCfg Config
+
+	// node is the current leader: 0 = the initial master selector's
+	// process, i+1 = the process co-located with standby replica i.
+	node  atomic.Int32
+	token uint64 // current lease token (run goroutine only)
+
+	killed  []atomic.Bool
+	feedSeq atomic.Uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	promotions    atomic.Uint64
+	lastPromotion atomic.Int64 // nanoseconds of the last promotion's duration
+
+	obLeader     *obs.Gauge
+	obChanges    *obs.Counter
+	obExpiries   *obs.Counter
+	obPromoteDur *obs.Histogram
+}
+
+// EnableHA puts the selector tier under lease-based leadership: the master
+// becomes the initial leader (its epoch allocator moves into the lease
+// store), the replicas become hot standbys fed by the leader's delta
+// stream, and a background watcher renews the lease and promotes a standby
+// when it expires. Requires at least one replica to stand by.
+func (r *Replicated) EnableHA(selCfg Config, cfg HAConfig) (*HA, error) {
+	if len(r.replicas) == 0 {
+		return nil, fmt.Errorf("selector: HA requires at least one replica standby")
+	}
+	if cfg.Lease <= 0 {
+		return nil, fmt.Errorf("selector: HA requires a positive lease TTL")
+	}
+	if cfg.Broker == nil {
+		return nil, fmt.Errorf("selector: HA requires the WAL broker")
+	}
+	if r.ha != nil {
+		return nil, fmt.Errorf("selector: HA already enabled")
+	}
+	store := NewLeaseStore(cfg.Lease, r.net)
+	store.BumpEpoch(r.Master.CurrentEpoch())
+	token, ok := store.Acquire(0)
+	if !ok {
+		return nil, fmt.Errorf("selector: initial lease acquisition failed")
+	}
+	ha := &HA{
+		repl:   r,
+		store:  store,
+		cfg:    cfg,
+		selCfg: selCfg,
+		killed: make([]atomic.Bool, len(r.replicas)+1),
+		stop:   make(chan struct{}),
+	}
+	ha.token = token
+	r.Master.setEpochSource(&leaseEpochs{store: store, node: 0, token: token})
+	r.Master.SetDeltaFeed(ha.broadcast)
+	placement, epochs := r.Master.PlacementSnapshot()
+	for _, rep := range r.replicas {
+		rep.seedMirror(placement, epochs)
+	}
+	ha.instrument(cfg.Obs)
+	r.ha = ha
+	ha.wg.Add(1)
+	go ha.run()
+	return ha, nil
+}
+
+// instrument registers the leadership metrics.
+func (ha *HA) instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Help("dynamast_selector_leader", "Selector node currently holding the leadership lease (0 = initial master, i+1 = standby i).")
+	reg.Help("dynamast_selector_leader_changes_total", "Selector leadership changes (lease acquisitions by a new node).")
+	reg.Help("dynamast_selector_lease_epoch", "Highest remaster epoch issued by the lease store's allocator.")
+	reg.Help("dynamast_selector_lease_renewals_total", "Successful leadership lease renewals.")
+	reg.Help("dynamast_selector_lease_expiries_total", "Lease expiries observed by the standby watcher.")
+	reg.Help("dynamast_selector_standby_lag", "Leader delta-feed sequence minus the slowest standby's ingested sequence.")
+	reg.Help("dynamast_selector_promotion_seconds", "Standby promotion latency (fence, fold, reconcile, swap).")
+	ha.obLeader = reg.Gauge("dynamast_selector_leader")
+	ha.obLeader.Set(0)
+	ha.obChanges = reg.Counter("dynamast_selector_leader_changes_total")
+	ha.obExpiries = reg.Counter("dynamast_selector_lease_expiries_total")
+	ha.obPromoteDur = reg.Histogram("dynamast_selector_promotion_seconds")
+	reg.Func("dynamast_selector_lease_epoch", obs.KindGauge, func() float64 {
+		return float64(ha.store.CurrentEpoch())
+	})
+	reg.Func("dynamast_selector_lease_renewals_total", obs.KindCounter, func() float64 {
+		return float64(ha.store.renewals.Load())
+	})
+	reg.Func("dynamast_selector_standby_lag", obs.KindGauge, func() float64 {
+		return float64(ha.StandbyLag())
+	})
+}
+
+// StandbyLag returns the delta-feed distance between the leader and the
+// slowest standby (0 = fully caught up).
+func (ha *HA) StandbyLag() uint64 {
+	head := ha.feedSeq.Load()
+	var maxLag uint64
+	for _, rep := range ha.repl.replicas {
+		if got := rep.FeedSeq(); got < head && head-got > maxLag {
+			maxLag = head - got
+		}
+	}
+	return maxLag
+}
+
+// Leader returns the node id currently holding leadership.
+func (ha *HA) Leader() int { return int(ha.node.Load()) }
+
+// Promotions returns how many standby promotions have completed.
+func (ha *HA) Promotions() uint64 { return ha.promotions.Load() }
+
+// LastPromotionDuration returns the wall time of the most recent promotion
+// (zero if none ran).
+func (ha *HA) LastPromotionDuration() time.Duration {
+	return time.Duration(ha.lastPromotion.Load())
+}
+
+// Store exposes the lease store (status endpoints and tests).
+func (ha *HA) Store() *LeaseStore { return ha.store }
+
+// KillNode simulates a crash of selector node (0 = initial master, i+1 =
+// standby i): a killed leader stops renewing — its lease expires and a
+// standby promotes — and a killed standby is skipped as a promotion
+// candidate. Killing the current leader also deposes its selector so
+// in-flight routing fails fast rather than acting on dead authority.
+func (ha *HA) KillNode(node int) {
+	if node < 0 || node >= len(ha.killed) {
+		return
+	}
+	ha.killed[node].Store(true)
+	if int(ha.node.Load()) == node {
+		ha.repl.Leader().depose()
+	}
+}
+
+// KillLeader crashes the node currently holding leadership and returns its
+// id.
+func (ha *HA) KillLeader() int {
+	node := int(ha.node.Load())
+	ha.KillNode(node)
+	return node
+}
+
+// Stop terminates the HA watcher goroutine.
+func (ha *HA) Stop() {
+	ha.stopOnce.Do(func() { close(ha.stop) })
+	ha.wg.Wait()
+}
+
+// broadcast is the leader's delta feed: one committed mastership flip
+// fanned out to every standby mirror, charged as asynchronous
+// control-plane traffic.
+func (ha *HA) broadcast(parts []uint64, site int, epoch uint64) {
+	seq := ha.feedSeq.Add(1)
+	size := transport.MsgOverhead + transport.SizeOfPartitions(parts) + 16
+	for _, rep := range ha.repl.replicas {
+		ha.repl.net.Account(transport.CatLease, size)
+		rep.ingest(seq, parts, site, epoch)
+	}
+}
+
+// run plays the tier's timers: the live leader renews at TTL/4, and the
+// standby watcher promotes when the lease expires. One goroutine holds
+// both roles because the simulation is in-process; the store's
+// token-validated operations are what keep the roles honest.
+func (ha *HA) run() {
+	defer ha.wg.Done()
+	interval := ha.cfg.Lease / 4
+	if interval < 100*time.Microsecond {
+		interval = 100 * time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ha.stop:
+			return
+		case <-ticker.C:
+		}
+		leader := int(ha.node.Load())
+		if !ha.killed[leader].Load() {
+			ha.store.Renew(leader, ha.token)
+			continue
+		}
+		if ha.store.Expired() {
+			ha.obExpiries.Inc()
+			ha.promote()
+		}
+	}
+}
+
+// promote elects the next live node and runs the fence -> fold ->
+// reconcile -> repair -> swap sequence described in the file comment. A
+// failed step leaves the lease claimed but the old (dead) leader in place;
+// the next tick retries from Acquire, which succeeds for the same node.
+func (ha *HA) promote() {
+	start := time.Now()
+	n := len(ha.repl.replicas) + 1
+	cur := int(ha.node.Load())
+	cand := -1
+	for off := 1; off <= n; off++ {
+		c := (cur + off) % n
+		if !ha.killed[c].Load() {
+			cand = c
+			break
+		}
+	}
+	if cand < 0 {
+		return // no live selector node; keep watching
+	}
+	token, ok := ha.store.Acquire(cand)
+	if !ok {
+		return
+	}
+
+	old := ha.repl.Leader()
+	old.depose()
+
+	// (2) Fence: one fresh epoch dominates every epoch any leader ever
+	// issued (single allocator), installed at every site BEFORE the fold
+	// so no deposed-leader chain can write a release/grant the fold would
+	// miss. A site we cannot reach is marked down on the new leader: it is
+	// dead or partitioned from the control plane, and the site-failover
+	// path re-masters its partitions under yet-higher epochs.
+	fence, err := ha.store.AllocEpoch(cand, token)
+	if err != nil {
+		return
+	}
+	unfenced := ha.fenceSites(fence)
+
+	// (3) Fold the WALs and overlay the promoted standby's mirror.
+	fold := sitemgr.FoldMastership(ha.cfg.Broker, nil)
+	owner, epochs := fold.Owner, fold.Epoch
+	var mirror map[uint64]int
+	var mirrorEpochs map[uint64]uint64
+	if cand >= 1 {
+		mirror, mirrorEpochs = ha.repl.replicas[cand-1].Mirror()
+	} else {
+		mirror, mirrorEpochs = old.PlacementSnapshot()
+	}
+	for p, site := range mirror {
+		fe, inFold := epochs[p]
+		if !inFold || mirrorEpochs[p] > fe {
+			owner[p] = site
+			epochs[p] = mirrorEpochs[p]
+		}
+	}
+
+	// (5, part one) Build the new selector on the reconciled map. The
+	// metrics registry tolerates re-registration (instruments are shared,
+	// collector funcs replaced), so the promoted selector takes over the
+	// dynamast_selector_* series. Strategy weights carry over from the
+	// deposed leader (sweeps may have changed them mid-run); access
+	// statistics restart and warm back up.
+	selCfg := ha.selCfg
+	selCfg.Weights = old.Weights()
+	newSel, err := New(selCfg)
+	if err != nil {
+		return
+	}
+	for i := range selCfg.Sites {
+		if old.SiteDown(i) || unfenced[i] {
+			newSel.MarkDown(i)
+		}
+	}
+	newSel.adoptPlacement(owner, epochs)
+	newSel.setEpochSource(&leaseEpochs{store: ha.store, node: cand, token: token})
+
+	// (4) Repair dangling releases: the old leader died between a release
+	// and its grant, so the releasing site — still holding the data —
+	// gave up ownership into the void. Re-grant to the releaser under a
+	// fresh epoch (nil release vector: nothing moved, no catch-up).
+	byOrigin := make(map[int][]uint64)
+	for p, origin := range fold.Dangling {
+		if newSel.SiteDown(origin) {
+			continue // site failover re-masters these under higher epochs
+		}
+		byOrigin[origin] = append(byOrigin[origin], p)
+	}
+	for origin, parts := range byOrigin {
+		epoch, err := ha.store.AllocEpoch(cand, token)
+		if err != nil {
+			return
+		}
+		if _, err := newSel.remasterCall(origin,
+			transport.MsgOverhead+transport.SizeOfPartitions(parts),
+			func() (vclock.Vector, error) {
+				return ha.selCfg.Sites[origin].Grant(parts, nil, origin, epoch)
+			}); err != nil {
+			continue // heartbeat failover covers a site that dies here
+		}
+		for _, p := range parts {
+			newSel.RegisterPartitionEpoch(p, origin, epoch)
+		}
+	}
+
+	// (5, part two) Swap leadership and rewire the standby tier.
+	newSel.SetDeltaFeed(ha.broadcast)
+	ha.repl.leader.Store(newSel)
+	placement, eps := newSel.PlacementSnapshot()
+	for _, rep := range ha.repl.replicas {
+		rep.seedMirror(placement, eps)
+	}
+	ha.node.Store(int32(cand))
+	ha.token = token
+
+	dur := time.Since(start)
+	ha.promotions.Add(1)
+	ha.lastPromotion.Store(int64(dur))
+	ha.obLeader.Set(float64(cand))
+	ha.obChanges.Inc()
+	ha.obPromoteDur.ObserveDuration(dur)
+	obs.RecordEvent(obs.FlightLeaderChange, obs.SelectorSite,
+		"selector node %d promoted (fence epoch %d, %d partition(s), %d dangling repaired) in %v",
+		cand, fence, len(owner), len(fold.Dangling), dur)
+}
+
+// fenceSites installs the fence epoch at every data site, returning which
+// sites could not be reached (request leg lost through every retry).
+// Response loss is ignored: the fence installed, which is all that
+// matters, and re-fencing is idempotent.
+func (ha *HA) fenceSites(fence uint64) []bool {
+	unfenced := make([]bool, len(ha.selCfg.Sites))
+	for i, site := range ha.selCfg.Sites {
+		f, ok := site.(interface{ FenceEpochsBelow(floor uint64) uint64 })
+		if !ok {
+			continue // test double without fencing; nothing to install
+		}
+		sent := false
+		for attempt := 0; attempt <= remasterSendRetries && !sent; attempt++ {
+			if attempt > 0 {
+				transport.CountRetry()
+			}
+			if ha.repl.net.SendTo(transport.CatLease, transport.SelectorNode, i, transport.MsgOverhead) != nil {
+				continue
+			}
+			f.FenceEpochsBelow(fence)
+			_ = ha.repl.net.SendTo(transport.CatLease, i, transport.SelectorNode, transport.MsgOverhead)
+			sent = true
+		}
+		unfenced[i] = !sent
+	}
+	return unfenced
+}

@@ -2,6 +2,7 @@ package selector
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dynamast/internal/obs"
@@ -22,30 +23,51 @@ import (
 // partitions it no longer masters (sitemgr.ErrNotMaster), and the client
 // resubmits through the master selector, which performs any remastering
 // and refreshes this replica's cache.
+//
+// Under the HA tier (lease.go) each replica doubles as a hot standby: the
+// leader's delta feed keeps the replica's mirror — owner plus the epoch
+// that installed it — continuously fresh, and a promotion reconciles that
+// mirror against the sites' WAL fold to become the new leader's map.
 type Replica struct {
 	master *Replicated
-	parent *Selector
 	net    *transport.Network
 
 	mu    sync.RWMutex
 	cache map[uint64]int
+	// epochs mirrors the install epoch of each cached owner (fed by the
+	// HA delta stream; lazily cached lookups carry epoch 0, which never
+	// out-arbitrates a fold entry during promotion reconciliation).
+	epochs map[uint64]uint64
+	// feedSeq is the last delta-feed sequence number ingested; the
+	// leader's sequence minus this is the standby's lag.
+	feedSeq atomic.Uint64
+
+	// resubmits counts stale-metadata fallbacks routed through
+	// RouteToMaster after a data site rejected a transaction.
+	resubmits atomic.Uint64
 }
 
-// Replicated wraps a master Selector with its replica tier.
+// Replicated wraps a master Selector with its replica tier. Under HA the
+// leader pointer is swapped on promotion; Master keeps naming the initial
+// leader for compatibility.
 type Replicated struct {
 	Master   *Selector
 	replicas []*Replica
+	net      *transport.Network
+	leader   atomic.Pointer[Selector]
+	ha       *HA
 }
 
 // NewReplicated builds n replica selectors over master.
 func NewReplicated(master *Selector, n int, net *transport.Network) *Replicated {
-	r := &Replicated{Master: master}
+	r := &Replicated{Master: master, net: net}
+	r.leader.Store(master)
 	for i := 0; i < n; i++ {
 		r.replicas = append(r.replicas, &Replica{
 			master: r,
-			parent: master,
 			net:    net,
 			cache:  make(map[uint64]int),
+			epochs: make(map[uint64]uint64),
 		})
 	}
 	return r
@@ -53,6 +75,22 @@ func NewReplicated(master *Selector, n int, net *transport.Network) *Replicated 
 
 // Replicas returns the replica tier.
 func (r *Replicated) Replicas() []*Replica { return r.replicas }
+
+// Leader returns the selector currently holding leadership (the master
+// outside HA deployments).
+func (r *Replicated) Leader() *Selector { return r.leader.Load() }
+
+// HA returns the high-availability state machine, nil unless EnableHA ran.
+func (r *Replicated) HA() *HA { return r.ha }
+
+// LearnAll installs fresh partition locations in every replica's cache
+// (failover uses it so replicas stop routing at a dead site immediately,
+// rather than waiting for each cached entry's ErrNotMaster bounce).
+func (r *Replicated) LearnAll(parts []uint64, site int) {
+	for _, rep := range r.replicas {
+		rep.Learn(parts, site)
+	}
+}
 
 // RouterFor assigns a client a selector: replicas round-robin, or the
 // master when no replicas exist.
@@ -70,6 +108,10 @@ type Router interface {
 	RouteRead(client int, cvv vclock.Vector) Route
 }
 
+// sel returns the selector this replica currently forwards to: the live
+// leader under HA, the static master otherwise.
+func (r *Replica) sel() *Selector { return r.master.Leader() }
+
 // lookup returns the replica's cached master for a partition, filling the
 // cache from the master's metadata on a miss (modelled as part of the
 // replica's asynchronous metadata feed; misses are free of master work).
@@ -80,7 +122,7 @@ func (r *Replica) lookup(part uint64) int {
 	if ok {
 		return m
 	}
-	m = r.parent.MasterOf(part)
+	m = r.sel().MasterOf(part)
 	r.mu.Lock()
 	r.cache[part] = m
 	r.mu.Unlock()
@@ -88,6 +130,8 @@ func (r *Replica) lookup(part uint64) int {
 }
 
 // Learn installs fresh locations (called after a master-routed decision).
+// The mirrored install epochs are untouched: Learn's source is the
+// leader's live map, whose epoch the delta feed delivers separately.
 func (r *Replica) Learn(parts []uint64, site int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -95,6 +139,58 @@ func (r *Replica) Learn(parts []uint64, site int) {
 		r.cache[p] = site
 	}
 }
+
+// ingest applies one leader delta to the standby mirror. Deltas for the
+// same partition arrive in epoch order (the leader publishes under the
+// partition's exclusive lock), but a lower-epoch straggler racing a
+// failover registration is still discarded by the epoch comparison.
+func (r *Replica) ingest(seq uint64, parts []uint64, site int, epoch uint64) {
+	r.mu.Lock()
+	for _, p := range parts {
+		if epoch >= r.epochs[p] {
+			r.cache[p] = site
+			r.epochs[p] = epoch
+		}
+	}
+	r.mu.Unlock()
+	r.feedSeq.Store(seq)
+}
+
+// seedMirror replaces the standby mirror (and routing cache) with a full
+// placement snapshot — HA wiring at start, and re-seeding after a
+// promotion reconciled the map.
+func (r *Replica) seedMirror(placement map[uint64]int, epochs map[uint64]uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cache = make(map[uint64]int, len(placement))
+	r.epochs = make(map[uint64]uint64, len(placement))
+	for p, site := range placement {
+		r.cache[p] = site
+		r.epochs[p] = epochs[p]
+	}
+}
+
+// Mirror copies the standby's mirrored placement: owner and install epoch
+// per partition. Promotion reconciles it against the WAL fold.
+func (r *Replica) Mirror() (map[uint64]int, map[uint64]uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	owner := make(map[uint64]int, len(r.cache))
+	epochs := make(map[uint64]uint64, len(r.cache))
+	for p, site := range r.cache {
+		owner[p] = site
+		epochs[p] = r.epochs[p]
+	}
+	return owner, epochs
+}
+
+// FeedSeq returns the last delta-feed sequence number this standby
+// ingested.
+func (r *Replica) FeedSeq() uint64 { return r.feedSeq.Load() }
+
+// Resubmits returns how many stale-metadata resubmits this replica routed
+// through the master selector.
+func (r *Replica) Resubmits() uint64 { return r.resubmits.Load() }
 
 // RouteWrite implements Router. If the cached locations are single-sited,
 // the replica routes locally; otherwise it forwards to the master
@@ -112,7 +208,8 @@ func (r *Replica) RouteWriteTraced(client int, writeSet []storage.RowRef, cvv vc
 }
 
 func (r *Replica) routeWrite(client int, writeSet []storage.RowRef, cvv vclock.Vector, sc obs.SpanContext) (Route, error) {
-	parts := r.parent.writeParts(writeSet)
+	sel := r.sel()
+	parts := sel.writeParts(writeSet)
 	if len(parts) == 0 {
 		return Route{Site: 0}, nil
 	}
@@ -128,36 +225,61 @@ func (r *Replica) routeWrite(client int, writeSet []storage.RowRef, cvv vclock.V
 		// Local decision; record statistics at the master tier so the
 		// strategies keep learning (the paper's replicas feed samples
 		// back asynchronously).
-		r.parent.finishWrite(client, parts, site, time.Now())
+		sel.finishWrite(client, parts, site, time.Now())
 		return Route{Site: site}, nil
 	}
-	// Forward to the master selector: one replica->master round trip.
-	r.net.RoundTrip(transport.CatRoute,
-		transport.MsgOverhead+transport.SizeOfRefs(writeSet), transport.MsgOverhead)
-	route, err := r.parent.routeWrite(client, writeSet, cvv, sc)
+	// Forward to the master selector: one replica->master round trip, each
+	// leg exposed to injected wire faults (a lost leg is retryable at the
+	// session; the decision itself is stateless until it returns).
+	if err := r.forward(transport.MsgOverhead + transport.SizeOfRefs(writeSet)); err != nil {
+		return Route{}, err
+	}
+	route, err := sel.routeWrite(client, writeSet, cvv, sc)
 	if err == nil {
 		r.Learn(parts, route.Site)
 	}
 	return route, err
 }
 
+// forward charges (and fault-exposes) the replica -> master request leg
+// and the response leg of a forwarded routing decision.
+func (r *Replica) forward(reqSize int) error {
+	if err := r.net.SendTo(transport.CatRoute, transport.SelectorNode, transport.SelectorNode, reqSize); err != nil {
+		return err
+	}
+	return r.net.SendTo(transport.CatRoute, transport.SelectorNode, transport.SelectorNode, transport.MsgOverhead)
+}
+
 // RouteToMaster is the stale-metadata fallback: the client's transaction
 // was rejected by a data site, so resubmit through the master selector and
 // refresh the cache.
 func (r *Replica) RouteToMaster(client int, writeSet []storage.RowRef, cvv vclock.Vector) (Route, error) {
-	r.net.RoundTrip(transport.CatRoute,
-		transport.MsgOverhead+transport.SizeOfRefs(writeSet), transport.MsgOverhead)
-	route, err := r.parent.RouteWrite(client, writeSet, cvv)
+	return r.RouteToMasterTraced(client, writeSet, cvv, obs.SpanContext{})
+}
+
+// RouteToMasterTraced is RouteToMaster under a sampled distributed trace:
+// the resubmitted decision's remaster chains record their release/grant
+// spans as children of sc.Span, so stale-metadata bounces stay visible in
+// the transaction's trace instead of vanishing between two route spans.
+func (r *Replica) RouteToMasterTraced(client int, writeSet []storage.RowRef, cvv vclock.Vector, sc obs.SpanContext) (Route, error) {
+	r.resubmits.Add(1)
+	sel := r.sel()
+	if err := r.forward(transport.MsgOverhead + transport.SizeOfRefs(writeSet)); err != nil {
+		return Route{}, err
+	}
+	route, err := sel.routeWrite(client, writeSet, cvv, sc)
 	if err == nil {
-		r.Learn(r.parent.writeParts(writeSet), route.Site)
+		r.Learn(sel.writeParts(writeSet), route.Site)
 	}
 	return route, err
 }
 
 // RouteRead implements Router: read routing does not change in the
-// distributed design (any sufficiently fresh replica site works).
+// distributed design (any sufficiently fresh replica site works), and it
+// keeps working off the current leader's site vectors even while that
+// leader is deposed — reads never touch the mastership map.
 func (r *Replica) RouteRead(client int, cvv vclock.Vector) Route {
-	return r.parent.RouteRead(client, cvv)
+	return r.sel().RouteRead(client, cvv)
 }
 
 // CacheSize returns the number of cached partition locations.

@@ -148,8 +148,22 @@ type Selector struct {
 	remastNanos atomic.Int64  // cumulative remastering wait time
 
 	// epochs allocates remaster-chain epochs (monotonic; 0 is reserved for
-	// unfenced operations).
-	epochs atomic.Uint64
+	// unfenced operations). The default source is a process-local counter;
+	// HA deployments install a lease-validated allocator (see lease.go)
+	// whose Alloc fails once this selector is deposed, so a deposed leader
+	// can never mint an epoch that out-fences the new leader's.
+	epochs epochSource
+
+	// deposed marks this selector as no longer the control-plane leader
+	// (lease lost, or its process killed): write routing fails fast with
+	// the retryable ErrNoLeader, and first-sight partition creation stops
+	// issuing placement grants. Read routing keeps working — it only
+	// consults site version vectors, which staleness cannot corrupt.
+	deposed atomic.Bool
+
+	// feed, when set, mirrors committed mastership flips to the standby
+	// selectors (the leader -> standby delta stream of the HA tier).
+	feed atomic.Pointer[func(parts []uint64, site int, epoch uint64)]
 
 	// downSites flags sites declared failed (heartbeat misses); routing and
 	// remastering exclude them until failover completes.
@@ -252,6 +266,7 @@ func New(cfg Config) (*Selector, error) {
 		routed:      make([]atomic.Uint64, len(cfg.Sites)),
 		downSites:   make([]atomic.Bool, len(cfg.Sites)),
 		spans:       cfg.Spans,
+		epochs:      &localEpochs{},
 	}
 	w := cfg.Weights
 	s.weights.Store(&w)
@@ -314,10 +329,15 @@ func (s *Selector) part(id uint64) *partInfo {
 	sh.mu.Unlock()
 	// Outside the shard lock: materialize ownership at the data site
 	// (idempotent; a nil release vector means no catch-up wait; epoch 0 —
-	// initial placement has no remaster chain to fence).
-	if _, err := s.sites[master].Grant([]uint64{id}, nil, master, 0); err != nil {
-		// Grant only fails at shutdown; routing will surface the error.
-		_ = err
+	// initial placement has no remaster chain to fence). A deposed leader
+	// must not act on the sites: the promoted leader's own first sight of
+	// the partition issues the grant instead.
+	if !s.deposed.Load() {
+		if _, err := s.sites[master].Grant([]uint64{id}, nil, master, 0); err != nil {
+			// Grant only fails at shutdown; routing will surface the error.
+			_ = err
+		}
+		s.publish([]uint64{id}, master, 0)
 	}
 	return p
 }
@@ -343,9 +363,64 @@ func (s *Selector) SiteDown(site int) bool {
 	return site >= 0 && site < s.m && s.downSites[site].Load()
 }
 
-// NextEpoch allocates a fresh remaster epoch (failover re-grants use it to
-// fence out any in-flight chains that raced the failure).
-func (s *Selector) NextEpoch() uint64 { return s.epochs.Add(1) }
+// epochSource allocates the monotonic fencing epochs remaster chains are
+// stamped with. localEpochs (the default) is an infallible process-local
+// counter; leaseEpochs (lease.go) validates the caller's lease on every
+// allocation so a deposed leader's chains die instead of out-fencing the
+// new leader.
+type epochSource interface {
+	Alloc() (uint64, error)
+	Current() uint64
+	Bump(n uint64)
+}
+
+// localEpochs is the stand-alone epoch allocator: a plain atomic counter.
+type localEpochs struct{ n atomic.Uint64 }
+
+func (l *localEpochs) Alloc() (uint64, error) { return l.n.Add(1), nil }
+func (l *localEpochs) Current() uint64        { return l.n.Load() }
+func (l *localEpochs) Bump(n uint64) {
+	for {
+		cur := l.n.Load()
+		if cur >= n || l.n.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// setEpochSource installs the selector's epoch allocator. Called only
+// before the selector serves traffic (HA wiring at construction, or on a
+// freshly built selector during promotion), so the plain store is safe.
+func (s *Selector) setEpochSource(src epochSource) { s.epochs = src }
+
+// AllocEpoch allocates a fresh remaster epoch (failover re-grants use it to
+// fence out any in-flight chains that raced the failure). Under the HA
+// tier the allocation is lease-validated and fails with ErrNoLeader once
+// this selector has been deposed.
+func (s *Selector) AllocEpoch() (uint64, error) { return s.epochs.Alloc() }
+
+// depose marks this selector as no longer the leader: write routing fails
+// fast with ErrNoLeader. Reads keep flowing (see RouteRead).
+func (s *Selector) depose() { s.deposed.Store(true) }
+
+// Deposed reports whether this selector has been deposed as the
+// control-plane leader.
+func (s *Selector) Deposed() bool { return s.deposed.Load() }
+
+// SetDeltaFeed installs the leader -> standby mastership delta stream:
+// every committed metadata flip (remaster chain completion, failover
+// registration, first-sight placement) is published to f.
+func (s *Selector) SetDeltaFeed(f func(parts []uint64, site int, epoch uint64)) {
+	s.feed.Store(&f)
+}
+
+// publish mirrors a committed mastership flip to the standbys, if a delta
+// feed is wired.
+func (s *Selector) publish(parts []uint64, site int, epoch uint64) {
+	if f := s.feed.Load(); f != nil {
+		(*f)(parts, site, epoch)
+	}
+}
 
 // MasteredBy returns every partition currently assigned to site in the
 // selector's map. Failover uses it as the authoritative set to re-grant
@@ -382,6 +457,7 @@ func (s *Selector) RegisterPartitionEpoch(id uint64, master int, epoch uint64) {
 	p.mu.Lock()
 	p.setMaster(master, epoch)
 	p.mu.Unlock()
+	s.publish([]uint64{id}, master, epoch)
 }
 
 // PlacementSnapshot captures the full partition map with the epoch each
@@ -413,17 +489,30 @@ func (s *Selector) PlacementSnapshot() (map[uint64]int, map[uint64]uint64) {
 }
 
 // CurrentEpoch returns the highest remaster epoch allocated so far.
-func (s *Selector) CurrentEpoch() uint64 { return s.epochs.Load() }
+func (s *Selector) CurrentEpoch() uint64 { return s.epochs.Current() }
 
 // BumpEpoch raises the epoch counter to at least n. A recovered selector
 // calls it with the highest epoch found in the checkpoint and log suffix so
 // freshly allocated epochs keep out-fencing pre-crash ones.
-func (s *Selector) BumpEpoch(n uint64) {
-	for {
-		cur := s.epochs.Load()
-		if cur >= n || s.epochs.CompareAndSwap(cur, n) {
-			return
+func (s *Selector) BumpEpoch(n uint64) { s.epochs.Bump(n) }
+
+// adoptPlacement installs a reconciled placement map (partition -> master,
+// with the epoch that installed each entry) without issuing any site-level
+// grants: promotion already verified — and where needed repaired — the
+// sites' own ownership state, so this is a pure metadata install.
+func (s *Selector) adoptPlacement(owner map[uint64]int, epochs map[uint64]uint64) {
+	for p, site := range owner {
+		sh := &s.shards[shardOf(p)]
+		sh.mu.Lock()
+		in := sh.m[p]
+		if in == nil {
+			in = &partInfo{}
+			sh.m[p] = in
 		}
+		sh.mu.Unlock()
+		in.mu.Lock()
+		in.setMaster(site, epochs[p])
+		in.mu.Unlock()
 	}
 }
 
@@ -493,6 +582,9 @@ func (s *Selector) RouteWriteTraced(client int, writeSet []storage.RowRef, cvv v
 }
 
 func (s *Selector) routeWrite(client int, writeSet []storage.RowRef, cvv vclock.Vector, sc obs.SpanContext) (Route, error) {
+	if s.deposed.Load() {
+		return Route{}, ErrNoLeader
+	}
 	start := time.Now()
 	parts := s.writeParts(writeSet)
 	if len(parts) == 0 {
@@ -829,7 +921,17 @@ func (s *Selector) remaster(parts []uint64, infos []*partInfo, dest int, sc obs.
 		wg.Add(1)
 		go func(c *chain) {
 			defer wg.Done()
-			epoch := s.epochs.Add(1)
+			epoch, allocErr := s.epochs.Alloc()
+			if allocErr != nil {
+				// Deposed mid-route: no epoch, no chain. The session
+				// retries against the promoted leader.
+				mu.Lock()
+				if first == nil {
+					first = allocErr
+				}
+				mu.Unlock()
+				return
+			}
 			relStart := time.Now()
 			relVV, err := s.remasterCall(c.src,
 				transport.MsgOverhead+transport.SizeOfPartitions(c.ids),
@@ -860,6 +962,7 @@ func (s *Selector) remaster(parts []uint64, infos []*partInfo, dest int, sc obs.
 					for _, ix := range c.idxs {
 						infos[ix].setMaster(dest, epoch)
 					}
+					s.publish(c.ids, dest, epoch)
 					mu.Lock()
 					out = out.MaxInto(grantVV)
 					moved += len(c.ids)
@@ -887,7 +990,18 @@ func (s *Selector) remaster(parts []uint64, infos []*partInfo, dest int, sc obs.
 				// never owned — in both cases the higher-epoch grant below
 				// wins recovery arbitration and routing still points at
 				// the source.
-				rbEpoch := s.epochs.Add(1)
+				rbEpoch, rbAllocErr := s.epochs.Alloc()
+				if rbAllocErr != nil {
+					// Deposed before the rollback could run: the release
+					// stands without a grant, which the promoted leader's
+					// dangling-release repair re-grants to the source.
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
 				if vv, rbErr := s.remasterCall(dest,
 					transport.MsgOverhead+transport.SizeOfPartitions(c.ids),
 					func() (vclock.Vector, error) { return s.sites[dest].Release(c.ids, c.src, rbEpoch) }); rbErr == nil {

@@ -108,9 +108,45 @@ func (s *Site) RecoverLocalFrom(from uint64) (uint64, error) {
 // peer, so replaying each log in order and matching grant entries to their
 // releases yields the final owner of every partition.
 func RecoverMastership(b *wal.Broker, initial map[uint64]int) map[uint64]int {
-	owner := make(map[uint64]int, len(initial))
+	return FoldMastership(b, initial).Owner
+}
+
+// MastershipFold is the outcome of folding every site's release/grant log
+// records: the reconstructed owner and the epoch of the winning grant per
+// partition, plus the transfers that were cut in half by a coordinator
+// crash (release logged, grant never executed).
+type MastershipFold struct {
+	// Owner is the reconstructed master per partition (last grant wins,
+	// epoch-arbitrated; see RecoverMastership).
+	Owner map[uint64]int
+	// Epoch is the epoch of the grant that installed Owner (0 when the
+	// owner comes from the initial placement or an unfenced grant).
+	Epoch map[uint64]uint64
+	// Dangling maps partitions whose highest-epoch operation is a RELEASE
+	// to the releasing site: the grant leg of that transfer never executed
+	// anywhere, so the releasing site — which still holds the data and the
+	// freshest applied state — has surrendered ownership into the void. A
+	// promoted selector repairs these by re-granting to the releaser under
+	// a fresh epoch.
+	Dangling map[uint64]int
+	// MaxEpoch is the highest epoch observed in any folded record; a
+	// recovered or promoted coordinator's allocator must start above it.
+	MaxEpoch uint64
+}
+
+// FoldMastership is RecoverMastership exposing the full fold: per-partition
+// winning epochs and dangling releases. The fold only sees the retained log
+// suffixes — checkpoint truncation can have dropped old grant records — so
+// callers holding fresher metadata (a standby's mirrored map) must overlay
+// it, keeping whichever source carries the higher epoch per partition.
+func FoldMastership(b *wal.Broker, initial map[uint64]int) MastershipFold {
+	f := MastershipFold{
+		Owner:    make(map[uint64]int, len(initial)),
+		Epoch:    make(map[uint64]uint64),
+		Dangling: make(map[uint64]int),
+	}
 	for p, site := range initial {
-		owner[p] = site
+		f.Owner[p] = site
 	}
 	// Count grants per (partition, site): the last grant in any log for a
 	// partition determines its owner. Logs are per-site FIFO; a partition
@@ -136,43 +172,48 @@ func RecoverMastership(b *wal.Broker, initial map[uint64]int) map[uint64]int {
 				break
 			}
 			switch e.Kind {
-			case wal.KindGrant:
-				for _, p := range e.Partitions {
-					m := state[p]
-					if m == nil {
-						m = make(map[int]lastOp)
-						state[p] = m
-					}
-					m[i] = lastOp{granted: true, epoch: e.Epoch}
+			case wal.KindGrant, wal.KindRelease:
+				if e.Epoch > f.MaxEpoch {
+					f.MaxEpoch = e.Epoch
 				}
-			case wal.KindRelease:
 				for _, p := range e.Partitions {
 					m := state[p]
 					if m == nil {
 						m = make(map[int]lastOp)
 						state[p] = m
 					}
-					m[i] = lastOp{granted: false, epoch: e.Epoch}
+					m[i] = lastOp{granted: e.Kind == wal.KindGrant, epoch: e.Epoch}
 				}
 			}
 		}
 	}
 	for p, sites := range state {
 		best, bestEpoch := -1, uint64(0)
+		relSite, relEpoch, released := -1, uint64(0), false
 		for site := 0; site < b.Sites(); site++ {
 			op, ok := sites[site]
-			if !ok || !op.granted {
+			if !ok {
 				continue
 			}
-			if best < 0 || op.epoch > bestEpoch {
-				best, bestEpoch = site, op.epoch
+			if op.granted {
+				if best < 0 || op.epoch > bestEpoch {
+					best, bestEpoch = site, op.epoch
+				}
+			} else if !released || op.epoch > relEpoch {
+				relSite, relEpoch, released = site, op.epoch, true
 			}
 		}
 		if best >= 0 {
-			owner[p] = best
+			f.Owner[p] = best
+			f.Epoch[p] = bestEpoch
+		}
+		// A release strictly out-epoching every grant (or with no grant at
+		// all) is a transfer whose grant leg is missing from every log.
+		if released && (best < 0 || relEpoch > bestEpoch) {
+			f.Dangling[p] = relSite
 		}
 	}
-	return owner
+	return f
 }
 
 // RecoverMastershipFrom reconstructs partition ownership from a checkpoint:

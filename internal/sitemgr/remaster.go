@@ -70,6 +70,13 @@ func (s *Site) Release(parts []uint64, to int, epoch uint64) (vclock.Vector, err
 	if s.down.Load() {
 		return nil, ErrSiteDown
 	}
+	if epoch != 0 {
+		// Advisory early rejection; the authoritative floor check runs
+		// under fenceMu below, after the writer drain.
+		if floor := s.epochFloor.Load(); epoch < floor {
+			return nil, fmt.Errorf("%w: release epoch %d below site %d fence %d", ErrStaleEpoch, epoch, s.id, floor)
+		}
+	}
 
 	s.pmu.Lock()
 	if epoch != 0 {
@@ -100,6 +107,24 @@ func (s *Site) Release(parts []uint64, to int, epoch uint64) (vclock.Vector, err
 		relVV = relVV.MaxInto(s.parts[id].wm)
 	}
 	s.pmu.Unlock()
+
+	// The {floor check, append, flip} section runs under the fence read
+	// lock: either it completes entirely before a FenceEpochsBelow returns
+	// (the promotion's WAL fold then sees the release), or it observes the
+	// new floor and rejects before touching the log.
+	s.fenceMu.RLock()
+	if epoch != 0 {
+		if floor := s.epochFloor.Load(); epoch < floor {
+			s.fenceMu.RUnlock()
+			s.pmu.Lock()
+			for _, id := range parts {
+				s.parts[id].releasing = false
+			}
+			s.pcond.Broadcast()
+			s.pmu.Unlock()
+			return nil, fmt.Errorf("%w: release epoch %d below site %d fence %d", ErrStaleEpoch, epoch, s.id, floor)
+		}
+	}
 
 	// Fence the epoch pipeline: every commit that wrote the released
 	// partitions is in the epoch buffer (writers drained above), so sealing
@@ -134,6 +159,7 @@ func (s *Site) Release(parts []uint64, to int, epoch uint64) (vclock.Vector, err
 	}
 	s.pcond.Broadcast()
 	s.pmu.Unlock()
+	s.fenceMu.RUnlock()
 
 	if err != nil {
 		return nil, err
@@ -202,6 +228,17 @@ func (s *Site) Grant(parts []uint64, relVV vclock.Vector, from int, epoch uint64
 	}
 	s.pmu.Unlock()
 
+	// As in Release, the {floor check, append, flip} section holds the
+	// fence read lock: a grant either lands in the log before a
+	// FenceEpochsBelow returns, or dies on the floor without logging.
+	s.fenceMu.RLock()
+	if epoch != 0 {
+		if floor := s.epochFloor.Load(); epoch < floor {
+			s.fenceMu.RUnlock()
+			return nil, fmt.Errorf("%w: grant epoch %d below site %d fence %d", ErrStaleEpoch, epoch, s.id, floor)
+		}
+	}
+
 	// Mirror Release's fencing: commits buffered before the grant seal into
 	// their own epoch record ahead of the grant entry, so epochs never
 	// straddle a mastership change in the log.
@@ -216,6 +253,7 @@ func (s *Site) Grant(parts []uint64, relVV vclock.Vector, from int, epoch uint64
 		Peer:       from,
 		Epoch:      epoch,
 	}); err != nil {
+		s.fenceMu.RUnlock()
 		return nil, err
 	}
 
@@ -235,6 +273,7 @@ func (s *Site) Grant(parts []uint64, relVV vclock.Vector, from int, epoch uint64
 	}
 	s.pcond.Broadcast()
 	s.pmu.Unlock()
+	s.fenceMu.RUnlock()
 
 	s.remasterIn.Add(1)
 	now := s.clock.Now()
@@ -248,3 +287,34 @@ func (s *Site) Grant(parts []uint64, relVV vclock.Vector, from int, epoch uint64
 
 // RemastersReceived returns how many grant operations this site served.
 func (s *Site) RemastersReceived() uint64 { return s.remasterIn.Load() }
+
+// FenceEpochsBelow installs a site-wide remaster-epoch fence: every
+// subsequent Release or Grant carrying a nonzero epoch below floor is
+// rejected with ErrStaleEpoch. A promoted selector fences every site with a
+// freshly allocated epoch BEFORE folding the sites' logs, so a deposed
+// coordinator's in-flight chains can no longer change ownership once the
+// fold runs; taking the fence write lock additionally waits out any
+// release/grant already past its floor check, whose log append is therefore
+// visible to the fold. The floor only ever rises; the floor in effect is
+// returned. Epoch-0 (unfenced, coordinator-less) operations are unaffected.
+//
+// The fence is deliberately served even while the site is down: a dead site
+// refuses all operations anyway, and keeping the call infallible lets a
+// promotion treat "fenced" and "crashed" sites uniformly.
+func (s *Site) FenceEpochsBelow(floor uint64) uint64 {
+	s.fenceMu.Lock()
+	defer s.fenceMu.Unlock()
+	for {
+		cur := s.epochFloor.Load()
+		if cur >= floor {
+			return cur
+		}
+		if s.epochFloor.CompareAndSwap(cur, floor) {
+			return floor
+		}
+	}
+}
+
+// EpochFloor returns the site-wide remaster-epoch fence currently in effect
+// (0 = never fenced).
+func (s *Site) EpochFloor() uint64 { return s.epochFloor.Load() }

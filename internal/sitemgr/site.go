@@ -172,6 +172,19 @@ type Site struct {
 	// mastership operation fails fast with ErrSiteDown.
 	down atomic.Bool
 
+	// epochFloor is the site-wide remaster-epoch fence installed by a
+	// promoted selector (FenceEpochsBelow): release/grant operations
+	// carrying a nonzero epoch below the floor are rejected with
+	// ErrStaleEpoch, so a deposed coordinator's in-flight chains cannot
+	// change ownership after the new coordinator has taken over. fenceMu
+	// orders floor installation against in-flight release/grant
+	// {floor-check, WAL-append, ownership-flip} sections: once
+	// FenceEpochsBelow returns, every operation the site will still
+	// complete is already in its log — a promotion's WAL fold misses
+	// nothing.
+	epochFloor atomic.Uint64
+	fenceMu    sync.RWMutex
+
 	// remu guards the epoch memo maps (idempotent release/grant retries).
 	remu      sync.Mutex
 	relMemo   map[uint64]vclock.Vector

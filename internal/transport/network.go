@@ -40,6 +40,10 @@ const (
 	CatShipping
 	// CatControl is cluster control-plane traffic (heartbeats, failover).
 	CatControl
+	// CatLease is selector high-availability traffic: lease
+	// acquire/renew against the coordination service, standby metadata
+	// deltas, and promotion-time site fencing.
+	CatLease
 
 	numCategories
 )
@@ -61,6 +65,8 @@ func (c Category) String() string {
 		return "shipping"
 	case CatControl:
 		return "control"
+	case CatLease:
+		return "lease"
 	}
 	return fmt.Sprintf("category(%d)", int(c))
 }
