@@ -17,6 +17,11 @@
 //	checkpoint                         take a checkpoint now: snapshots every
 //	                                   site and truncates the covered WAL
 //	                                   prefix (requires -wal-dir on the daemon)
+//	placement                          replica placement snapshot: per-partition
+//	                                   replica sets and masters, per-site
+//	                                   resident-partition counts, and the recent
+//	                                   replica add/drop decisions (partial
+//	                                   replication; see -replication-factor)
 //	faults [set <spec> | off]          show, replace ("category:kind:prob
 //	                                   [:delay]", comma-separated) or clear
 //	                                   the cluster's fault-injection rules
@@ -57,6 +62,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -535,6 +541,43 @@ func run(cl *server.Client, cmd string, args []string) error {
 		fmt.Printf("remastered:     %d txns, %d partitions moved\n", st.RemasterTxns, st.PartsMoved)
 		for i, vv := range st.SiteVectors {
 			fmt.Printf("site %d vector:  %v\n", i, vv)
+		}
+		return nil
+
+	case "placement":
+		if len(args) != 0 {
+			return fmt.Errorf("usage: placement")
+		}
+		info, err := cl.Placement()
+		if err != nil {
+			return err
+		}
+		if info.FullReplication {
+			fmt.Println("placement: full replication (every partition on every site)")
+		} else {
+			fmt.Printf("placement: partial replication, factor [%d, %d]\n",
+				info.MinReplicas, info.MaxReplicas)
+		}
+		fmt.Printf("resident partitions per site: %v\n", info.Residency)
+		if len(info.Partitions) > 0 {
+			parts := make([]uint64, 0, len(info.Partitions))
+			for p := range info.Partitions {
+				parts = append(parts, p)
+			}
+			sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+			for _, p := range parts {
+				fmt.Printf("partition %-6d master=%-3d replicas=%v\n",
+					p, info.Masters[p], info.Partitions[p])
+			}
+		}
+		fmt.Printf("replica adds: %d, drops: %d\n", info.Adds, info.Drops)
+		for _, d := range info.Decisions {
+			verb := "drop"
+			if d.Add {
+				verb = "add"
+			}
+			fmt.Printf("%s  %-4s partition %-6d site %-3d %s\n",
+				d.At.Format(time.RFC3339), verb, d.Part, d.Site, d.Reason)
 		}
 		return nil
 

@@ -36,6 +36,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,6 +45,23 @@ import (
 	"dynamast/internal/obs"
 	"dynamast/internal/server"
 )
+
+// parseReplicationFactor parses "min" or "min:max" replica bounds.
+func parseReplicationFactor(s string) (int, int, error) {
+	minS, maxS, ok := strings.Cut(s, ":")
+	min, err := strconv.Atoi(minS)
+	if err != nil || min < 1 {
+		return 0, 0, fmt.Errorf("bad min %q (want integer >= 1)", minS)
+	}
+	if !ok {
+		return min, 0, nil
+	}
+	max, err := strconv.Atoi(maxS)
+	if err != nil || max < min {
+		return 0, 0, fmt.Errorf("bad max %q (want integer >= min %d)", maxS, min)
+	}
+	return min, max, nil
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "address to serve on")
@@ -64,6 +83,8 @@ func main() {
 	epochInterval := flag.Duration("epoch-interval", dynamast.DefaultEpochInterval, "epoch group-commit seal interval: commits batch into epochs flushed and replicated as one coalesced record (0 = disabled, per-transaction records)")
 	selectorLease := flag.Duration("selector-lease", 0, "selector leadership lease TTL: enables lease-fenced leader failover onto hot-standby replicas (0 = disabled; implies at least 2 selector replicas)")
 	selectorReplicas := flag.Int("selector-replicas", 0, "replica site-selectors fronting the master (0 = stand-alone selector, or 2 when -selector-lease is set)")
+	replFactor := flag.String("replication-factor", "", "partial replication bounds per partition, \"min\" or \"min:max\" replicas (empty = classic full replication)")
+	placementPolicy := flag.String("placement-policy", "adaptive", "replica placement policy under -replication-factor: adaptive (read-weight driven) or full (every partition everywhere)")
 	flag.Parse()
 
 	cfg := dynamast.Config{
@@ -105,6 +126,20 @@ func main() {
 	}
 	if *heartbeat > 0 {
 		cfg.FailureDetection = dynamast.FailureDetection{Interval: *heartbeat}
+	}
+	if *replFactor != "" {
+		min, max, err := parseReplicationFactor(*replFactor)
+		if err != nil {
+			log.Fatalf("dynamastd: -replication-factor: %v", err)
+		}
+		cfg.MinReplicas, cfg.MaxReplicas = min, max
+		switch *placementPolicy {
+		case "adaptive": // the default policy; leave nil
+		case "full":
+			cfg.PlacementPolicy = dynamast.StaticFullReplication()
+		default:
+			log.Fatalf("dynamastd: unknown -placement-policy %q (want adaptive or full)", *placementPolicy)
+		}
 	}
 	cluster, err := dynamast.New(cfg)
 	if err != nil {
@@ -157,6 +192,10 @@ func main() {
 	if *checkpointEvery > 0 || *checkpointRecords > 0 {
 		fmt.Printf("dynamastd: checkpointing every %v / %d records into %s\n",
 			*checkpointEvery, *checkpointRecords, *walDir)
+	}
+	if *replFactor != "" {
+		fmt.Printf("dynamastd: partial replication on, factor %s, policy %s\n",
+			*replFactor, *placementPolicy)
 	}
 
 	if *metricsListen != "" {

@@ -101,6 +101,19 @@ type (
 	// FlightEvent is one flight-recorder entry (failovers, faults, retries,
 	// SLO breaches; see Cluster and obs.FlightEvents).
 	FlightEvent = obs.FlightEvent
+	// SiteID identifies a data site in placement decisions.
+	SiteID = selector.SiteID
+	// PlacementPolicy decides a partition's replica set from its observed
+	// access statistics (WithPlacementPolicy).
+	PlacementPolicy = selector.PlacementPolicy
+	// PartitionStats is the per-partition input a PlacementPolicy decides on.
+	PartitionStats = selector.PartitionStats
+	// PlacementInfo snapshots the cluster's replica placement
+	// (Cluster.Placement): per-partition replica sets, masters, per-site
+	// residency, and the recent add/drop decision log.
+	PlacementInfo = selector.PlacementInfo
+	// PlacementDecision is one recorded replica add/drop decision.
+	PlacementDecision = selector.PlacementDecision
 )
 
 // DefaultEpochInterval is the epoch group-commit seal interval used when
@@ -134,6 +147,22 @@ func WithSLO(spec string, every time.Duration) Option { return core.WithSLO(spec
 func WithSLOTargets(ts ...SLOTarget) Option           { return core.WithSLOTargets(ts...) }
 func WithFlightDir(dir string) Option                 { return core.WithFlightDir(dir) }
 func WithEpochInterval(d time.Duration) Option        { return core.WithEpochInterval(d) }
+func WithReplicationFactor(min, max int) Option       { return core.WithReplicationFactor(min, max) }
+func WithPlacementPolicy(p PlacementPolicy) Option    { return core.WithPlacementPolicy(p) }
+func WithPlacementInterval(d time.Duration) Option    { return core.WithPlacementInterval(d) }
+
+// AdaptivePlacement is the default partial-replication policy: a
+// partition's replica count grows with its decayed read weight (one extra
+// copy per readsPerReplica weight, 0 = default) between the configured
+// bounds, keeping the master and the most recently useful replicas.
+func AdaptivePlacement(readsPerReplica float64) PlacementPolicy {
+	return selector.AdaptivePolicy{ReadsPerReplica: readsPerReplica}
+}
+
+// StaticFullReplication is the classic DynaMast placement: every partition
+// on every site. Passing it to WithPlacementPolicy keeps the
+// full-replication fast path byte-for-byte.
+func StaticFullReplication() PlacementPolicy { return selector.StaticFullReplication{} }
 
 // PartitionByRange groups keys of every table into partitions of size
 // contiguous keys — the paper's YCSB partitioning.
@@ -187,6 +216,11 @@ var (
 	// ErrNoLeader reports that the selector tier is between leaders (lease
 	// failover in progress); resubmitting rides out the promotion window.
 	ErrNoLeader = selector.ErrNoLeader
+	// ErrNotHosted reports a read routed to a site that does not (or no
+	// longer does) host one of the partitions it touched (partial
+	// replication); resubmitting re-routes to a hosting replica, and
+	// Session reads retry it internally with the missing partitions hinted.
+	ErrNotHosted = sitemgr.ErrNotHosted
 )
 
 // Retryable reports whether a session-level error is transient: the

@@ -100,6 +100,17 @@ type Manifest struct {
 	// recovered selector's epoch counter must start above it.
 	MaxEpoch uint64 `json:"max_epoch"`
 
+	// ReplicaSets maps partition -> replica-set membership at capture time
+	// (partial replication; empty under full replication). Only partitions
+	// with explicit placement decisions appear — the rest re-derive from the
+	// deterministic seed membership. Recovery folds state to the capture:
+	// adds and drops after the checkpoint are not journaled, so a
+	// post-capture add is redone by the master-hosting reconciliation and a
+	// post-capture drop is undone (the replica resurrects with its snapshot
+	// rows plus suffix catch-up — correct, merely unpruned until the
+	// placement controller re-decides).
+	ReplicaSets map[uint64][]int `json:"replica_sets,omitempty"`
+
 	// Snapshots[s] verifies site s's snapshot file.
 	Snapshots []SnapshotInfo `json:"snapshots"`
 }

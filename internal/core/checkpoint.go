@@ -173,6 +173,7 @@ func (c *Cluster) checkpointLocked() (*checkpoint.Manifest, error) {
 		m.FoldOffsets[o] = c.broker.Log(o).Len()
 	}
 	m.Placement, m.PlacementEpochs = c.leader().PlacementSnapshot()
+	m.ReplicaSets = c.leader().PlacementTable()
 	m.MaxEpoch = c.leader().CurrentEpoch()
 	for _, e := range m.PlacementEpochs {
 		if e > m.MaxEpoch {
@@ -306,6 +307,22 @@ func (c *Cluster) recover(initialPlacement map[uint64]int) error {
 	if m != nil {
 		st.UsedCheckpoint, st.Seq = true, m.Seq
 		dir := checkpoint.Dir(c.cfg.WALDir, m.Seq)
+		// Partial replication: fold replica-set membership to the capture
+		// before any catch-up runs, so the refresh appliers filter with the
+		// membership the snapshots were taken under. Adds and drops after the
+		// capture are not journaled; the master-hosting reconciliation below
+		// redoes lost adds that matter, and lost drops merely resurrect a
+		// replica the controller can re-drop.
+		if c.leader().PartialPlacement() && len(m.ReplicaSets) > 0 {
+			c.leader().AdoptReplicaSets(m.ReplicaSets)
+			for i, s := range c.sites {
+				hosted := make(map[uint64]bool, len(m.ReplicaSets))
+				for p, set := range m.ReplicaSets {
+					hosted[p] = hostedIn(set, i)
+				}
+				s.AdoptHosting(hosted)
+			}
+		}
 		var rows, own, refresh atomic.Uint64
 		errs := make([]error, len(c.sites))
 		var wg sync.WaitGroup
@@ -396,6 +413,20 @@ func (c *Cluster) recover(initialPlacement map[uint64]int) error {
 	}
 	for p, site := range owner {
 		c.leader().RegisterPartitionEpoch(p, site, maxEpoch)
+	}
+	// Partial replication: a master must host what it masters. Mastership
+	// folds from the WAL (grants are journaled) but membership folds to the
+	// checkpoint capture (adds are not), so a partition granted after the
+	// capture can recover with its master outside the hosting set. Re-add
+	// the copy before traffic routes there.
+	if c.leader().PartialPlacement() {
+		for p, site := range owner {
+			if site >= 0 && site < len(c.sites) && !c.sites[site].Hosts(p) {
+				if err := c.AddReplica(p, site); err != nil {
+					return fmt.Errorf("core: recovery replica add (partition %d at site %d): %w", p, site, err)
+				}
+			}
+		}
 	}
 
 	st.Duration = time.Since(start)

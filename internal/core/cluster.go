@@ -78,6 +78,21 @@ type Config struct {
 	// defaults to 2. Zero disables HA (the selector is a single point of
 	// failure, as in the paper's prototype).
 	SelectorLease time.Duration
+	// MinReplicas, when positive, enables adaptive partial replication:
+	// every partition is hosted by an explicit replica set of at least
+	// MinReplicas sites instead of everywhere. Use WithReplicationFactor.
+	MinReplicas int
+	// MaxReplicas bounds replica-set growth under partial replication
+	// (0 = the site count).
+	MaxReplicas int
+	// PlacementPolicy decides each partition's desired replica set under
+	// partial replication (nil = selector.AdaptivePolicy). Setting a policy
+	// other than StaticFullReplication without MinReplicas implies a
+	// replication factor of [1, Sites]. Use WithPlacementPolicy.
+	PlacementPolicy selector.PlacementPolicy
+	// PlacementInterval is the placement controller's tick interval
+	// (0 = selector.DefaultPlacementInterval).
+	PlacementInterval time.Duration
 	// Seed drives read-routing randomization.
 	Seed int64
 	// Faults, when set, installs a fault injector on the simulated wire
@@ -123,6 +138,10 @@ type Cluster struct {
 
 	breakdown Breakdown
 	sessions  atomic.Uint64
+
+	// Partial replication (see placement.go).
+	placeMu  sync.Mutex // serializes replica adds/drops
+	placeCtl *selector.PlacementController
 
 	// Failure handling (see failure.go).
 	failoverMu  sync.Mutex
@@ -215,10 +234,39 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		epochIv = sitemgr.DefaultEpochInterval
 	}
 
+	initial := cfg.InitialMaster
+	if initial == nil {
+		m := uint64(cfg.Sites)
+		initial = func(part uint64) int {
+			// Fibonacci hashing scatters partitions uncorrelated with the
+			// workloads' range structure.
+			return int((part * 0x9E3779B97F4A7C15 >> 17) % m)
+		}
+	}
+
+	// Partial-replication resolution: an explicit replication factor turns
+	// it on; a non-static placement policy alone implies the loosest bounds.
+	minRF, maxRF := cfg.MinReplicas, cfg.MaxReplicas
+	if cfg.PlacementPolicy != nil && minRF == 0 {
+		if _, static := cfg.PlacementPolicy.(selector.StaticFullReplication); !static {
+			minRF, maxRF = 1, cfg.Sites
+		}
+	}
+	if minRF > cfg.Sites {
+		minRF = cfg.Sites
+	}
+	partial := minRF > 0
+	if partial && cfg.SelectorLease > 0 {
+		c.broker.Close()
+		return nil, fmt.Errorf("core: partial replication is not supported with selector HA " +
+			"(a promoted standby would lose the replica-set metadata); disable one of " +
+			"WithReplicationFactor/WithPlacementPolicy and SelectorLease")
+	}
+
 	c.sites = make([]*sitemgr.Site, cfg.Sites)
 	dsites := make([]selector.DataSite, cfg.Sites)
 	for i := 0; i < cfg.Sites; i++ {
-		s, err := sitemgr.New(sitemgr.Config{
+		siteCfg := sitemgr.Config{
 			SiteID:        i,
 			Sites:         cfg.Sites,
 			Net:           c.net,
@@ -232,7 +280,21 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Obs:           c.obs,
 			Tracer:        c.tracer,
 			Spans:         c.spans,
-		})
+		}
+		if partial {
+			siteCfg.PartialReplication = true
+			// Seed membership mirrors selector.DefaultReplicaSet: partition p
+			// starts at sites initial(p) .. initial(p)+minRF-1 (mod m).
+			site, m, rf := i, cfg.Sites, minRF
+			siteCfg.DefaultHosted = func(part uint64) bool {
+				d := site - initial(part)%m
+				if d < 0 {
+					d += m
+				}
+				return d < rf
+			}
+		}
+		s, err := sitemgr.New(siteCfg)
 		if err != nil {
 			c.broker.Close()
 			return nil, err
@@ -240,15 +302,6 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.sites[i], dsites[i] = s, s
 	}
 
-	initial := cfg.InitialMaster
-	if initial == nil {
-		m := uint64(cfg.Sites)
-		initial = func(part uint64) int {
-			// Fibonacci hashing scatters partitions uncorrelated with the
-			// workloads' range structure.
-			return int((part * 0x9E3779B97F4A7C15 >> 17) % m)
-		}
-	}
 	selCfg := selector.Config{
 		Sites:         dsites,
 		Partitioner:   cfg.Partitioner,
@@ -257,6 +310,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Stats:         cfg.Stats,
 		Net:           c.net,
 		Seed:          cfg.Seed,
+		MinReplicas:   minRF,
+		MaxReplicas:   maxRF,
 		Obs:           c.obs,
 		Spans:         c.spans,
 	}
@@ -264,6 +319,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if err != nil {
 		c.broker.Close()
 		return nil, err
+	}
+	if partial {
+		c.sel.SetReplicaEnsurer(c.ensureHostedAll)
 	}
 
 	replicas := cfg.SelectorReplicas
@@ -300,6 +358,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 
 	for _, s := range c.sites {
 		s.Start()
+	}
+	if partial {
+		c.placeCtl = selector.NewPlacementController(c.leader, c, cfg.PlacementPolicy, cfg.PlacementInterval)
+		c.placeCtl.Start()
 	}
 	if fd := cfg.FailureDetection; fd.Interval > 0 {
 		if fd.Misses <= 0 {
@@ -377,21 +439,28 @@ func (c *Cluster) CreateTable(name string) {
 	}
 }
 
-// Load installs initial rows on every site (full replication) and seeds the
-// partitions' initial mastership on the sites and the selector.
+// Load installs initial rows on every replica site and seeds the partitions'
+// initial mastership on the sites and the selector. Under full replication
+// every site receives every row; under partial replication a row lands only
+// on the sites in its partition's replica set (the schema still exists
+// everywhere — see CreateTable).
 func (c *Cluster) Load(rows []systems.LoadRow) {
+	sel := c.leader()
 	seen := make(map[uint64]struct{})
 	loadStamp := storage.Stamp{Origin: 0, Seq: 0} // visible at every snapshot
 	for _, row := range rows {
 		part := c.cfg.Partitioner(row.Ref)
 		if _, ok := seen[part]; !ok {
 			seen[part] = struct{}{}
-			master := c.leader().MasterOf(part) // registers at initial placement
+			master := sel.MasterOf(part) // registers at initial placement
 			for i, s := range c.sites {
 				s.SetMaster(part, i == master)
 			}
 		}
 		for _, s := range c.sites {
+			if !s.Hosts(part) {
+				continue
+			}
 			t := s.Store().CreateTable(row.Ref.Table)
 			t.Record(row.Ref.Key, true).Install(loadStamp, row.Data, false, s.Store().MaxVersions())
 		}
@@ -463,6 +532,9 @@ func (c *Cluster) Stats() systems.Stats {
 func (c *Cluster) Close() {
 	c.closeOnce.Do(func() {
 		c.closing.Store(true)
+		if c.placeCtl != nil {
+			c.placeCtl.Stop() // no replica moves during teardown
+		}
 		c.slo.Stop()
 		if ha := c.repl.HA(); ha != nil {
 			ha.Stop() // no promotions during teardown

@@ -40,6 +40,8 @@ type FailureDetectionConfig struct {
 func Retryable(err error) bool {
 	return errors.Is(err, sitemgr.ErrSiteDown) ||
 		errors.Is(err, sitemgr.ErrNotMaster) ||
+		errors.Is(err, sitemgr.ErrNotHosted) ||
+		errors.Is(err, sitemgr.ErrSnapshotTooOld) ||
 		errors.Is(err, sitemgr.ErrReleasing) ||
 		errors.Is(err, selector.ErrNoLeader) ||
 		transport.IsInjected(err)
@@ -208,6 +210,14 @@ func (c *Cluster) Failover(dead int) error {
 				lastErr = fmt.Errorf("core: failover of site %d: %w", dead, err)
 				break
 			}
+			// Partial replication: the heir must host a partition before
+			// mastering it. Live replicas bootstrap the copy; when none of a
+			// partition's replicas survived, the heir rebuilds from the
+			// retained logs (see AddReplica).
+			if err := c.ensureHostedAll(ids, heir); err != nil {
+				lastErr = fmt.Errorf("core: failover replica add at site %d: %w", heir, err)
+				continue
+			}
 			if _, err := c.sites[heir].Grant(ids, relVV, dead, epoch); err != nil {
 				lastErr = fmt.Errorf("core: failover grant to site %d: %w", heir, err)
 				continue
@@ -231,6 +241,13 @@ func (c *Cluster) Failover(dead int) error {
 	}
 	if firstErr != nil {
 		return firstErr
+	}
+	// The dead site serves no replicas; shed it from every replica set (the
+	// placement controller restores the factor on live sites over later
+	// ticks). Metadata only — there is nothing to purge at a dead site.
+	if dropped := sel.DropSiteReplicas(dead); len(dropped) > 0 {
+		obs.RecordEvent(obs.FlightPlacement, dead,
+			"site %d shed from %d replica set(s) after failover", dead, len(dropped))
 	}
 	c.failedOver[dead] = true
 	c.failovers.Add(1)

@@ -157,6 +157,41 @@ func WithFlightDir(dir string) Option {
 	return optionFunc(func(c *Config) { c.FlightDir = dir })
 }
 
+// WithReplicationFactor bounds each partition's replica set to [min, max]
+// sites, turning on adaptive partial replication: partitions start at min
+// copies placed deterministically, and the placement controller adds
+// replicas where reads concentrate and drops them where access decays. max
+// < min (0 included) means "up to every site". Requires min >= 1; without
+// this option every partition replicates everywhere (the classic DynaMast
+// model).
+func WithReplicationFactor(min, max int) Option {
+	return optionFunc(func(c *Config) {
+		if min < 1 {
+			c.optErr = fmt.Errorf("core: WithReplicationFactor: min %d < 1", min)
+			return
+		}
+		if max != 0 && max < min {
+			c.optErr = fmt.Errorf("core: WithReplicationFactor: max %d < min %d", max, min)
+			return
+		}
+		c.MinReplicas, c.MaxReplicas = min, max
+	})
+}
+
+// WithPlacementPolicy sets the policy deciding each partition's replica set
+// from its observed access statistics. Implies partial replication at
+// bounds [1, Sites] unless WithReplicationFactor narrows them — except for
+// StaticFullReplication, which keeps the full-replication fast path.
+func WithPlacementPolicy(p selector.PlacementPolicy) Option {
+	return optionFunc(func(c *Config) { c.PlacementPolicy = p })
+}
+
+// WithPlacementInterval sets how often the placement controller re-evaluates
+// replica sets (0 = selector.DefaultPlacementInterval).
+func WithPlacementInterval(d time.Duration) Option {
+	return optionFunc(func(c *Config) { c.PlacementInterval = d })
+}
+
 // WithEpochInterval sets the epoch group-commit seal interval: commits batch
 // into epochs sealed every d with one WAL flush, one site-vector advance,
 // and one coalesced replication record. d <= 0 disables epochs, restoring

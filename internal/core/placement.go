@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"dynamast/internal/obs"
+	"dynamast/internal/selector"
+	"dynamast/internal/sitemgr"
+)
+
+// Replica placement: the cluster is the selector placement layer's
+// ReplicaMover — it materializes replica-set decisions at the data sites.
+// AddReplica follows the add protocol documented in sitemgr/hosting.go:
+// flip the hosting filter first (capturing the exact cut vector), then copy
+// the partition's rows as of the cut from a live replica, so the bootstrap
+// copy and the (now-unfiltered) applier stream meet with no gap and no
+// double-install. DropReplica removes routing metadata first — reads stop
+// landing on the site before its rows purge.
+//
+// Moves serialize on placeMu: the controller, routing's ensure hook, and
+// failover's heir materialization never interleave two moves of the same
+// partition.
+
+// AddReplica makes site a hosting replica of part, bootstrapping its rows
+// from a live replica (or, when none survived, from the retained logs).
+// Idempotent; implements selector.ReplicaMover.
+func (c *Cluster) AddReplica(part uint64, site int) error {
+	if site < 0 || site >= len(c.sites) {
+		return fmt.Errorf("core: add replica: no such site %d", site)
+	}
+	c.placeMu.Lock()
+	defer c.placeMu.Unlock()
+	sel := c.leader()
+	if !sel.PartialPlacement() {
+		return nil
+	}
+	tgt := c.sites[site]
+	if !tgt.Alive() {
+		return fmt.Errorf("core: add replica of partition %d: site %d: %w",
+			part, site, sitemgr.ErrSiteDown)
+	}
+	if tgt.Hosts(part) {
+		sel.AddReplicaMeta(part, site, "already hosted")
+		return nil
+	}
+	cut := tgt.HostPartition(part)
+
+	// Any live site already hosting part serves as the bootstrap source:
+	// once its clock dominates the cut it holds every version visible there.
+	src := -1
+	for _, m := range sel.ReplicaSet(part) {
+		if m != site && m >= 0 && m < len(c.sites) && c.sites[m].Alive() && c.sites[m].Hosts(part) {
+			src = m
+			break
+		}
+	}
+	rows := 0
+	from := "logs"
+	if src >= 0 {
+		srcSite := c.sites[src]
+		srcSite.Clock().WaitDominatesEq(cut)
+		// The wait returns unconditionally if the source dies mid-wait;
+		// re-check before trusting its export.
+		if srcSite.Alive() {
+			rows = tgt.BootstrapPartitionFrom(srcSite, part, cut)
+			from = fmt.Sprintf("site %d", src)
+		} else {
+			src = -1
+		}
+	}
+	if src < 0 {
+		rows = tgt.RebuildPartitionFromLogs(part, cut)
+	}
+	sel.AddReplicaMeta(part, site, fmt.Sprintf("bootstrap %d rows from %s", rows, from))
+	obs.RecordEvent(obs.FlightPlacement, site,
+		"partition %d: replica added (%d rows from %s)", part, rows, from)
+	return nil
+}
+
+// DropReplica removes site from part's replica set and purges its resident
+// rows. Refuses to drop the partition's master or shrink the set below the
+// configured minimum. Implements selector.ReplicaMover.
+func (c *Cluster) DropReplica(part uint64, site int) error {
+	if site < 0 || site >= len(c.sites) {
+		return fmt.Errorf("core: drop replica: no such site %d", site)
+	}
+	c.placeMu.Lock()
+	defer c.placeMu.Unlock()
+	sel := c.leader()
+	if !sel.PartialPlacement() {
+		return nil
+	}
+	tgt := c.sites[site]
+	// The site-level mastership flag is authoritative: a remaster chain that
+	// just granted here may not have flipped selector metadata yet.
+	if tgt.Masters(part) {
+		return fmt.Errorf("core: drop replica: site %d masters partition %d", site, part)
+	}
+	// Metadata first: reads stop routing at this site before its rows go.
+	if !sel.DropReplicaMeta(part, site, "policy drop") {
+		return fmt.Errorf("core: drop replica: partition %d 's set at site %d is at minimum", part, site)
+	}
+	purged := 0
+	if tgt.Alive() {
+		purged = tgt.UnhostPartition(part)
+	}
+	obs.RecordEvent(obs.FlightPlacement, site,
+		"partition %d: replica dropped (%d rows purged)", part, purged)
+	return nil
+}
+
+// hostedIn reports whether site appears in a replica-set slice.
+func hostedIn(set []int, site int) bool {
+	for _, m := range set {
+		if m == site {
+			return true
+		}
+	}
+	return false
+}
+
+// ensureHostedAll makes site a hosting replica of every partition in parts
+// (routing's add-then-grant hook and failover's heir materialization).
+func (c *Cluster) ensureHostedAll(parts []uint64, site int) error {
+	for _, part := range parts {
+		if err := c.AddReplica(part, site); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Placement snapshots the cluster's replica placement: per-partition replica
+// sets and masters, per-site residency, and the recent add/drop decision
+// log. Under full replication only the masters and residency are populated.
+func (c *Cluster) Placement() selector.PlacementInfo {
+	info := c.leader().PlacementInfo()
+	info.Residency = make([]int, len(c.sites))
+	for i, s := range c.sites {
+		if s.Alive() {
+			info.Residency[i] = s.ResidentPartitions()
+		}
+	}
+	return info
+}

@@ -72,8 +72,9 @@ func (c *Cluster) Session(id int) *Session {
 }
 
 // NewClient implements systems.System: sessions adapted to the
-// benchmark-facing Client interface (the read hint is ignored — any
-// replica serves any read).
+// benchmark-facing Client interface. Under full replication the read hint is
+// ignored (any replica serves any read); under partial replication it routes
+// the read to a site hosting every hinted partition.
 func (c *Cluster) NewClient(id int) systems.Client { return sessionClient{c.Session(id)} }
 
 // sessionClient adapts *Session to systems.Client.
@@ -82,8 +83,8 @@ type sessionClient struct{ s *Session }
 func (a sessionClient) Update(ws []storage.RowRef, fn func(systems.Tx) error) error {
 	return a.s.Update(ws, fn)
 }
-func (a sessionClient) Read(_ []storage.RowRef, fn func(systems.Tx) error) error {
-	return a.s.Read(fn)
+func (a sessionClient) Read(hint []storage.RowRef, fn func(systems.Tx) error) error {
+	return a.s.ReadHinted(hint, fn)
 }
 
 // CVV returns a copy of the session's client version vector.
@@ -191,6 +192,17 @@ func (s *Session) UpdateCtx(ctx context.Context, writeSet []storage.RowRef, fn f
 		// the site's execution slots.
 		ferr := fn(txAdapter{tx})
 		site.Exec(tx.Cost)
+		// A stale-snapshot poison outranks fn's own error: a read outside
+		// the (locked) write set missed a record whose visible version may
+		// have been evicted, so whatever fn computed — including any error —
+		// came from an unsound miss. Resubmit on a fresher snapshot.
+		if tx.SnapshotTooOld() && attempt < beginRetries {
+			tx.Abort()
+			if berr := retryBackoff(ctx, attempt); berr != nil {
+				return berr
+			}
+			continue
+		}
 		if ferr != nil {
 			tx.Abort()
 			return ferr
@@ -380,24 +392,86 @@ func (c *Cluster) trace(client int, route selector.Route, tvv vclock.Vector,
 // session's freshness guarantee; any site works, no cross-site
 // synchronization occurs.
 func (s *Session) Read(fn func(systems.Tx) error) error {
-	return s.ReadCtx(context.Background(), fn)
+	return s.ReadHintedCtx(context.Background(), nil, fn)
+}
+
+// ReadHinted is Read with a read-set hint: under partial replication the
+// hinted rows' partitions steer routing to a site hosting all of them.
+// Under full replication the hint is ignored.
+func (s *Session) ReadHinted(hint []storage.RowRef, fn func(systems.Tx) error) error {
+	return s.ReadHintedCtx(context.Background(), hint, fn)
 }
 
 // ReadCtx is Read honoring ctx: cancellation interrupts the begin
 // freshness wait and retry backoffs, returning ctx.Err(). Read routing
 // itself never blocks, so it is not wrapped.
 func (s *Session) ReadCtx(ctx context.Context, fn func(systems.Tx) error) error {
+	return s.ReadHintedCtx(ctx, nil, fn)
+}
+
+// partsRouter is the optional partition-aware read routing capability
+// (partial replication); *selector.Selector and *selector.Replica implement
+// it.
+type partsRouter interface {
+	RouteReadParts(client int, cvv vclock.Vector, parts []uint64) selector.Route
+}
+
+// readParts maps a read hint to its deduplicated partition set.
+func (s *Session) readParts(hint []storage.RowRef) []uint64 {
+	parts := make([]uint64, 0, len(hint))
+outer:
+	for _, ref := range hint {
+		id := s.c.cfg.Partitioner(ref)
+		for _, seen := range parts {
+			if seen == id {
+				continue outer
+			}
+		}
+		parts = append(parts, id)
+	}
+	return parts
+}
+
+// mergeParts folds extra partitions into parts, deduplicating.
+func mergeParts(parts, extra []uint64) []uint64 {
+outer:
+	for _, id := range extra {
+		for _, seen := range parts {
+			if seen == id {
+				continue outer
+			}
+		}
+		parts = append(parts, id)
+	}
+	return parts
+}
+
+// ReadHintedCtx is ReadHinted honoring ctx. Under partial replication a read
+// that lands on a site missing one of its partitions comes back poisoned
+// with the retryable sitemgr.ErrNotHosted; the session folds the missing
+// partitions into the routing hint and resubmits, so even unhinted reads
+// converge on a hosting site within a retry or two.
+func (s *Session) ReadHintedCtx(ctx context.Context, hint []storage.RowRef, fn func(systems.Tx) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	c := s.c
+	var parts []uint64
+	if len(hint) > 0 && c.sel.PartialPlacement() {
+		parts = s.readParts(hint)
+	}
 	start := time.Now()
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		c.net.Send(transport.CatRoute, transport.MsgOverhead)
-		route := s.router.RouteRead(s.id, s.cvv)
+		var route selector.Route
+		if pr, ok := s.router.(partsRouter); ok && len(parts) > 0 {
+			route = pr.RouteReadParts(s.id, s.cvv, parts)
+		} else {
+			route = s.router.RouteRead(s.id, s.cvv)
+		}
 		c.net.Send(transport.CatRoute, transport.MsgOverhead)
 
 		c.net.Send(transport.CatTxn, transport.MsgOverhead)
@@ -419,6 +493,44 @@ func (s *Session) ReadCtx(ctx context.Context, fn func(systems.Tx) error) error 
 		}
 		ferr := fn(txAdapter{tx})
 		site.Exec(tx.Cost)
+		// Check the not-hosted poison before fn's own error: a read that
+		// silently returned "no row" for a partition this site does not host
+		// may have induced fn's failure, and re-routing fixes both.
+		if missing := tx.NotHostedParts(); len(missing) > 0 {
+			tx.Abort()
+			parts = mergeParts(parts, missing)
+			// Re-routing alone cannot converge when no single site hosts
+			// every partition the read touches (disjoint replica sets). After
+			// a couple of bounces, materialize the missing replicas at the
+			// routed site — a read-triggered replica add, the DynamicCache
+			// move — so a co-hosting site exists on the next attempt.
+			if attempt >= 2 {
+				if err := c.ensureHostedAll(missing, route.Site); err != nil && !Retryable(err) {
+					return fmt.Errorf("core: read replica add: %w", err)
+				}
+			}
+			if attempt < beginRetries {
+				if berr := retryBackoff(ctx, attempt); berr != nil {
+					return berr
+				}
+				continue
+			}
+			return fmt.Errorf("core: read after %d retries: %w", attempt, sitemgr.ErrNotHosted)
+		}
+		// Likewise a stale-snapshot poison: a read missed a record whose
+		// visible version may have been evicted from the bounded chain, so
+		// any miss fn observed (and any error it derived from one) is
+		// unsound. Re-begin: the fresh snapshot sees the retained versions.
+		if tx.SnapshotTooOld() {
+			tx.Abort()
+			if attempt < beginRetries {
+				if berr := retryBackoff(ctx, attempt); berr != nil {
+					return berr
+				}
+				continue
+			}
+			return fmt.Errorf("core: read after %d retries: %w", attempt, sitemgr.ErrSnapshotTooOld)
+		}
 		if ferr != nil {
 			tx.Abort()
 			return ferr

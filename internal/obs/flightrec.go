@@ -56,12 +56,16 @@ const (
 	// FlightLeaderChange marks a selector leadership change (lease expiry
 	// promotion of a standby, or the initial acquisition).
 	FlightLeaderChange = "leader_change"
+	// FlightPlacement marks a replica-set change (replica add or drop) under
+	// partial replication.
+	FlightPlacement = "placement"
 )
 
 // flightKinds lists the taxonomy for metric pre-registration.
 var flightKinds = []string{
 	FlightRemaster, FlightFailover, FlightFaultInject, FlightRPCRetry,
 	FlightWALTruncate, FlightSLOBreach, FlightRecovery, FlightLeaderChange,
+	FlightPlacement,
 }
 
 // flightRingSize is the retained-event capacity. 4096 events outlast any

@@ -282,6 +282,13 @@ func (r *Replica) RouteRead(client int, cvv vclock.Vector) Route {
 	return r.sel().RouteRead(client, cvv)
 }
 
+// RouteReadParts routes a read restricted to the sites hosting the given
+// partitions (partial replication). Replica sets live only at the leader, so
+// the decision delegates; like RouteRead it stays available while deposed.
+func (r *Replica) RouteReadParts(client int, cvv vclock.Vector, parts []uint64) Route {
+	return r.sel().RouteReadParts(client, cvv, parts)
+}
+
 // CacheSize returns the number of cached partition locations.
 func (r *Replica) CacheSize() int {
 	r.mu.RLock()

@@ -48,6 +48,13 @@ type Config struct {
 	Net *transport.Network
 	// Seed drives read-routing randomization.
 	Seed int64
+	// MinReplicas, when positive, enables partial replication: each
+	// partition carries an explicit replica set of at least MinReplicas and
+	// at most MaxReplicas sites (MaxReplicas <= 0 means no upper bound
+	// beyond the site count). Zero preserves full replication.
+	MinReplicas int
+	// MaxReplicas bounds replica-set growth under partial replication.
+	MaxReplicas int
 	// Obs receives the selector's metrics (routing counters, remaster
 	// latency, strategy feature scores); nil disables instrumentation.
 	Obs *obs.Registry
@@ -169,6 +176,13 @@ type Selector struct {
 	// remastering exclude them until failover completes.
 	downSites []atomic.Bool
 
+	// placement tracks per-partition replica sets under partial replication
+	// (nil on fully replicating selectors — the hot paths branch on it).
+	placement *placementState
+	// ensureReplica materializes a replica before routing depends on it
+	// (the core cluster's AddReplica); see SetReplicaEnsurer.
+	ensureReplica func(parts []uint64, site int) error
+
 	spans *obs.SpanRecorder
 
 	ob selectorInstruments
@@ -226,6 +240,26 @@ func (s *Selector) instrument(reg *obs.Registry) {
 		_, max := s.shardResidency()
 		return float64(max)
 	})
+	if ps := s.placement; ps != nil {
+		reg.Help("dynamast_placement_replicas_total", "Replica-set memberships across all tracked partitions.")
+		reg.Help("dynamast_placement_adds_total", "Replica additions performed by the placement layer.")
+		reg.Help("dynamast_placement_drops_total", "Replica drops performed by the placement layer.")
+		reg.Func("dynamast_placement_replicas_total", obs.KindGauge, func() float64 {
+			ps.mu.RLock()
+			defer ps.mu.RUnlock()
+			n := 0
+			for _, set := range ps.sets {
+				n += len(set)
+			}
+			return float64(n)
+		})
+		reg.Func("dynamast_placement_adds_total", obs.KindCounter, func() float64 {
+			return float64(ps.adds.Load())
+		})
+		reg.Func("dynamast_placement_drops_total", obs.KindCounter, func() float64 {
+			return float64(ps.drops.Load())
+		})
+	}
 }
 
 // shardResidency reports the total partition count and the largest shard.
@@ -270,6 +304,10 @@ func New(cfg Config) (*Selector, error) {
 	}
 	w := cfg.Weights
 	s.weights.Store(&w)
+	if cfg.MinReplicas > 0 {
+		s.placement = newPlacementState(cfg.MinReplicas, cfg.MaxReplicas, s.m,
+			DefaultReplicaSet(s.initial, s.m, cfg.MinReplicas))
+	}
 	for i := range s.shards {
 		s.shards[i].m = make(map[uint64]*partInfo)
 	}
@@ -327,6 +365,7 @@ func (s *Selector) part(id uint64) *partInfo {
 	p.setMaster(master, 0)
 	sh.m[id] = p
 	sh.mu.Unlock()
+	s.noteMaster([]uint64{id}, master)
 	// Outside the shard lock: materialize ownership at the data site
 	// (idempotent; a nil release vector means no catch-up wait; epoch 0 —
 	// initial placement has no remaster chain to fence). A deposed leader
@@ -457,6 +496,7 @@ func (s *Selector) RegisterPartitionEpoch(id uint64, master int, epoch uint64) {
 	p.mu.Lock()
 	p.setMaster(master, epoch)
 	p.mu.Unlock()
+	s.noteMaster([]uint64{id}, master)
 	s.publish([]uint64{id}, master, epoch)
 }
 
@@ -513,6 +553,7 @@ func (s *Selector) adoptPlacement(owner map[uint64]int, epochs map[uint64]uint64
 		in.mu.Lock()
 		in.setMaster(site, epochs[p])
 		in.mu.Unlock()
+		s.noteMaster([]uint64{p}, site)
 	}
 }
 
@@ -613,6 +654,9 @@ func (s *Selector) routeWrite(client int, writeSet []storage.RowRef, cvv vclock.
 		for _, in := range infos {
 			in.mu.RUnlock()
 		}
+		if err := s.ensureHostedAt(parts, master); err != nil {
+			return Route{}, err
+		}
 		s.finishWrite(client, parts, master, start)
 		return Route{Site: master}, nil
 	}
@@ -640,6 +684,9 @@ func (s *Selector) routeWrite(client int, writeSet []storage.RowRef, cvv vclock.
 	}
 	if single {
 		// A concurrent client with a common write set already remastered.
+		if err := s.ensureHostedAt(parts, master); err != nil {
+			return Route{}, err
+		}
 		s.finishWrite(client, parts, master, start)
 		return Route{Site: master}, nil
 	}
@@ -932,6 +979,20 @@ func (s *Selector) remaster(parts []uint64, infos []*partInfo, dest int, sc obs.
 				mu.Unlock()
 				return
 			}
+			// Partial replication: a master must be a replica-set member, so
+			// materialize the destination's replica (bootstrap copy) BEFORE
+			// the release/grant chain. An add that fails aborts the chain
+			// with nothing to roll back; an add that succeeds with the chain
+			// later failing leaves dest as a plain replica the controller
+			// may drop again.
+			if ensErr := s.ensureHostedAt(c.ids, dest); ensErr != nil {
+				mu.Lock()
+				if first == nil {
+					first = ensErr
+				}
+				mu.Unlock()
+				return
+			}
 			relStart := time.Now()
 			relVV, err := s.remasterCall(c.src,
 				transport.MsgOverhead+transport.SizeOfPartitions(c.ids),
@@ -962,6 +1023,7 @@ func (s *Selector) remaster(parts []uint64, infos []*partInfo, dest int, sc obs.
 					for _, ix := range c.idxs {
 						infos[ix].setMaster(dest, epoch)
 					}
+					s.noteMaster(c.ids, dest)
 					s.publish(c.ids, dest, epoch)
 					mu.Lock()
 					out = out.MaxInto(grantVV)

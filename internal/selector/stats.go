@@ -43,6 +43,11 @@ type statsStripe struct {
 	// follow the recent workload.
 	decayThreshold float64
 
+	// Read access frequency, for the placement policy's replica-demand
+	// signal. Decays on the same threshold as write access.
+	reads      map[uint64]float64
+	totalReads float64
+
 	// Co-access statistics from sampled write sets.
 	intra       map[uint64]map[uint64]float64 // intra[d1][d2]: times d1,d2 written in one txn
 	inter       map[uint64]map[uint64]float64 // inter[d1][d2]: d2 written within Δt after d1 by same client
@@ -146,6 +151,7 @@ func NewStats(cfg StatsConfig) *Stats {
 	for i := range st.stripes {
 		sp := &st.stripes[i]
 		sp.access = make(map[uint64]float64)
+		sp.reads = make(map[uint64]float64)
 		sp.decayThreshold = cfg.DecayThreshold
 		sp.intra = make(map[uint64]map[uint64]float64)
 		sp.inter = make(map[uint64]map[uint64]float64)
@@ -235,6 +241,39 @@ func (st *Stats) RecordWrite(client int, parts []uint64, now time.Time) {
 
 	sp.history[sp.histNext] = sm
 	sp.histNext = (sp.histNext + 1) % len(sp.history)
+}
+
+// RecordRead ingests one routed read transaction's partition set for client
+// (partial-replication read routing feeds it). Only read access frequencies
+// are tracked — reads contribute nothing to the remastering co-access model.
+// Only the client's stripe is locked.
+func (st *Stats) RecordRead(client int, parts []uint64) {
+	sp := st.stripe(client)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	for _, p := range parts {
+		sp.reads[p]++
+	}
+	sp.totalReads += float64(len(parts))
+	if sp.totalReads > sp.decayThreshold {
+		for p := range sp.reads {
+			sp.reads[p] /= 2
+		}
+		sp.totalReads /= 2
+	}
+}
+
+// ReadWeight returns partition p's recent read access count, aggregated
+// across stripes.
+func (st *Stats) ReadWeight(p uint64) float64 {
+	var w float64
+	for i := range st.stripes {
+		sp := &st.stripes[i]
+		sp.mu.Lock()
+		w += sp.reads[p]
+		sp.mu.Unlock()
+	}
+	return w
 }
 
 // expireLocked reverses an old sample's contributions.

@@ -14,6 +14,7 @@ import (
 
 	"dynamast/internal/core"
 	"dynamast/internal/obs"
+	"dynamast/internal/selector"
 	"dynamast/internal/storage"
 	"dynamast/internal/systems"
 	"dynamast/internal/transport"
@@ -100,6 +101,7 @@ func Serve(cluster *core.Cluster, addr string) (*Server, net.Addr, error) {
 	transport.Handle(s.rpc, "metrics", s.handleMetrics)
 	transport.Handle(s.rpc, "faults", s.handleFaults)
 	transport.Handle(s.rpc, "checkpoint", s.handleCheckpoint)
+	transport.Handle(s.rpc, "placement", s.handlePlacement)
 	bound, err := s.rpc.ListenAndServe(addr)
 	if err != nil {
 		return nil, nil, err
@@ -341,6 +343,19 @@ func (s *Server) handleCheckpoint(*CheckpointRequest) (*CheckpointReply, error) 
 	return reply, nil
 }
 
+// PlacementRequest asks for the cluster's replica placement snapshot.
+type PlacementRequest struct{}
+
+// PlacementReply carries the placement snapshot: per-partition replica sets
+// and masters, per-site residency, and the recent add/drop decision log.
+type PlacementReply struct {
+	Info selector.PlacementInfo
+}
+
+func (s *Server) handlePlacement(*PlacementRequest) (*PlacementReply, error) {
+	return &PlacementReply{Info: s.cluster.Placement()}, nil
+}
+
 // Client is a remote session against a Server.
 type Client struct {
 	rpc *transport.Client
@@ -426,6 +441,15 @@ func (c *Client) Checkpoint() (*CheckpointReply, error) {
 		return nil, err
 	}
 	return &reply, nil
+}
+
+// Placement fetches the cluster's replica placement snapshot.
+func (c *Client) Placement() (*selector.PlacementInfo, error) {
+	var reply PlacementReply
+	if err := c.rpc.Call("placement", &PlacementRequest{}, &reply); err != nil {
+		return nil, err
+	}
+	return &reply.Info, nil
 }
 
 // Faults fetches (and with a non-empty spec, updates) the cluster's

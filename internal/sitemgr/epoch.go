@@ -261,9 +261,12 @@ func (s *Site) applyEpoch(origin int, e *wal.Entry) bool {
 		return false
 	default:
 	}
-	s.net.Account(transport.CatReplication, transport.MsgOverhead+wal.EntryWireSize(e))
+	if s.hosting == nil {
+		s.net.Account(transport.CatReplication, transport.MsgOverhead+wal.EntryWireSize(e))
+	}
 	applyStart := time.Now()
 	var applied uint64
+	var fTxns []wal.EpochTxn
 	s.applyPool.do(func() time.Duration {
 		s.applyMu[origin].Lock()
 		base := s.clock.Get(origin)
@@ -274,15 +277,38 @@ func (s *Site) applyEpoch(origin int, e *wal.Entry) bool {
 				continue // a recovery catch-up already installed this member
 			}
 			t := &e.Txns[j]
-			s.store.Apply(storage.Stamp{Origin: origin, Seq: seq}, t.Writes)
-			s.bumpWatermarks(t.Writes, t.TVV)
+			writes := t.Writes
+			if s.hosting != nil {
+				// Per-destination epoch filtering: install (and charge) only
+				// the member writes this site hosts; the clock still covers
+				// every member (dense svv, see hosting.go).
+				writes = s.filterHosted(writes)
+				if len(writes) > 0 {
+					fTxns = append(fTxns, wal.EpochTxn{TVV: t.TVV, At: t.At, Writes: writes})
+				}
+			}
+			s.store.Apply(storage.Stamp{Origin: origin, Seq: seq}, writes)
+			s.bumpWatermarks(writes, t.TVV)
 			applied++
-			nWrites += len(t.Writes)
+			nWrites += len(writes)
 		}
 		if last > base {
 			s.clock.Advance(origin, last)
 		}
 		s.applyMu[origin].Unlock()
+		if s.hosting != nil && applied > 0 {
+			// One filtered coalesced frame: the site receives the same
+			// delta-encoded epoch format carrying only the members whose
+			// writes it hosts. Fully filtered members need no vector on the
+			// wire — the dense svv advances by the member count, and the
+			// closing vector (in the envelope) covers the dependency gate.
+			// Pricing it through EntryWireSize keeps the partial- and
+			// full-replication accounting byte-comparable.
+			f := *e
+			f.Txns = fTxns
+			s.net.Account(transport.CatReplication,
+				transport.MsgOverhead+wal.EntryWireSize(&f))
+		}
 		if s.cfg.Costs.Zero() || applied == 0 {
 			return 0
 		}

@@ -37,6 +37,9 @@ func (s *Site) BootstrapFrom(peer *Site) {
 		src := peer.store.Table(name)
 		s.store.CreateTable(name)
 		src.ForEachLatest(func(key uint64, data []byte, stamp storage.Stamp) {
+			if s.hosting != nil && !s.Hosts(s.cfg.Partitioner(storage.RowRef{Table: name, Key: key})) {
+				return
+			}
 			s.store.ImportRowIfNewer(name, key, data, stamp, applied)
 		})
 	}
@@ -358,7 +361,11 @@ func (s *Site) CatchUpFrom(offsets []uint64, target vclock.Vector) uint64 {
 						if seq <= base {
 							continue
 						}
-						s.store.Apply(storage.Stamp{Origin: origin, Seq: seq}, e.Txns[j].Writes)
+						writes := e.Txns[j].Writes
+						if s.hosting != nil {
+							writes = s.filterHosted(writes)
+						}
+						s.store.Apply(storage.Stamp{Origin: origin, Seq: seq}, writes)
 						n++
 					}
 					s.clock.Advance(origin, last)
@@ -384,7 +391,11 @@ func (s *Site) CatchUpFrom(offsets []uint64, target vclock.Vector) uint64 {
 					s.applyMu[origin].Unlock()
 					break
 				}
-				s.store.Apply(storage.Stamp{Origin: origin, Seq: seq}, e.Writes)
+				writes := e.Writes
+				if s.hosting != nil {
+					writes = s.filterHosted(writes)
+				}
+				s.store.Apply(storage.Stamp{Origin: origin, Seq: seq}, writes)
 				s.clock.Advance(origin, seq)
 				s.applyMu[origin].Unlock()
 				s.refreshes.Add(1)

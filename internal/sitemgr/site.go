@@ -62,6 +62,16 @@ type Config struct {
 	// replication record per epoch (see epoch.go). Zero disables epochs
 	// and keeps per-transaction commit records.
 	EpochInterval time.Duration
+	// PartialReplication enables per-partition hosting: the site applies
+	// refresh writes only for partitions in its replica set (seeded by
+	// DefaultHosted, adjusted by HostPartition/UnhostPartition) and poisons
+	// reads of non-hosted partitions with ErrNotHosted. The site clock stays
+	// dense — appliers advance past filtered entries — see hosting.go.
+	PartialReplication bool
+	// DefaultHosted is the seed membership function under partial
+	// replication: whether this site hosts part before any explicit
+	// add/drop decision. Required when PartialReplication is set.
+	DefaultHosted func(part uint64) bool
 	// DefaultOwner, when set, gives the owner of partitions this site has
 	// no explicit state for (static-placement systems use their placement
 	// function so writes to never-loaded partitions find their owner).
@@ -100,6 +110,16 @@ var ErrReleasing = errors.New("sitemgr: partition mastership is being released")
 // and mastership operation. Sessions treat it as retryable: the selector
 // re-routes to a surviving site once failover re-masters the partitions.
 var ErrSiteDown = errors.New("sitemgr: site is down")
+
+// ErrSnapshotTooOld poisons a transaction whose read touched a record with
+// no version visible at the begin snapshot even though the record holds
+// versions: the bounded version chain (storage.DefaultMaxVersions) may have
+// evicted the version the snapshot could see, so the miss cannot be trusted
+// — the newest maxVersions installs to a hot row between a transaction's
+// begin and its read are enough to bury its whole visible history. Sessions
+// treat it as retryable: a fresh begin takes a newer snapshot, at which the
+// row's retained versions are visible again.
+var ErrSnapshotTooOld = errors.New("sitemgr: begin snapshot predates the retained version history")
 
 // ErrStaleEpoch is returned when a release/grant carries an epoch older than
 // one that already fenced the partition — the remaster chain lost a race
@@ -160,6 +180,10 @@ type Site struct {
 	pmu   sync.Mutex
 	pcond *sync.Cond
 	parts map[uint64]*partState
+
+	// hosting is the partial-replication membership map (nil = the site
+	// hosts everything and the apply/read hot paths take no extra locks).
+	hosting *hostingState
 
 	prepmu   sync.Mutex
 	prepared map[uint64]*preparedTxn
@@ -260,6 +284,9 @@ func (s *Site) instrument(reg *obs.Registry) {
 	}
 	reg.Func("dynamast_epoch_interval_seconds", obs.KindGauge,
 		func() float64 { return s.cfg.EpochInterval.Seconds() }, site)
+	reg.Help("dynamast_resident_partitions", "Distinct partitions with rows resident at this site.")
+	reg.Func("dynamast_resident_partitions", obs.KindGauge,
+		func() float64 { return float64(s.ResidentPartitions()) }, site)
 	for origin := 0; origin < s.m; origin++ {
 		origin := origin
 		olbl := obs.L("origin", fmt.Sprint(origin))
@@ -311,6 +338,12 @@ func New(cfg Config) (*Site, error) {
 		relMemo:   make(map[uint64]vclock.Vector),
 		grantMemo: make(map[uint64]vclock.Vector),
 		applyMu:   make([]sync.Mutex, cfg.Sites),
+	}
+	if cfg.PartialReplication {
+		s.hosting = &hostingState{
+			def:       cfg.DefaultHosted,
+			overrides: make(map[uint64]bool),
+		}
 	}
 	if cfg.ApplySlots == 0 {
 		cfg.ApplySlots = DefaultApplySlots
@@ -539,16 +572,19 @@ func (s *Site) applyBatch(origin int, batch []wal.Entry) bool {
 			end++
 		}
 		chunk := batch[i:end]
-		var bytes int
-		for j := range chunk {
-			bytes += transport.MsgOverhead +
-				transport.SizeOfVector(chunk[j].TVV) + transport.SizeOfWrites(chunk[j].Writes)
+		if s.hosting == nil {
+			var bytes int
+			for j := range chunk {
+				bytes += transport.MsgOverhead +
+					transport.SizeOfVector(chunk[j].TVV) + transport.SizeOfWrites(chunk[j].Writes)
+			}
+			s.net.Account(transport.CatReplication, bytes)
 		}
-		s.net.Account(transport.CatReplication, bytes)
 		applyStart := time.Now()
 		var applied uint64
 		s.applyPool.do(func() time.Duration {
 			var cost time.Duration
+			var bytes int
 			for j := range chunk {
 				c := &chunk[j]
 				seq := c.TVV[origin]
@@ -560,14 +596,35 @@ func (s *Site) applyBatch(origin int, batch []wal.Entry) bool {
 					s.applyMu[origin].Unlock()
 					continue
 				}
-				s.store.Apply(storage.Stamp{Origin: origin, Seq: seq}, c.Writes)
-				s.bumpWatermarks(c.Writes, c.TVV)
+				writes := c.Writes
+				if s.hosting != nil {
+					// Filter to hosted partitions inside the applyMu critical
+					// section (hosting flips hold all apply mutexes, so the
+					// decision is exactly ordered against them). The clock
+					// still advances past fully filtered entries — the svv
+					// stays dense; see hosting.go.
+					writes = s.filterHosted(writes)
+				}
+				s.store.Apply(storage.Stamp{Origin: origin, Seq: seq}, writes)
+				s.bumpWatermarks(writes, c.TVV)
 				s.clock.Advance(origin, seq)
 				s.applyMu[origin].Unlock()
 				applied++
-				if !s.cfg.Costs.Zero() {
-					cost += s.cfg.Costs.RefreshBase + time.Duration(len(c.Writes))*s.cfg.Costs.PerRefreshWrite
+				if s.hosting != nil {
+					// Per-destination frame filtering: this site receives the
+					// envelope and commit vector (the svv must advance) but
+					// only the write payloads it hosts.
+					bytes += transport.MsgOverhead + transport.SizeOfVector(c.TVV)
+					if len(writes) > 0 {
+						bytes += transport.SizeOfWrites(writes)
+					}
 				}
+				if !s.cfg.Costs.Zero() {
+					cost += s.cfg.Costs.RefreshBase + time.Duration(len(writes))*s.cfg.Costs.PerRefreshWrite
+				}
+			}
+			if bytes > 0 {
+				s.net.Account(transport.CatReplication, bytes)
 			}
 			return cost
 		})

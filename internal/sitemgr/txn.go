@@ -42,6 +42,21 @@ type Txn struct {
 	nReads   int
 	nWrites  int
 	nScanned int
+
+	// hostErr poisons the transaction when a read touched a partition this
+	// site does not host (partial replication): the read returned a miss the
+	// snapshot cannot vouch for, so Commit aborts with ErrNotHosted instead
+	// of letting the caller act on it. notHosted accumulates the offending
+	// partitions so the session can re-route to a site hosting all of them.
+	hostErr   error
+	notHosted []uint64
+
+	// staleErr poisons the transaction when a read missed a record that
+	// holds only versions newer than the begin snapshot — the version the
+	// snapshot could see may have been evicted from the bounded chain, so
+	// the miss is unsound. Commit fails with ErrSnapshotTooOld and the
+	// session retries on a fresher snapshot.
+	staleErr error
 }
 
 // Begin starts a transaction whose write set is writeSet (nil/empty for a
@@ -138,7 +153,11 @@ func (t *Txn) Snapshot() vclock.Vector { return t.snap.Clone() }
 func (t *Txn) ReadOnly() bool { return t.readOnly }
 
 // Read returns the row's value at the transaction's snapshot, observing the
-// transaction's own uncommitted writes first.
+// transaction's own uncommitted writes first. Under partial replication the
+// hosting check and the store read share one hosting read-lock, so a
+// concurrent replica drop (flag flip + purge under the write lock) can never
+// make a hosted read observe a half-purged partition: either the read sees
+// the pre-drop rows, or the check fails and the transaction poisons.
 func (t *Txn) Read(ref storage.RowRef) ([]byte, bool) {
 	t.nReads++
 	if t.writes != nil {
@@ -149,7 +168,90 @@ func (t *Txn) Read(ref storage.RowRef) ([]byte, bool) {
 			return w.Data, true
 		}
 	}
-	return t.site.store.Get(ref, t.snap)
+	s := t.site
+	if h := s.hosting; h != nil {
+		part := s.cfg.Partitioner(ref)
+		h.mu.RLock()
+		if !h.hostsLocked(part) {
+			h.mu.RUnlock()
+			t.poisonNotHosted(part)
+			return nil, false
+		}
+		data, ok, evicted := s.store.GetChecked(ref, t.snap)
+		h.mu.RUnlock()
+		if evicted {
+			t.poisonStale(ref)
+		}
+		return data, ok
+	}
+	data, ok, evicted := s.store.GetChecked(ref, t.snap)
+	if evicted {
+		t.poisonStale(ref)
+	}
+	return data, ok
+}
+
+// poisonStale marks the transaction failed with ErrSnapshotTooOld: a read of
+// ref missed, but only because every retained version of the record is newer
+// than the begin snapshot — the visible one may have been evicted.
+func (t *Txn) poisonStale(ref storage.RowRef) {
+	if t.staleErr == nil {
+		t.staleErr = fmt.Errorf("%v: %w", ref, ErrSnapshotTooOld)
+	}
+}
+
+// SnapshotTooOld reports whether a read poisoned the transaction with
+// ErrSnapshotTooOld; sessions abort and retry on a fresher snapshot.
+func (t *Txn) SnapshotTooOld() bool { return t.staleErr != nil }
+
+// poisonNotHosted marks the transaction failed with ErrNotHosted for part.
+func (t *Txn) poisonNotHosted(part uint64) {
+	if t.hostErr == nil {
+		t.hostErr = fmt.Errorf("partition %d: %w", part, ErrNotHosted)
+	}
+	for _, p := range t.notHosted {
+		if p == part {
+			return
+		}
+	}
+	t.notHosted = append(t.notHosted, part)
+}
+
+// NotHostedParts returns the partitions whose reads poisoned the transaction
+// (empty unless Commit returned ErrNotHosted). Sessions feed them into the
+// read router to pick a site hosting the full set.
+func (t *Txn) NotHostedParts() []uint64 { return t.notHosted }
+
+// scanRangeHosted verifies this site hosts every partition a scan of
+// [lo, hi) can touch, by probing the partitioner across the key range
+// (purged rows are invisible to the scan itself, so the range must be
+// checked, not the results). Ranges too large to probe poison outright —
+// scan-heavy workloads should keep ranges partition-aligned or use full
+// replication. Caller holds the hosting read lock.
+func (t *Txn) scanRangeHosted(table string, lo, hi uint64) bool {
+	const probeCap = 1 << 16
+	s := t.site
+	if hi < lo {
+		return true
+	}
+	if hi-lo > probeCap {
+		t.poisonNotHosted(s.cfg.Partitioner(storage.RowRef{Table: table, Key: lo}))
+		return false
+	}
+	ok := true
+	last, has := uint64(0), false
+	for k := lo; k < hi; k++ {
+		p := s.cfg.Partitioner(storage.RowRef{Table: table, Key: k})
+		if has && p == last {
+			continue
+		}
+		last, has = p, true
+		if !t.site.hosting.hostsLocked(p) {
+			t.poisonNotHosted(p)
+			ok = false
+		}
+	}
+	return ok
 }
 
 // Scan returns the visible rows of table with lo <= key < hi at the
@@ -160,7 +262,17 @@ func (t *Txn) Scan(table string, lo, hi uint64) []storage.KV {
 	if tb == nil {
 		return nil
 	}
-	rows := tb.Scan(lo, hi, t.snap)
+	if h := t.site.hosting; h != nil {
+		h.mu.RLock()
+		defer h.mu.RUnlock()
+		if !t.scanRangeHosted(table, lo, hi) {
+			return nil
+		}
+	}
+	rows, evicted := tb.ScanChecked(lo, hi, t.snap)
+	if evicted {
+		t.poisonStale(storage.RowRef{Table: table, Key: lo})
+	}
 	t.nScanned += len(rows)
 	return rows
 }
@@ -172,10 +284,19 @@ func (t *Txn) ScanEach(table string, lo, hi uint64, fn func(key uint64, data []b
 	if tb == nil {
 		return
 	}
-	tb.ScanKeys(lo, hi, t.snap, func(key uint64, data []byte) bool {
+	if h := t.site.hosting; h != nil {
+		h.mu.RLock()
+		defer h.mu.RUnlock()
+		if !t.scanRangeHosted(table, lo, hi) {
+			return
+		}
+	}
+	if tb.ScanKeys(lo, hi, t.snap, func(key uint64, data []byte) bool {
 		t.nScanned++
 		return fn(key, data)
-	})
+	}) {
+		t.poisonStale(storage.RowRef{Table: table, Key: lo})
+	}
 }
 
 // Write buffers an update to ref, which must be in the declared write set.
@@ -244,6 +365,23 @@ func (t *Txn) Commit() (vclock.Vector, error) {
 	}
 	t.finished = true
 	s := t.site
+	if err := t.hostErr; err != nil || t.staleErr != nil {
+		// A read touched a non-hosted partition, or missed a record whose
+		// visible version may have been evicted from the bounded chain: the
+		// results handed to the caller's logic were unsound (silent misses),
+		// so nothing may commit. Both are retryable — the session re-routes
+		// within the replica set, or re-begins on a fresher snapshot.
+		if err == nil {
+			err = t.staleErr
+		}
+		if !t.readOnly {
+			storage.UnlockAll(t.recs)
+			s.exitWriters(t.parts)
+			s.aborts.Add(1)
+			s.ob.aborts.Inc()
+		}
+		return nil, err
+	}
 	if t.readOnly {
 		return t.snap, nil
 	}
@@ -271,6 +409,15 @@ func (t *Txn) Commit() (vclock.Vector, error) {
 	seq := s.nextSeq.Add(1)
 	tvv := t.snap.Clone()
 	tvv[s.id] = seq
+	var commitID uint64
+	if t.sc.Sampled() {
+		// Register the commit stamp BEFORE the log append publishes the
+		// entry: a replica can apply the refresh the moment the entry is
+		// readable — ahead of this goroutine resuming — and a lookup against
+		// an unregistered stamp silently drops the refresh_apply span.
+		commitID = obs.NewSpanID()
+		s.spans.RegisterStamp(s.id, seq, obs.SpanContext{Trace: t.sc.Trace, Span: commitID})
+	}
 	s.store.Apply(storage.Stamp{Origin: s.id, Seq: seq}, writes)
 	walStart := time.Now()
 	_, err := s.log.Append(wal.Entry{
@@ -301,12 +448,11 @@ func (t *Txn) Commit() (vclock.Vector, error) {
 	commitDur := time.Since(start)
 	s.ob.commitDur.ObserveDuration(commitDur)
 	if t.sc.Sampled() {
-		// Record the commit critical section and its WAL append as spans,
-		// and register the commit stamp (origin, seq): when remote sites
-		// apply this commit as a refresh transaction they look the stamp up
-		// and attach their refresh_apply spans under the commit span,
-		// closing the trace's cross-site causal edge.
-		commitID := obs.NewSpanID()
+		// Record the commit critical section and its WAL append as spans
+		// under the commit span id the stamp was registered with above: when
+		// remote sites apply this commit as a refresh transaction they look
+		// the stamp up and attach their refresh_apply spans under the commit
+		// span, closing the trace's cross-site causal edge.
 		s.spans.Record(obs.Span{
 			Trace: t.sc.Trace, ID: commitID, Parent: t.sc.Span,
 			Name: "commit", Site: s.id, Start: start, Dur: commitDur,
@@ -315,7 +461,6 @@ func (t *Txn) Commit() (vclock.Vector, error) {
 			Trace: t.sc.Trace, Parent: commitID,
 			Name: "wal_flush", Site: s.id, Start: walStart, Dur: t.walPublish,
 		})
-		s.spans.RegisterStamp(s.id, seq, obs.SpanContext{Trace: t.sc.Trace, Span: commitID})
 	}
 	return tvv, nil
 }
@@ -354,6 +499,15 @@ func (t *Txn) commitEpoch(writes []storage.Write, start time.Time) (vclock.Vecto
 	seq := s.nextSeq.Add(1)
 	tvv := t.snap.Clone()
 	tvv[s.id] = seq
+	var commitID uint64
+	if t.sc.Sampled() {
+		// Register the commit stamp BEFORE the member enters the epoch
+		// buffer: a concurrent seal can ship it immediately, and a replica
+		// applying the epoch against an unregistered stamp would silently
+		// drop the refresh_apply span.
+		commitID = obs.NewSpanID()
+		s.spans.RegisterStamp(s.id, seq, obs.SpanContext{Trace: t.sc.Trace, Span: commitID})
+	}
 	s.store.Apply(storage.Stamp{Origin: s.id, Seq: seq}, writes)
 	s.bufferEpochTxn(seq, tvv, start, writes)
 	s.commitMu.Unlock()
@@ -381,7 +535,6 @@ func (t *Txn) commitEpoch(writes []storage.Write, start time.Time) (vclock.Vecto
 	commitDur := time.Since(start)
 	s.ob.commitDur.ObserveDuration(commitDur)
 	if t.sc.Sampled() {
-		commitID := obs.NewSpanID()
 		s.spans.Record(obs.Span{
 			Trace: t.sc.Trace, ID: commitID, Parent: t.sc.Span,
 			Name: "commit", Site: s.id, Start: start, Dur: commitDur,
@@ -390,7 +543,6 @@ func (t *Txn) commitEpoch(writes []storage.Write, start time.Time) (vclock.Vecto
 			Trace: t.sc.Trace, Parent: commitID,
 			Name: "wal_flush", Site: s.id, Start: start, Dur: t.walPublish,
 		})
-		s.spans.RegisterStamp(s.id, seq, obs.SpanContext{Trace: t.sc.Trace, Span: commitID})
 	}
 	return tvv, nil
 }

@@ -94,17 +94,29 @@ func (r *Record) Install(stamp Stamp, data []byte, deleted bool, maxVersions int
 // Read returns the newest version visible at snap. ok is false if no
 // visible version exists or the visible version is a tombstone.
 func (r *Record) Read(snap vclock.Vector) (data []byte, ok bool) {
+	data, ok, _ = r.ReadChecked(snap)
+	return data, ok
+}
+
+// ReadChecked is Read distinguishing a clean miss from an evicted one:
+// evicted is true when the record holds versions but none is visible at
+// snap, meaning either the key was created after the snapshot or — the case
+// callers must not ignore — the version the snapshot could see was trimmed
+// off the bounded chain by newer installs. A transaction receiving
+// evicted=true cannot trust the miss and should retry on a fresher
+// snapshot. A visible tombstone is a clean miss, not an eviction.
+func (r *Record) ReadChecked(snap vclock.Vector) (data []byte, ok, evicted bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for _, v := range r.versions {
 		if v.stamp.VisibleAt(snap) {
 			if v.deleted {
-				return nil, false
+				return nil, false, false
 			}
-			return v.data, true
+			return v.data, true, false
 		}
 	}
-	return nil, false
+	return nil, false, len(r.versions) > 0
 }
 
 // ReadLatest returns the newest version regardless of snapshot; used for
@@ -116,6 +128,17 @@ func (r *Record) ReadLatest() (data []byte, stamp Stamp, ok bool) {
 		return nil, Stamp{}, false
 	}
 	return r.versions[0].data, r.versions[0].stamp, true
+}
+
+// HeadStamp returns the stamp of the newest version (tombstone or not);
+// ok is false only for records with no versions at all.
+func (r *Record) HeadStamp() (Stamp, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.versions) == 0 {
+		return Stamp{}, false
+	}
+	return r.versions[0].stamp, true
 }
 
 // VersionCount returns the current length of the version chain.

@@ -118,3 +118,30 @@ func (s *Store) ImportRowIfNewer(table string, key uint64, data []byte, stamp St
 	r.Install(stamp, data, false, s.maxVersions)
 	return true
 }
+
+// ImportRowSuperseding installs a row exported from another store, guarded
+// against shadowing newer local state: the import proceeds only when the
+// record is empty, or when the local head version was already contained in
+// the exporter's snapshot (srcVV) — meaning the exported version is at least
+// as new as anything held here. A local head NOT visible at srcVV is ahead
+// of the exporter (it arrived through a path the exporter had not observed)
+// and must not be buried; version chains are newest-first, so a late stale
+// install would poison every subsequent snapshot read. Replica-add
+// bootstraps and recovery re-bootstraps use this: unlike ImportRowIfNewer's
+// applied-vector guard, it stays correct when the importer's clock covers
+// sequences whose writes were filtered out (partial replication advances the
+// svv past skipped entries).
+func (s *Store) ImportRowSuperseding(table string, key uint64, data []byte, stamp Stamp, srcVV vclock.Vector) bool {
+	t := s.CreateTable(table)
+	r := t.Record(key, true)
+	if head, ok := r.HeadStamp(); ok {
+		if head == stamp {
+			return false // exactly this version is already installed
+		}
+		if !head.VisibleAt(srcVV) {
+			return false // local state is ahead of the exporter
+		}
+	}
+	r.Install(stamp, data, false, s.maxVersions)
+	return true
+}

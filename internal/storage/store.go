@@ -162,6 +162,33 @@ func (s *Store) Get(ref RowRef, snap vclock.Vector) ([]byte, bool) {
 	return t.Get(ref.Key, snap)
 }
 
+// GetChecked is Get distinguishing a clean miss from one caused by version
+// eviction (see Record.ReadChecked).
+func (s *Store) GetChecked(ref RowRef, snap vclock.Vector) (data []byte, ok, evicted bool) {
+	t := s.Table(ref.Table)
+	if t == nil {
+		return nil, false, false
+	}
+	return t.GetChecked(ref.Key, snap)
+}
+
+// PurgeMatching removes every record whose reference matches, across all
+// tables, and returns how many were dropped. Partial replication uses it to
+// evict a partition's rows when a site drops out of the replica set; the
+// caller is responsible for excluding concurrent readers of the purged rows
+// (the site manager holds its hosting lock across check-and-read).
+func (s *Store) PurgeMatching(match func(RowRef) bool) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for name, t := range s.tables {
+		n += t.RemoveMatching(func(key uint64) bool {
+			return match(RowRef{Table: name, Key: key})
+		})
+	}
+	return n
+}
+
 // RowCount returns the total number of records across all tables.
 func (s *Store) RowCount() int {
 	s.mu.RLock()

@@ -72,6 +72,16 @@ func (t *Table) Get(key uint64, snap vclock.Vector) ([]byte, bool) {
 	return r.Read(snap)
 }
 
+// GetChecked is Get distinguishing a clean miss from one caused by version
+// eviction (see Record.ReadChecked); a missing record is a clean miss.
+func (t *Table) GetChecked(key uint64, snap vclock.Vector) (data []byte, ok, evicted bool) {
+	r := t.Record(key, false)
+	if r == nil {
+		return nil, false, false
+	}
+	return r.ReadChecked(snap)
+}
+
 // GetLatest reads the newest committed version of key.
 func (t *Table) GetLatest(key uint64) ([]byte, Stamp, bool) {
 	r := t.Record(key, false)
@@ -90,42 +100,59 @@ type KV struct {
 // Scan returns all visible rows with lo <= key < hi at snapshot snap, in
 // key order.
 func (t *Table) Scan(lo, hi uint64, snap vclock.Vector) []KV {
-	var out []KV
+	out, _ := t.ScanChecked(lo, hi, snap)
+	return out
+}
+
+// ScanChecked is Scan also reporting whether any skipped record was an
+// eviction miss rather than a clean one (see Record.ReadChecked): a row the
+// snapshot should see may have been trimmed off its bounded version chain,
+// so the scan result cannot be trusted and the caller should retry on a
+// fresher snapshot.
+func (t *Table) ScanChecked(lo, hi uint64, snap vclock.Vector) (out []KV, evicted bool) {
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.mu.RLock()
 		start := sort.Search(len(s.keys), func(j int) bool { return s.keys[j] >= lo })
 		for j := start; j < len(s.keys) && s.keys[j] < hi; j++ {
 			k := s.keys[j]
-			if data, ok := s.recs[k].Read(snap); ok {
+			data, ok, ev := s.recs[k].ReadChecked(snap)
+			if ok {
 				out = append(out, KV{Key: k, Value: data})
+			} else if ev {
+				evicted = true
 			}
 		}
 		s.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	return out
+	return out, evicted
 }
 
 // ScanKeys calls fn for each visible row in [lo, hi) in shard order
 // (not globally sorted); fn returning false stops the scan early. It avoids
-// the allocation and sort of Scan for aggregate-style consumers.
-func (t *Table) ScanKeys(lo, hi uint64, snap vclock.Vector, fn func(key uint64, data []byte) bool) {
+// the allocation and sort of Scan for aggregate-style consumers. The
+// returned evicted flag is ScanChecked's.
+func (t *Table) ScanKeys(lo, hi uint64, snap vclock.Vector, fn func(key uint64, data []byte) bool) (evicted bool) {
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.mu.RLock()
 		start := sort.Search(len(s.keys), func(j int) bool { return s.keys[j] >= lo })
 		for j := start; j < len(s.keys) && s.keys[j] < hi; j++ {
 			k := s.keys[j]
-			if data, ok := s.recs[k].Read(snap); ok {
+			data, ok, ev := s.recs[k].ReadChecked(snap)
+			if ok {
 				if !fn(k, data) {
 					s.mu.RUnlock()
-					return
+					return evicted
 				}
+			} else if ev {
+				evicted = true
 			}
 		}
 		s.mu.RUnlock()
 	}
+	return evicted
 }
 
 // Keys returns the number of records (of any visibility) in the table.
@@ -138,6 +165,29 @@ func (t *Table) Keys() int {
 		s.mu.RUnlock()
 	}
 	return n
+}
+
+// RemoveMatching deletes every record whose key matches and returns how
+// many were removed. Callers must exclude concurrent readers of the removed
+// keys; lookups racing the removal see either the record or a clean miss.
+func (t *Table) RemoveMatching(match func(key uint64) bool) int {
+	removed := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		kept := s.keys[:0]
+		for _, k := range s.keys {
+			if match(k) {
+				delete(s.recs, k)
+				removed++
+				continue
+			}
+			kept = append(kept, k)
+		}
+		s.keys = kept
+		s.mu.Unlock()
+	}
+	return removed
 }
 
 // ForEachLatest iterates every record's newest version; used to bootstrap a
