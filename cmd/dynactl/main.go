@@ -17,11 +17,13 @@
 //	checkpoint                         take a checkpoint now: snapshots every
 //	                                   site and truncates the covered WAL
 //	                                   prefix (requires -wal-dir on the daemon)
-//	placement                          replica placement snapshot: per-partition
+//	placement [-shard N]               replica placement snapshot: per-partition
 //	                                   replica sets and masters, per-site
 //	                                   resident-partition counts, and the recent
 //	                                   replica add/drop decisions (partial
-//	                                   replication; see -replication-factor)
+//	                                   replication; see -replication-factor).
+//	                                   With -shard N, only partitions owned by
+//	                                   router shard N (see -selector-shards)
 //	faults [set <spec> | off]          show, replace ("category:kind:prob
 //	                                   [:delay]", comma-separated) or clear
 //	                                   the cluster's fault-injection rules
@@ -46,11 +48,16 @@
 //	                                   window, mean txns per epoch, and the
 //	                                   replication bytes the delta-coalesced
 //	                                   frames saved
-//	selector                           selector control-plane HA status: the
-//	                                   node holding the leadership lease, the
-//	                                   lease epoch, standby delta-feed lag,
-//	                                   leader-change/renewal/expiry counts and
-//	                                   mean promotion latency
+//	selector                           selector control-plane status. Single
+//	                                   router: the node holding the leadership
+//	                                   lease, lease epoch, standby delta-feed
+//	                                   lag, leader-change/renewal/expiry counts
+//	                                   and mean promotion latency. Sharded
+//	                                   (-selector-shards > 1): one row per
+//	                                   router shard — leaseholder, lease epoch,
+//	                                   standby lag, partitions owned and
+//	                                   routes/sec — plus cross-shard and
+//	                                   placement-cache counters
 package main
 
 import (
@@ -68,6 +75,7 @@ import (
 	"time"
 
 	"dynamast/internal/obs"
+	"dynamast/internal/selector"
 	"dynamast/internal/server"
 	"dynamast/internal/storage"
 )
@@ -318,7 +326,8 @@ func runEpochs(addr string) error {
 	return nil
 }
 
-// selectorStats is one scrape of the selector-HA metric family.
+// selectorStats is one scrape of the selector-HA metric family for one
+// router shard (or the whole selector when the control plane is unsharded).
 type selectorStats struct {
 	present    bool    // any HA-family series seen (the shard/partition gauges share the prefix but exist without a lease)
 	leader     float64 // dynamast_selector_leader (0 = initial master, i+1 = standby i)
@@ -329,74 +338,136 @@ type selectorStats struct {
 	lag        float64 // dynamast_selector_standby_lag
 	promoteSum float64 // dynamast_selector_promotion_seconds_sum
 	promoteCnt float64 // dynamast_selector_promotion_seconds_count
+	routes     float64 // dynamast_selector_shard_routes_total
+	partitions float64 // dynamast_selector_shard_partitions
+	remasters  float64 // dynamast_selector_shard_remasters_total
 }
 
-// scrapeSelectorStats pulls /metrics and folds the dynamast_selector_* series.
-func scrapeSelectorStats(addr string) (selectorStats, error) {
-	var st selectorStats
+// selectorScrape is one scrape of the selector control plane: the shard
+// count, per-shard HA/routing series keyed by shard index (-1 = unlabeled,
+// i.e. a single-router deployment), and the cross-shard/cache counters.
+type selectorScrape struct {
+	shards      int
+	shard       map[int]*selectorStats
+	crossWrites float64 // dynamast_selector_shard_cross_writes_total
+	crossHints  float64 // dynamast_selector_shard_cross_hints_total
+	cacheRoutes float64 // dynamast_selector_cache_routes_total{type="all"}
+	cacheMisses float64 // dynamast_selector_cache_misses_total
+	cacheStale  float64 // dynamast_selector_cache_stale_writes_total
+	cacheSize   float64 // dynamast_selector_cache_entries
+}
+
+func (sc *selectorScrape) at(shard int) *selectorStats {
+	st := sc.shard[shard]
+	if st == nil {
+		st = &selectorStats{}
+		sc.shard[shard] = st
+	}
+	return st
+}
+
+// parseProm splits one Prometheus exposition line into name, labels, value.
+func parseProm(line string) (name string, labels map[string]string, v float64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return "", nil, 0, false
+	}
+	v, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return "", nil, 0, false
+	}
+	name = fields[0]
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		rest := strings.TrimSuffix(name[i+1:], "}")
+		name = name[:i]
+		labels = make(map[string]string)
+		for _, pair := range strings.Split(rest, ",") {
+			k, val, found := strings.Cut(pair, "=")
+			if found {
+				labels[k] = strings.Trim(val, `"`)
+			}
+		}
+	}
+	return name, labels, v, true
+}
+
+// scrapeSelectorStats pulls /metrics and folds every dynamast_selector_*
+// series into a per-shard view.
+func scrapeSelectorStats(addr string) (*selectorScrape, error) {
+	sc := &selectorScrape{shard: make(map[int]*selectorStats)}
 	resp, err := http.Get("http://" + addr + "/metrics")
 	if err != nil {
-		return st, err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return st, fmt.Errorf("/metrics: %s", resp.Status)
+		return nil, fmt.Errorf("/metrics: %s", resp.Status)
 	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return st, err
+		return nil, err
 	}
 	for _, line := range strings.Split(string(body), "\n") {
 		if !strings.HasPrefix(line, "dynamast_selector_") {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
+		name, labels, v, ok := parseProm(line)
+		if !ok {
 			continue
 		}
-		name := fields[0]
-		if i := strings.IndexByte(name, '{'); i >= 0 {
-			name = name[:i]
-		}
-		v, err := strconv.ParseFloat(fields[1], 64)
-		if err != nil {
-			continue
+		shard := -1
+		if s, found := labels["shard"]; found {
+			if n, err := strconv.Atoi(s); err == nil {
+				shard = n
+			}
 		}
 		switch name {
+		case "dynamast_selector_shards":
+			sc.shards = int(v)
 		case "dynamast_selector_leader":
-			st.present = true
-			st.leader = v
+			sc.at(shard).present = true
+			sc.at(shard).leader = v
 		case "dynamast_selector_leader_changes_total":
-			st.changes = v
+			sc.at(shard).changes = v
 		case "dynamast_selector_lease_epoch":
-			st.epoch = v
+			sc.at(shard).epoch = v
 		case "dynamast_selector_lease_renewals_total":
-			st.renewals = v
+			sc.at(shard).renewals = v
 		case "dynamast_selector_lease_expiries_total":
-			st.expiries = v
+			sc.at(shard).expiries = v
 		case "dynamast_selector_standby_lag":
-			st.lag = v
+			sc.at(shard).lag = v
 		case "dynamast_selector_promotion_seconds_sum":
-			st.promoteSum = v
+			sc.at(shard).promoteSum = v
 		case "dynamast_selector_promotion_seconds_count":
-			st.promoteCnt = v
+			sc.at(shard).promoteCnt = v
+		case "dynamast_selector_shard_routes_total":
+			sc.at(shard).routes = v
+		case "dynamast_selector_shard_partitions":
+			sc.at(shard).partitions = v
+		case "dynamast_selector_shard_remasters_total":
+			sc.at(shard).remasters = v
+		case "dynamast_selector_shard_cross_writes_total":
+			sc.crossWrites = v
+		case "dynamast_selector_shard_cross_hints_total":
+			sc.crossHints = v
+		case "dynamast_selector_cache_routes_total":
+			if labels["type"] == "all" {
+				sc.cacheRoutes = v
+			}
+		case "dynamast_selector_cache_misses_total":
+			sc.cacheMisses = v
+		case "dynamast_selector_cache_stale_writes_total":
+			sc.cacheStale = v
+		case "dynamast_selector_cache_entries":
+			sc.cacheSize = v
 		}
 	}
-	return st, nil
+	return sc, nil
 }
 
-// runSelector scrapes the selector-HA metrics and prints the control plane's
-// leadership state: who holds the lease, how fresh the standbys are, and how
-// often (and how fast) leadership has moved.
-func runSelector(addr string) error {
-	st, err := scrapeSelectorStats(addr)
-	if err != nil {
-		return err
-	}
-	if !st.present {
-		fmt.Println("selector HA: disabled (-selector-lease 0)")
-		return nil
-	}
+// printLeaseStats renders one shard's (or the single selector's) lease view.
+func printLeaseStats(st *selectorStats) {
 	who := "initial master"
 	if st.leader > 0 {
 		who = fmt.Sprintf("promoted standby %d", int(st.leader)-1)
@@ -411,6 +482,76 @@ func runSelector(addr string) error {
 		mean := time.Duration(st.promoteSum / st.promoteCnt * float64(time.Second))
 		fmt.Printf("mean promotion:   %v over %.0f failover(s)\n", mean.Round(time.Microsecond), st.promoteCnt)
 	}
+}
+
+// runSelector scrapes the selector metrics and prints the control plane's
+// state. For a sharded control plane it scrapes twice about a second apart
+// and prints one row per router shard — leaseholder, lease epoch, standby
+// lag, partitions owned, and routes/sec over the window — plus the
+// cross-shard and placement-cache counters. For a single router it prints
+// the classic HA leadership view.
+func runSelector(addr string) error {
+	before, err := scrapeSelectorStats(addr)
+	if err != nil {
+		return err
+	}
+	if before.shards <= 1 {
+		st := before.shard[-1]
+		if st == nil || !st.present {
+			fmt.Println("selector HA: disabled (-selector-lease 0)")
+			return nil
+		}
+		printLeaseStats(st)
+		return nil
+	}
+
+	start := time.Now()
+	time.Sleep(time.Second)
+	after, err := scrapeSelectorStats(addr)
+	if err != nil {
+		return err
+	}
+	window := time.Since(start).Seconds()
+
+	haOn := false
+	for _, st := range after.shard {
+		if st.present {
+			haOn = true
+		}
+	}
+	fmt.Printf("selector control plane: %d router shards", after.shards)
+	if !haOn {
+		fmt.Print(" (no lease; -selector-lease 0)")
+	}
+	fmt.Println()
+	fmt.Printf("%-6s %-24s %-12s %-12s %-11s %s\n",
+		"shard", "leaseholder", "lease epoch", "standby lag", "partitions", "routes/s")
+	for i := 0; i < after.shards; i++ {
+		st := after.shard[i]
+		if st == nil {
+			continue
+		}
+		holder, epoch, lag := "-", "-", "-"
+		if st.present {
+			holder = "node 0 (initial master)"
+			if st.leader > 0 {
+				holder = fmt.Sprintf("node %d (standby %d)", int(st.leader), int(st.leader)-1)
+			}
+			epoch = fmt.Sprintf("%.0f", st.epoch)
+			lag = fmt.Sprintf("%.0f", st.lag)
+		}
+		rate := st.routes
+		if prev := before.shard[i]; prev != nil {
+			rate = (st.routes - prev.routes) / window
+		}
+		fmt.Printf("%-6d %-24s %-12s %-12s %-11.0f %.1f\n",
+			i, holder, epoch, lag, st.partitions, rate)
+	}
+	fmt.Printf("cross-shard writes: %.0f, co-access hints exchanged: %.0f\n",
+		after.crossWrites, after.crossHints)
+	fmt.Printf("placement cache:    %.0f entries, %.0f cached routes (%.1f/s), %.0f misses, %.0f stale writes resubmitted\n",
+		after.cacheSize, after.cacheRoutes, (after.cacheRoutes-before.cacheRoutes)/window,
+		after.cacheMisses, after.cacheStale)
 	return nil
 }
 
@@ -545,12 +686,27 @@ func run(cl *server.Client, cmd string, args []string) error {
 		return nil
 
 	case "placement":
-		if len(args) != 0 {
-			return fmt.Errorf("usage: placement")
+		shard := -1
+		switch {
+		case len(args) == 0: // whole cluster
+		case len(args) == 2 && args[0] == "-shard":
+			v, err := strconv.Atoi(args[1])
+			if err != nil || v < 0 {
+				return fmt.Errorf("usage: placement [-shard N]")
+			}
+			shard = v
+		default:
+			return fmt.Errorf("usage: placement [-shard N]")
 		}
 		info, err := cl.Placement()
 		if err != nil {
 			return err
+		}
+		if shard >= 0 && info.Shards <= 1 {
+			return fmt.Errorf("-shard %d: the selector control plane is not sharded (-selector-shards 1)", shard)
+		}
+		if shard >= info.Shards && info.Shards > 1 {
+			return fmt.Errorf("-shard %d: only %d router shards", shard, info.Shards)
 		}
 		if info.FullReplication {
 			fmt.Println("placement: full replication (every partition on every site)")
@@ -558,17 +714,34 @@ func run(cl *server.Client, cmd string, args []string) error {
 			fmt.Printf("placement: partial replication, factor [%d, %d]\n",
 				info.MinReplicas, info.MaxReplicas)
 		}
+		if info.Shards > 1 {
+			if shard >= 0 {
+				fmt.Printf("router shards: %d (showing shard %d only)\n", info.Shards, shard)
+			} else {
+				fmt.Printf("router shards: %d\n", info.Shards)
+			}
+		}
 		fmt.Printf("resident partitions per site: %v\n", info.Residency)
-		if len(info.Partitions) > 0 {
-			parts := make([]uint64, 0, len(info.Partitions))
-			for p := range info.Partitions {
-				parts = append(parts, p)
+		parts := make([]uint64, 0, len(info.Masters))
+		for p := range info.Masters {
+			if shard >= 0 && selector.RouterShardOf(p, info.Shards) != shard {
+				continue
 			}
-			sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
-			for _, p := range parts {
-				fmt.Printf("partition %-6d master=%-3d replicas=%v\n",
-					p, info.Masters[p], info.Partitions[p])
+			parts = append(parts, p)
+		}
+		sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+		for _, p := range parts {
+			if reps, ok := info.Partitions[p]; ok {
+				fmt.Printf("partition %-6d master=%-3d replicas=%v", p, info.Masters[p], reps)
+			} else if shard >= 0 {
+				fmt.Printf("partition %-6d master=%-3d", p, info.Masters[p])
+			} else {
+				continue // full replication, cluster-wide view: masters-only rows add noise
 			}
+			if info.Shards > 1 {
+				fmt.Printf(" shard=%d", selector.RouterShardOf(p, info.Shards))
+			}
+			fmt.Println()
 		}
 		fmt.Printf("replica adds: %d, drops: %d\n", info.Adds, info.Drops)
 		for _, d := range info.Decisions {

@@ -140,6 +140,7 @@ func WithCheckpointEvery(d time.Duration) Option      { return core.WithCheckpoi
 func WithCheckpointEveryRecords(n uint64) Option      { return core.WithCheckpointEveryRecords(n) }
 func WithFailureDetection(fd FailureDetection) Option { return core.WithFailureDetection(fd) }
 func WithSelectorReplicas(n int) Option               { return core.WithSelectorReplicas(n) }
+func WithSelectorShards(n int) Option                 { return core.WithSelectorShards(n) }
 func WithSelectorLease(d time.Duration) Option        { return core.WithSelectorLease(d) }
 func WithSeed(seed int64) Option                      { return core.WithSeed(seed) }
 func WithTraceSampling(n int) Option                  { return core.WithTraceSampling(n) }

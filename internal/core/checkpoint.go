@@ -172,9 +172,9 @@ func (c *Cluster) checkpointLocked() (*checkpoint.Manifest, error) {
 	for o := 0; o < n; o++ {
 		m.FoldOffsets[o] = c.broker.Log(o).Len()
 	}
-	m.Placement, m.PlacementEpochs = c.leader().PlacementSnapshot()
-	m.ReplicaSets = c.leader().PlacementTable()
-	m.MaxEpoch = c.leader().CurrentEpoch()
+	m.Placement, m.PlacementEpochs = c.group.PlacementSnapshot()
+	m.ReplicaSets = c.group.PlacementTable()
+	m.MaxEpoch = c.group.CurrentEpoch()
 	for _, e := range m.PlacementEpochs {
 		if e > m.MaxEpoch {
 			m.MaxEpoch = e
@@ -313,8 +313,8 @@ func (c *Cluster) recover(initialPlacement map[uint64]int) error {
 		// capture are not journaled; the master-hosting reconciliation below
 		// redoes lost adds that matter, and lost drops merely resurrect a
 		// replica the controller can re-drop.
-		if c.leader().PartialPlacement() && len(m.ReplicaSets) > 0 {
-			c.leader().AdoptReplicaSets(m.ReplicaSets)
+		if c.group.PartialPlacement() && len(m.ReplicaSets) > 0 {
+			c.group.AdoptReplicaSets(m.ReplicaSets)
 			for i, s := range c.sites {
 				hosted := make(map[uint64]bool, len(m.ReplicaSets))
 				for p, set := range m.ReplicaSets {
@@ -407,19 +407,19 @@ func (c *Cluster) recover(initialPlacement map[uint64]int) error {
 	// Epochs allocated after recovery must out-fence everything logged
 	// before the crash, or stale pre-crash grants could win arbitration
 	// against fresh remaster chains.
-	c.leader().BumpEpoch(maxEpoch)
+	c.group.BumpEpoch(maxEpoch)
 	for _, s := range c.sites {
 		s.AdoptMastership(owner)
 	}
 	for p, site := range owner {
-		c.leader().RegisterPartitionEpoch(p, site, maxEpoch)
+		c.group.RegisterPartitionEpoch(p, site, maxEpoch)
 	}
 	// Partial replication: a master must host what it masters. Mastership
 	// folds from the WAL (grants are journaled) but membership folds to the
 	// checkpoint capture (adds are not), so a partition granted after the
 	// capture can recover with its master outside the hosting set. Re-add
 	// the copy before traffic routes there.
-	if c.leader().PartialPlacement() {
+	if c.group.PartialPlacement() {
 		for p, site := range owner {
 			if site >= 0 && site < len(c.sites) && !c.sites[site].Hosts(p) {
 				if err := c.AddReplica(p, site); err != nil {

@@ -68,6 +68,15 @@ type Config struct {
 	// locally at the replica and only remastering decisions reach the
 	// master selector. 0 keeps the stand-alone selector.
 	SelectorReplicas int
+	// SelectorShards, when above 1, splits the selector control plane into
+	// that many independent router shards, each owning a contiguous range
+	// of the partition-id hash space (selector.RouterShardOf) with its own
+	// routing loop, statistics stripes, placement controller, and — under
+	// SelectorLease — its own lease and remaster-epoch allocator. Sessions
+	// route reads (and optimistically route writes) off a gossiped
+	// placement cache without touching any router. 0 or 1 keeps the single
+	// router. Use WithSelectorShards.
+	SelectorShards int
 	// SelectorLease, when positive, puts the selector tier under
 	// lease-based leadership (high availability): the replicas double as
 	// hot standbys fed by the leader's metadata delta stream, the leader
@@ -133,15 +142,17 @@ type Cluster struct {
 	net    *transport.Network
 	broker *wal.Broker
 	sites  []*sitemgr.Site
-	sel    *selector.Selector
-	repl   *selector.Replicated
+	sel    *selector.Selector   // shard 0's initial master (compat accessor)
+	repl   *selector.Replicated // shard 0's replica tier (compat accessor)
+	repls  []*selector.Replicated
+	group  *selector.Group
 
 	breakdown Breakdown
 	sessions  atomic.Uint64
 
 	// Partial replication (see placement.go).
-	placeMu  sync.Mutex // serializes replica adds/drops
-	placeCtl *selector.PlacementController
+	placeMu   sync.Mutex // serializes replica adds/drops
+	placeCtls []*selector.PlacementController
 
 	// Failure handling (see failure.go).
 	failoverMu  sync.Mutex
@@ -302,41 +313,96 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.sites[i], dsites[i] = s, s
 	}
 
-	selCfg := selector.Config{
-		Sites:         dsites,
-		Partitioner:   cfg.Partitioner,
-		InitialMaster: initial,
-		Weights:       cfg.Weights,
-		Stats:         cfg.Stats,
-		Net:           c.net,
-		Seed:          cfg.Seed,
-		MinReplicas:   minRF,
-		MaxReplicas:   maxRF,
-		Obs:           c.obs,
-		Spans:         c.spans,
+	shards := cfg.SelectorShards
+	if shards <= 0 {
+		shards = 1
 	}
-	c.sel, err = selector.New(selCfg)
-	if err != nil {
+	if shards > selector.MaxRouterShards {
 		c.broker.Close()
-		return nil, err
-	}
-	if partial {
-		c.sel.SetReplicaEnsurer(c.ensureHostedAll)
+		return nil, fmt.Errorf("core: SelectorShards %d exceeds the maximum %d",
+			shards, selector.MaxRouterShards)
 	}
 
 	replicas := cfg.SelectorReplicas
 	if cfg.SelectorLease > 0 && replicas == 0 {
 		replicas = 2 // HA needs standbys; two matches the paper's testbed headroom
 	}
-	c.repl = selector.NewReplicated(c.sel, replicas, c.net)
-	if cfg.SelectorLease > 0 {
-		if _, err := c.repl.EnableHA(selCfg, selector.HAConfig{
-			Lease:  cfg.SelectorLease,
-			Broker: c.broker,
-			Obs:    c.obs,
-		}); err != nil {
+
+	// One selector + replica tier per router shard. Single-shard
+	// deployments keep the pre-sharding construction byte for byte: the
+	// selector registers its own metrics and no shard hooks are installed.
+	// Sharded deployments give each shard's selector the group hooks —
+	// ownership guard, foreign-master resolution, group-wide stats and
+	// load — and leave per-selector metrics to the group's shard-labeled
+	// collectors (unlabeled re-registrations would collide).
+	c.repls = make([]*selector.Replicated, shards)
+	selCfgs := make([]selector.Config, shards)
+	for i := 0; i < shards; i++ {
+		selCfg := selector.Config{
+			Sites:         dsites,
+			Partitioner:   cfg.Partitioner,
+			InitialMaster: initial,
+			Weights:       cfg.Weights,
+			Stats:         cfg.Stats,
+			Net:           c.net,
+			Seed:          cfg.Seed + int64(i),
+			MinReplicas:   minRF,
+			MaxReplicas:   maxRF,
+			Spans:         c.spans,
+			Hooks:         selector.GroupHooks(i, shards, func() *selector.Group { return c.group }),
+		}
+		if shards == 1 {
+			selCfg.Obs = c.obs
+		}
+		sel, err := selector.New(selCfg)
+		if err != nil {
 			c.broker.Close()
 			return nil, err
+		}
+		if partial {
+			sel.SetReplicaEnsurer(c.ensureHostedAll)
+		}
+		c.repls[i] = selector.NewReplicated(sel, replicas, c.net)
+		selCfgs[i] = selCfg
+	}
+	c.sel = c.repls[0].Master
+	c.repl = c.repls[0]
+
+	// The group dispatches control-plane calls by partition owner and runs
+	// the gossiped placement cache; with one shard it is pure pass-through.
+	// Built before EnableHA so every shard's lease goroutine starts after
+	// c.group is assigned (the hooks read it).
+	c.group, err = selector.NewGroup(selector.GroupConfig{
+		Shards:         c.repls,
+		Cache:          shards > 1,
+		GossipInterval: cfg.PlacementInterval, // reuse the placement cadence knob; 0 = default
+		Obs:            c.obs,
+	})
+	if err != nil {
+		c.broker.Close()
+		return nil, err
+	}
+
+	if cfg.SelectorLease > 0 {
+		// Each shard holds its own lease: one key of a shared keyed store,
+		// doubling as that shard's remaster-epoch allocator. A shard
+		// promotion fences and folds only its own partition range.
+		leases := selector.NewKeyedLeaseStore(cfg.SelectorLease, c.net, shards)
+		for i := 0; i < shards; i++ {
+			ha := selector.HAConfig{
+				Lease:  cfg.SelectorLease,
+				Broker: c.broker,
+				Obs:    c.obs,
+			}
+			if shards > 1 {
+				ha.Store = leases.View(i)
+				ha.Shard = i
+				ha.Shards = shards
+			}
+			if _, err := c.repls[i].EnableHA(selCfgs[i], ha); err != nil {
+				c.broker.Close()
+				return nil, err
+			}
 		}
 	}
 	c.instrument()
@@ -360,8 +426,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		s.Start()
 	}
 	if partial {
-		c.placeCtl = selector.NewPlacementController(c.leader, c, cfg.PlacementPolicy, cfg.PlacementInterval)
-		c.placeCtl.Start()
+		// One controller per shard: each decides placement only for the
+		// partitions its shard masters (a shard's PlacementSnapshot holds
+		// nothing else).
+		for i := 0; i < shards; i++ {
+			i := i
+			ctl := selector.NewPlacementController(
+				func() *selector.Selector { return c.group.Shard(i) },
+				c, cfg.PlacementPolicy, cfg.PlacementInterval)
+			ctl.Start()
+			c.placeCtls = append(c.placeCtls, ctl)
+		}
 	}
 	if fd := cfg.FailureDetection; fd.Interval > 0 {
 		if fd.Misses <= 0 {
@@ -445,14 +520,13 @@ func (c *Cluster) CreateTable(name string) {
 // on the sites in its partition's replica set (the schema still exists
 // everywhere — see CreateTable).
 func (c *Cluster) Load(rows []systems.LoadRow) {
-	sel := c.leader()
 	seen := make(map[uint64]struct{})
 	loadStamp := storage.Stamp{Origin: 0, Seq: 0} // visible at every snapshot
 	for _, row := range rows {
 		part := c.cfg.Partitioner(row.Ref)
 		if _, ok := seen[part]; !ok {
 			seen[part] = struct{}{}
-			master := sel.MasterOf(part) // registers at initial placement
+			master := c.group.MasterOf(part) // registers at initial placement on the owning shard
 			for i, s := range c.sites {
 				s.SetMaster(part, i == master)
 			}
@@ -467,29 +541,48 @@ func (c *Cluster) Load(rows []systems.LoadRow) {
 	}
 }
 
-// leader returns the selector currently holding control-plane leadership:
-// the initial master outside HA deployments, the promoted standby's
-// selector after a lease failover. Every cluster-internal selector use
-// (failover, checkpointing, stats) goes through it so control-plane
-// operations always act on live authority.
+// leader returns the selector currently holding shard 0's control-plane
+// leadership: the initial master outside HA deployments, the promoted
+// standby's selector after a lease failover. Single-router deployments
+// route every cluster-internal selector use through it; sharded
+// deployments dispatch through c.group instead (leader() then covers only
+// the shard-0 slice of uniform state such as weights).
 func (c *Cluster) leader() *selector.Selector { return c.repl.Leader() }
 
-// Selector exposes the site selector currently holding leadership
-// (experiments tweak weights and read routing metrics through it). Outside
-// HA deployments this is always the single master selector.
+// Selector exposes the site selector currently holding shard 0's
+// leadership (experiments tweak weights and read routing metrics through
+// it). Outside HA deployments this is always shard 0's master selector;
+// use Group for shard-aware access.
 func (c *Cluster) Selector() *selector.Selector { return c.leader() }
 
-// SelectorHA exposes the selector high-availability state machine, nil
-// unless Config.SelectorLease enabled it.
+// Group exposes the sharded selector control plane (pass-through with one
+// shard).
+func (c *Cluster) Group() *selector.Group { return c.group }
+
+// SelectorShardCount returns the number of router shards (1 = unsharded).
+func (c *Cluster) SelectorShardCount() int { return c.group.Shards() }
+
+// SelectorHA exposes shard 0's high-availability state machine, nil unless
+// Config.SelectorLease enabled it. Use SelectorShardHA for other shards.
 func (c *Cluster) SelectorHA() *selector.HA { return c.repl.HA() }
 
+// SelectorShardHA exposes router shard i's high-availability state
+// machine, nil unless Config.SelectorLease enabled it.
+func (c *Cluster) SelectorShardHA(i int) *selector.HA { return c.repls[i].HA() }
+
 // KillSelector simulates a crash of the selector node currently holding
-// leadership and returns its id (0 = initial master, i+1 = standby i). The
-// lease expires unrenewed and a surviving standby promotes; until then
-// write routing fails fast with the retryable selector.ErrNoLeader while
-// read routing keeps flowing off the replica tier. Requires HA.
-func (c *Cluster) KillSelector() int {
-	ha := c.repl.HA()
+// shard 0's leadership and returns its id (0 = initial master, i+1 =
+// standby i). The lease expires unrenewed and a surviving standby
+// promotes; until then write routing fails fast with the retryable
+// selector.ErrNoLeader while read routing keeps flowing off the replica
+// tier. Requires HA.
+func (c *Cluster) KillSelector() int { return c.KillSelectorShard(0) }
+
+// KillSelectorShard crashes the current leaseholder of router shard i and
+// returns its node id. Only that shard's partition range loses its router
+// until a standby promotes — the other shards keep routing. Requires HA.
+func (c *Cluster) KillSelectorShard(i int) int {
+	ha := c.repls[i].HA()
 	if ha == nil {
 		return -1
 	}
@@ -512,7 +605,7 @@ func (c *Cluster) Broker() *wal.Broker { return c.broker }
 // Stats implements systems.System.
 func (c *Cluster) Stats() systems.Stats {
 	st := systems.Stats{
-		Remasters:      c.leader().Metrics().RemasterTxns,
+		Remasters:      c.group.Metrics().RemasterTxns,
 		PerSiteCommits: make([]uint64, len(c.sites)),
 		Network:        c.net.Stats(),
 	}
@@ -532,12 +625,15 @@ func (c *Cluster) Stats() systems.Stats {
 func (c *Cluster) Close() {
 	c.closeOnce.Do(func() {
 		c.closing.Store(true)
-		if c.placeCtl != nil {
-			c.placeCtl.Stop() // no replica moves during teardown
+		for _, ctl := range c.placeCtls {
+			ctl.Stop() // no replica moves during teardown
 		}
 		c.slo.Stop()
-		if ha := c.repl.HA(); ha != nil {
-			ha.Stop() // no promotions during teardown
+		c.group.Stop() // cache gossip stops before the selectors go away
+		for _, repl := range c.repls {
+			if ha := repl.HA(); ha != nil {
+				ha.Stop() // no promotions during teardown
+			}
 		}
 		close(c.hbStop)
 		close(c.ckptStop)

@@ -63,7 +63,7 @@ func (c *Cluster) heartbeatLoop(interval time.Duration, misses int) {
 		case <-ticker.C:
 		}
 		for i, s := range c.sites {
-			if c.leader().SiteDown(i) {
+			if c.group.SiteDown(i) {
 				// A site can be marked down with its failover incomplete
 				// (a grant leg failed mid-way); keep retrying until every
 				// orphaned partition has a live master — an abandoned
@@ -137,12 +137,11 @@ func (c *Cluster) Faults() *transport.Injector { return c.net.Injector() }
 func (c *Cluster) Failover(dead int) error {
 	c.failoverMu.Lock()
 	defer c.failoverMu.Unlock()
-	// Mark the site down on the current leader before the idempotence
+	// Mark the site down on every router shard before the idempotence
 	// check: a selector promotion replays down flags from its predecessor,
 	// but a flag raced past a leadership swap must be re-installable on the
 	// new leader even after this site's failover already completed.
-	sel := c.leader()
-	sel.MarkDown(dead)
+	c.group.MarkDown(dead)
 	if c.failedOver[dead] {
 		return nil
 	}
@@ -150,7 +149,7 @@ func (c *Cluster) Failover(dead int) error {
 
 	survivors := make([]int, 0, len(c.sites)-1)
 	for i := range c.sites {
-		if i != dead && !sel.SiteDown(i) {
+		if i != dead && !c.group.SiteDown(i) {
 			survivors = append(survivors, i)
 		}
 	}
@@ -160,7 +159,7 @@ func (c *Cluster) Failover(dead int) error {
 
 	// Union of selector metadata and log-reconstructed mastership.
 	owned := make(map[uint64]struct{})
-	for _, p := range sel.MasteredBy(dead) {
+	for _, p := range c.group.MasteredBy(dead) {
 		owned[p] = struct{}{}
 	}
 	for p, site := range sitemgr.RecoverMastership(c.broker, nil) {
@@ -179,13 +178,61 @@ func (c *Cluster) Failover(dead int) error {
 	relVV := vclock.New(len(c.sites))
 	relVV[dead] = c.broker.Log(dead).LastUpdateSeq()
 
-	// Scatter the orphaned partitions round-robin across survivors, one
-	// grant batch per survivor. A batch whose preferred heir cannot take
-	// the grant (it died since the survivor scan, or its log append failed)
-	// falls back to the next survivor rather than failing the batch; a
-	// batch no survivor accepts leaves failedOver unset, and the heartbeat
-	// loop retries the failover — granted batches are already registered,
-	// so the retry covers only the remainder.
+	// Re-grant shard by shard: each batch's fencing epoch comes from the
+	// owning router shard's allocator (per-shard epochs are incomparable,
+	// so a batch never mixes partitions of two shards), and each shard's
+	// registrations land on that shard's map. With one shard this is the
+	// original whole-cluster scatter unchanged.
+	var firstErr error
+	for si := 0; si < c.group.Shards(); si++ {
+		shardParts := parts
+		if c.group.Shards() > 1 {
+			shardParts = shardParts[:0:0]
+			for _, p := range parts {
+				if c.group.ShardOf(p) == si {
+					shardParts = append(shardParts, p)
+				}
+			}
+		}
+		if len(shardParts) == 0 {
+			continue
+		}
+		if err := c.failoverShard(si, dead, shardParts, survivors, relVV); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	// The dead site serves no replicas; shed it from every replica set (the
+	// placement controller restores the factor on live sites over later
+	// ticks). Metadata only — there is nothing to purge at a dead site.
+	if dropped := c.group.DropSiteReplicas(dead); len(dropped) > 0 {
+		obs.RecordEvent(obs.FlightPlacement, dead,
+			"site %d shed from %d replica set(s) after failover", dead, len(dropped))
+	}
+	c.failedOver[dead] = true
+	c.failovers.Add(1)
+	c.obFailovers.Inc()
+	obs.RecordEvent(obs.FlightFailover, dead,
+		"site %d failed over: %d partition(s) re-mastered across %d survivor(s)",
+		dead, len(parts), len(survivors))
+	if _, err := obs.SnapshotFlight("failover"); err != nil {
+		fmt.Fprintf(os.Stderr, "core: flight snapshot after failover: %v\n", err)
+	}
+	return nil
+}
+
+// failoverShard re-grants one router shard's slice of a dead site's
+// partitions across the survivors. Scatter is round-robin, one grant batch
+// per survivor. A batch whose preferred heir cannot take the grant (it
+// died since the survivor scan, or its log append failed) falls back to
+// the next survivor rather than failing the batch; a batch no survivor
+// accepts leaves failedOver unset, and the heartbeat loop retries the
+// failover — granted batches are already registered, so the retry covers
+// only the remainder.
+func (c *Cluster) failoverShard(si, dead int, parts []uint64, survivors []int, relVV vclock.Vector) error {
+	sel := c.group.Shard(si)
 	batches := make([][]uint64, len(survivors))
 	for i, p := range parts {
 		batches[i%len(survivors)] = append(batches[i%len(survivors)], p)
@@ -204,9 +251,9 @@ func (c *Cluster) Failover(dead int) error {
 			}
 			epoch, err := sel.AllocEpoch()
 			if err != nil {
-				// The selector tier lost its lease mid-failover (leadership
-				// handover in flight). Leave the batch for the heartbeat
-				// retry, which re-runs under the promoted leader.
+				// The shard lost its lease mid-failover (leadership handover
+				// in flight). Leave the batch for the heartbeat retry, which
+				// re-runs under the promoted leader.
 				lastErr = fmt.Errorf("core: failover of site %d: %w", dead, err)
 				break
 			}
@@ -229,7 +276,7 @@ func (c *Cluster) Failover(dead int) error {
 			// the heir proactively so replicas stop routing there now
 			// instead of waiting for each cached entry's ErrNotMaster
 			// bounce off a site that can no longer answer at all.
-			c.repl.LearnAll(ids, heir)
+			c.repls[si].LearnAll(ids, heir)
 			granted = true
 		}
 		if !granted && firstErr == nil {
@@ -239,24 +286,5 @@ func (c *Cluster) Failover(dead int) error {
 			firstErr = lastErr
 		}
 	}
-	if firstErr != nil {
-		return firstErr
-	}
-	// The dead site serves no replicas; shed it from every replica set (the
-	// placement controller restores the factor on live sites over later
-	// ticks). Metadata only — there is nothing to purge at a dead site.
-	if dropped := sel.DropSiteReplicas(dead); len(dropped) > 0 {
-		obs.RecordEvent(obs.FlightPlacement, dead,
-			"site %d shed from %d replica set(s) after failover", dead, len(dropped))
-	}
-	c.failedOver[dead] = true
-	c.failovers.Add(1)
-	c.obFailovers.Inc()
-	obs.RecordEvent(obs.FlightFailover, dead,
-		"site %d failed over: %d partition(s) re-mastered across %d survivor(s)",
-		dead, len(parts), len(survivors))
-	if _, err := obs.SnapshotFlight("failover"); err != nil {
-		fmt.Fprintf(os.Stderr, "core: flight snapshot after failover: %v\n", err)
-	}
-	return nil
+	return firstErr
 }

@@ -111,6 +111,26 @@ func WithSelectorReplicas(n int) Option {
 	return optionFunc(func(c *Config) { c.SelectorReplicas = n })
 }
 
+// WithSelectorShards splits the selector control plane into n independent
+// router shards, each owning a contiguous range of the partition-id hash
+// space (selector.RouterShardOf) with its own routing loop, statistics
+// stripes, placement controller, and — under WithSelectorLease — its own
+// lease and remaster-epoch allocator. Sharded deployments also run the
+// gossiped placement cache: sessions route reads, and optimistically route
+// writes, without touching any router. n <= 1 keeps the single-router
+// selector (the default, wire-identical to earlier versions); n above
+// selector.MaxRouterShards is an error.
+func WithSelectorShards(n int) Option {
+	return optionFunc(func(c *Config) {
+		if n > selector.MaxRouterShards {
+			c.optErr = fmt.Errorf("core: WithSelectorShards(%d) exceeds the maximum %d",
+				n, selector.MaxRouterShards)
+			return
+		}
+		c.SelectorShards = n
+	})
+}
+
 // WithSelectorLease puts the selector tier under lease-based leader
 // failover with the given lease TTL: replicas double as hot standbys and
 // one promotes — fencing the deposed leader and reconciling against the

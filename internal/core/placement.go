@@ -30,7 +30,7 @@ func (c *Cluster) AddReplica(part uint64, site int) error {
 	}
 	c.placeMu.Lock()
 	defer c.placeMu.Unlock()
-	sel := c.leader()
+	sel := c.group.ShardFor(part) // replica-set metadata lives on the owning shard
 	if !sel.PartialPlacement() {
 		return nil
 	}
@@ -86,7 +86,7 @@ func (c *Cluster) DropReplica(part uint64, site int) error {
 	}
 	c.placeMu.Lock()
 	defer c.placeMu.Unlock()
-	sel := c.leader()
+	sel := c.group.ShardFor(part)
 	if !sel.PartialPlacement() {
 		return nil
 	}
@@ -134,7 +134,7 @@ func (c *Cluster) ensureHostedAll(parts []uint64, site int) error {
 // sets and masters, per-site residency, and the recent add/drop decision
 // log. Under full replication only the masters and residency are populated.
 func (c *Cluster) Placement() selector.PlacementInfo {
-	info := c.leader().PlacementInfo()
+	info := c.group.PlacementInfo()
 	info.Residency = make([]int, len(c.sites))
 	for i, s := range c.sites {
 		if s.Alive() {

@@ -68,7 +68,7 @@ type Session struct {
 // to the master selector.
 func (c *Cluster) Session(id int) *Session {
 	c.sessions.Add(1)
-	return &Session{c: c, id: id, cvv: vclock.New(len(c.sites)), router: c.repl.RouterFor(id)}
+	return &Session{c: c, id: id, cvv: vclock.New(len(c.sites)), router: c.group.RouterFor(id)}
 }
 
 // NewClient implements systems.System: sessions adapted to the
@@ -133,15 +133,31 @@ func (s *Session) UpdateCtx(ctx context.Context, writeSet []storage.RowRef, fn f
 		routeSpan = obs.NewSpanID()
 	}
 
+	// With the sharded selector's gossiped placement cache, a first attempt
+	// whose write set is cached single-sited routes with zero selector RPCs
+	// (both begin_transaction legs skipped). A stale cache answer is safe:
+	// the data site bounces it (ErrNotMaster/ErrStaleEpoch) and the retry
+	// below resubmits authoritatively through the owning router shard.
+	cachedW, _ := s.router.(cachedWriteRouter)
+
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		// begin_transaction round trip to the site selector.
 		t0 := time.Now()
-		c.net.Send(transport.CatRoute, transport.MsgOverhead+transport.SizeOfRefs(writeSet))
+		var route selector.Route
+		var err error
+		cached := false
+		if cachedW != nil && attempt == 0 {
+			route, cached = cachedW.RouteWriteCached(s.id, writeSet, s.cvv)
+		}
 		t1 := time.Now()
-		route, err := s.routeCtx(ctx, attempt, writeSet, obs.SpanContext{Trace: sc.Trace, Span: routeSpan})
+		if !cached {
+			// begin_transaction round trip to the site selector.
+			c.net.Send(transport.CatRoute, transport.MsgOverhead+transport.SizeOfRefs(writeSet))
+			t1 = time.Now()
+			route, err = s.routeCtx(ctx, attempt, writeSet, obs.SpanContext{Trace: sc.Trace, Span: routeSpan})
+		}
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return cerr
@@ -158,7 +174,9 @@ func (s *Session) UpdateCtx(ctx context.Context, writeSet []storage.RowRef, fn f
 			return fmt.Errorf("core: route: %w", err)
 		}
 		t2 := time.Now()
-		c.net.Send(transport.CatRoute, transport.MsgOverhead+transport.SizeOfVector(route.MinVV))
+		if !cached {
+			c.net.Send(transport.CatRoute, transport.MsgOverhead+transport.SizeOfVector(route.MinVV))
+		}
 		t3 := time.Now()
 
 		minVV := s.cvv.Clone().MaxInto(route.MinVV)
@@ -340,6 +358,20 @@ type masterRouterTraced interface {
 	RouteToMasterTraced(client int, writeSet []storage.RowRef, cvv vclock.Vector, sc obs.SpanContext) (selector.Route, error)
 }
 
+// cachedWriteRouter is the optional zero-RPC optimistic write routing off
+// the gossiped placement cache (*selector.CachedRouter implements it). The
+// second result reports whether the cache could serve the route; false
+// falls back to the selector round trip.
+type cachedWriteRouter interface {
+	RouteWriteCached(client int, writeSet []storage.RowRef, cvv vclock.Vector) (selector.Route, bool)
+}
+
+// cachedReadRouter is the optional zero-RPC read routing off the gossiped
+// placement cache (*selector.CachedRouter implements it).
+type cachedReadRouter interface {
+	RouteReadCached(client int, cvv vclock.Vector, parts []uint64) (selector.Route, bool)
+}
+
 // trace assembles the transaction's lifecycle trace, records it in the
 // trace ring, and feeds the per-stage histograms. The refresh-apply stage
 // is completed later by the replicas' appliers (see sitemgr.applyLoop).
@@ -457,7 +489,7 @@ func (s *Session) ReadHintedCtx(ctx context.Context, hint []storage.RowRef, fn f
 	}
 	c := s.c
 	var parts []uint64
-	if len(hint) > 0 && c.sel.PartialPlacement() {
+	if len(hint) > 0 && c.group.PartialPlacement() {
 		parts = s.readParts(hint)
 	}
 	start := time.Now()
@@ -465,14 +497,23 @@ func (s *Session) ReadHintedCtx(ctx context.Context, hint []storage.RowRef, fn f
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		c.net.Send(transport.CatRoute, transport.MsgOverhead)
+		// First attempt consults the gossiped placement cache: a hit routes
+		// the read with zero selector RPCs. A stale replica set bounces with
+		// ErrNotHosted below, and the retry routes authoritatively.
 		var route selector.Route
-		if pr, ok := s.router.(partsRouter); ok && len(parts) > 0 {
-			route = pr.RouteReadParts(s.id, s.cvv, parts)
-		} else {
-			route = s.router.RouteRead(s.id, s.cvv)
+		cached := false
+		if cr, ok := s.router.(cachedReadRouter); ok && attempt == 0 {
+			route, cached = cr.RouteReadCached(s.id, s.cvv, parts)
 		}
-		c.net.Send(transport.CatRoute, transport.MsgOverhead)
+		if !cached {
+			c.net.Send(transport.CatRoute, transport.MsgOverhead)
+			if pr, ok := s.router.(partsRouter); ok && len(parts) > 0 {
+				route = pr.RouteReadParts(s.id, s.cvv, parts)
+			} else {
+				route = s.router.RouteRead(s.id, s.cvv)
+			}
+			c.net.Send(transport.CatRoute, transport.MsgOverhead)
+		}
 
 		c.net.Send(transport.CatTxn, transport.MsgOverhead)
 		site := c.sites[route.Site]

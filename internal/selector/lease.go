@@ -62,57 +62,100 @@ var ErrNoLeader = errors.New("selector: no control-plane leader (lease failover 
 // leaseMsg is the modelled size of one lease-store operation on the wire.
 const leaseMsg = transport.MsgOverhead + 16
 
-// LeaseStore models the coordination service holding the selector
-// leadership lease. It is deliberately simple shared state guarded by one
-// mutex — the stand-in for a quorum system assumed reliable — but its
-// interface is exactly what a remote lease service provides: acquire with
-// TTL and fencing token, renew, and token-validated epoch allocation.
+// KeyedLeaseStore models the coordination service holding the selector
+// leadership leases. It is deliberately simple shared state guarded by one
+// mutex per key — the stand-in for a quorum system assumed reliable — but
+// its interface is exactly what a remote lease service provides: acquire
+// with TTL and fencing token, renew, and token-validated epoch allocation.
 // Every operation charges control-plane traffic.
-type LeaseStore struct {
-	net *transport.Network
+//
+// The store is keyed so one service instance can hold many independent
+// leases: the sharded selector keeps one lease per router shard, and each
+// key's epoch counter is that shard's remaster-epoch allocator. Keys are
+// fully independent — one shard's promotion fence (a fresh epoch from ITS
+// key) says nothing about another shard's epochs, which is exactly the
+// "one shard's fence dominates only its range" invariant the range-scoped
+// site fences enforce. The single-leader deployment is the 1-key store.
+type KeyedLeaseStore struct {
+	net   *transport.Network
+	ttl   time.Duration
+	cells []leaseCell
+}
 
+// leaseCell is one key's lease + epoch-allocator state.
+type leaseCell struct {
 	mu     sync.Mutex
-	ttl    time.Duration
 	holder int // node id; -1 = vacant
 	token  uint64
 	expiry time.Time
-	epochs uint64 // the system's remaster-epoch allocator under HA
+	epochs uint64 // this key's remaster-epoch allocator under HA
 
 	changes  atomic.Uint64 // leadership changes (distinct acquisitions)
 	renewals atomic.Uint64
 	expiries atomic.Uint64
 }
 
-// NewLeaseStore builds a lease store with the given TTL.
+// NewKeyedLeaseStore builds a lease store with n independent keys, all
+// sharing one TTL.
+func NewKeyedLeaseStore(ttl time.Duration, net *transport.Network, n int) *KeyedLeaseStore {
+	if n < 1 {
+		n = 1
+	}
+	ks := &KeyedLeaseStore{net: net, ttl: ttl, cells: make([]leaseCell, n)}
+	for i := range ks.cells {
+		ks.cells[i].holder = -1
+	}
+	return ks
+}
+
+// Keys returns the number of independent leases the store holds.
+func (ks *KeyedLeaseStore) Keys() int { return len(ks.cells) }
+
+// View returns the single-lease view of one key: the LeaseStore interface
+// the HA machinery (and a shard's epoch source) operates on.
+func (ks *KeyedLeaseStore) View(key int) *LeaseStore {
+	return &LeaseStore{ks: ks, cell: &ks.cells[key]}
+}
+
+// LeaseStore is a single lease (one key of a KeyedLeaseStore): the
+// leadership lease plus the remaster-epoch allocator fenced by it. The
+// classic single-leader deployment is View(0) of a 1-key store.
+type LeaseStore struct {
+	ks   *KeyedLeaseStore
+	cell *leaseCell
+}
+
+// NewLeaseStore builds a stand-alone single-lease store with the given TTL.
 func NewLeaseStore(ttl time.Duration, net *transport.Network) *LeaseStore {
-	return &LeaseStore{net: net, ttl: ttl, holder: -1}
+	return NewKeyedLeaseStore(ttl, net, 1).View(0)
 }
 
 func (ls *LeaseStore) charge() {
-	ls.net.Account(transport.CatLease, leaseMsg)
+	ls.ks.net.Account(transport.CatLease, leaseMsg)
 }
 
 // TTL returns the lease duration.
-func (ls *LeaseStore) TTL() time.Duration { return ls.ttl }
+func (ls *LeaseStore) TTL() time.Duration { return ls.ks.ttl }
 
 // Acquire grants the lease to node if it is vacant or expired (or already
 // held by node), returning a fresh fencing token. Exactly one concurrent
 // caller can win a vacant lease.
 func (ls *LeaseStore) Acquire(node int) (uint64, bool) {
 	ls.charge()
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
+	c := ls.cell
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	now := time.Now()
-	if ls.holder >= 0 && ls.holder != node && now.Before(ls.expiry) {
+	if c.holder >= 0 && c.holder != node && now.Before(c.expiry) {
 		return 0, false
 	}
-	if ls.holder != node {
-		ls.changes.Add(1)
+	if c.holder != node {
+		c.changes.Add(1)
 	}
-	ls.holder = node
-	ls.token++
-	ls.expiry = now.Add(ls.ttl)
-	return ls.token, true
+	c.holder = node
+	c.token++
+	c.expiry = now.Add(ls.ks.ttl)
+	return c.token, true
 }
 
 // Renew extends the lease if node still holds it under token. A renewal
@@ -121,13 +164,14 @@ func (ls *LeaseStore) Acquire(node int) (uint64, bool) {
 // a superseded leader.
 func (ls *LeaseStore) Renew(node int, token uint64) bool {
 	ls.charge()
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
-	if ls.holder != node || ls.token != token {
+	c := ls.cell
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.holder != node || c.token != token {
 		return false
 	}
-	ls.expiry = time.Now().Add(ls.ttl)
-	ls.renewals.Add(1)
+	c.expiry = time.Now().Add(ls.ks.ttl)
+	c.renewals.Add(1)
 	return true
 }
 
@@ -135,52 +179,61 @@ func (ls *LeaseStore) Renew(node int, token uint64) bool {
 // past its expiry.
 func (ls *LeaseStore) Expired() bool {
 	ls.charge()
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
-	return ls.holder < 0 || time.Now().After(ls.expiry)
+	c := ls.cell
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.holder < 0 || time.Now().After(c.expiry)
 }
 
 // Holder returns the current lease holder and token (holder -1 = vacant;
 // the lease may be expired — see Expired).
 func (ls *LeaseStore) Holder() (int, uint64) {
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
-	return ls.holder, ls.token
+	c := ls.cell
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.holder, c.token
 }
 
 // AllocEpoch allocates the next remaster epoch, validating that the caller
-// still holds the lease. Every epoch in an HA deployment is issued here,
-// which is what lets one fresh epoch fence out all prior leaders.
+// still holds the lease. Every epoch an HA shard issues comes from here,
+// which is what lets one fresh epoch fence out all prior leaders of the
+// same key (and only them).
 func (ls *LeaseStore) AllocEpoch(node int, token uint64) (uint64, error) {
 	ls.charge()
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
-	if ls.holder != node || ls.token != token {
+	c := ls.cell
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.holder != node || c.token != token {
 		return 0, ErrNoLeader
 	}
-	ls.epochs++
-	return ls.epochs, nil
+	c.epochs++
+	return c.epochs, nil
 }
 
 // CurrentEpoch returns the highest epoch allocated so far.
 func (ls *LeaseStore) CurrentEpoch() uint64 {
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
-	return ls.epochs
+	c := ls.cell
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epochs
 }
 
 // BumpEpoch raises the allocator to at least n (carrying over epochs a
 // pre-HA selector already issued).
 func (ls *LeaseStore) BumpEpoch(n uint64) {
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
-	if ls.epochs < n {
-		ls.epochs = n
+	c := ls.cell
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epochs < n {
+		c.epochs = n
 	}
 }
 
 // LeaderChanges returns how many distinct lease acquisitions have occurred.
-func (ls *LeaseStore) LeaderChanges() uint64 { return ls.changes.Load() }
+func (ls *LeaseStore) LeaderChanges() uint64 { return ls.cell.changes.Load() }
+
+// Renewals returns how many successful lease renewals have occurred.
+func (ls *LeaseStore) Renewals() uint64 { return ls.cell.renewals.Load() }
 
 // leaseEpochs adapts the store to the selector's epochSource: allocations
 // are lease-validated, so they fail with ErrNoLeader once the owning
@@ -205,6 +258,22 @@ type HAConfig struct {
 	Broker *wal.Broker
 	// Obs receives the dynamast_selector_* leadership metrics.
 	Obs *obs.Registry
+	// Store, when non-nil, is the lease (+ epoch allocator) this tier uses —
+	// typically one key's view of a KeyedLeaseStore shared by all router
+	// shards. Nil builds a private single-lease store (the classic
+	// deployment).
+	Store *LeaseStore
+	// Shard/Shards scope this tier to one router shard of a sharded
+	// selector: promotion folds, fences, and repairs only the partitions
+	// RouterShardOf assigns to Shard, and the site fence is installed with
+	// FenceEpochsBelowRange so it dominates only this shard's range.
+	// Shards <= 1 (the default) is the unsharded, whole-map tier.
+	Shard, Shards int
+}
+
+// ownsPart reports whether this HA tier's shard range covers partition p.
+func (cfg *HAConfig) ownsPart(p uint64) bool {
+	return cfg.Shards <= 1 || sitemgr.RouterShard(p, cfg.Shards) == cfg.Shard
 }
 
 // HA is the selector tier's leadership state machine: lease renewal on the
@@ -257,7 +326,10 @@ func (r *Replicated) EnableHA(selCfg Config, cfg HAConfig) (*HA, error) {
 	if r.ha != nil {
 		return nil, fmt.Errorf("selector: HA already enabled")
 	}
-	store := NewLeaseStore(cfg.Lease, r.net)
+	store := cfg.Store
+	if store == nil {
+		store = NewLeaseStore(cfg.Lease, r.net)
+	}
 	store.BumpEpoch(r.Master.CurrentEpoch())
 	token, ok := store.Acquire(0)
 	if !ok {
@@ -285,7 +357,9 @@ func (r *Replicated) EnableHA(selCfg Config, cfg HAConfig) (*HA, error) {
 	return ha, nil
 }
 
-// instrument registers the leadership metrics.
+// instrument registers the leadership metrics. A sharded tier labels every
+// series with its shard index so N shards' instruments stay distinct in one
+// registry.
 func (ha *HA) instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -297,20 +371,24 @@ func (ha *HA) instrument(reg *obs.Registry) {
 	reg.Help("dynamast_selector_lease_expiries_total", "Lease expiries observed by the standby watcher.")
 	reg.Help("dynamast_selector_standby_lag", "Leader delta-feed sequence minus the slowest standby's ingested sequence.")
 	reg.Help("dynamast_selector_promotion_seconds", "Standby promotion latency (fence, fold, reconcile, swap).")
-	ha.obLeader = reg.Gauge("dynamast_selector_leader")
+	var labels []obs.Label
+	if ha.cfg.Shards > 1 {
+		labels = append(labels, obs.L("shard", fmt.Sprint(ha.cfg.Shard)))
+	}
+	ha.obLeader = reg.Gauge("dynamast_selector_leader", labels...)
 	ha.obLeader.Set(0)
-	ha.obChanges = reg.Counter("dynamast_selector_leader_changes_total")
-	ha.obExpiries = reg.Counter("dynamast_selector_lease_expiries_total")
-	ha.obPromoteDur = reg.Histogram("dynamast_selector_promotion_seconds")
+	ha.obChanges = reg.Counter("dynamast_selector_leader_changes_total", labels...)
+	ha.obExpiries = reg.Counter("dynamast_selector_lease_expiries_total", labels...)
+	ha.obPromoteDur = reg.Histogram("dynamast_selector_promotion_seconds", labels...)
 	reg.Func("dynamast_selector_lease_epoch", obs.KindGauge, func() float64 {
 		return float64(ha.store.CurrentEpoch())
-	})
+	}, labels...)
 	reg.Func("dynamast_selector_lease_renewals_total", obs.KindCounter, func() float64 {
-		return float64(ha.store.renewals.Load())
-	})
+		return float64(ha.store.Renewals())
+	}, labels...)
 	reg.Func("dynamast_selector_standby_lag", obs.KindGauge, func() float64 {
 		return float64(ha.StandbyLag())
-	})
+	}, labels...)
 }
 
 // StandbyLag returns the delta-feed distance between the leader and the
@@ -380,6 +458,7 @@ func (ha *HA) broadcast(parts []uint64, site int, epoch uint64) {
 		ha.repl.net.Account(transport.CatLease, size)
 		rep.ingest(seq, parts, site, epoch)
 	}
+	ha.repl.deliverDelta(parts, site, epoch)
 }
 
 // run plays the tier's timers: the live leader renews at TTL/4, and the
@@ -451,9 +530,20 @@ func (ha *HA) promote() {
 	}
 	unfenced := ha.fenceSites(fence)
 
-	// (3) Fold the WALs and overlay the promoted standby's mirror.
+	// (3) Fold the WALs and overlay the promoted standby's mirror. A
+	// sharded tier folds the full logs but keeps only its own range: the
+	// other shards' partitions are their leaders' business, and their
+	// epochs come from different allocators anyway (incomparable).
 	fold := sitemgr.FoldMastership(ha.cfg.Broker, nil)
 	owner, epochs := fold.Owner, fold.Epoch
+	if ha.cfg.Shards > 1 {
+		for p := range owner {
+			if !ha.cfg.ownsPart(p) {
+				delete(owner, p)
+				delete(epochs, p)
+			}
+		}
+	}
 	var mirror map[uint64]int
 	var mirrorEpochs map[uint64]uint64
 	if cand >= 1 {
@@ -462,6 +552,9 @@ func (ha *HA) promote() {
 		mirror, mirrorEpochs = old.PlacementSnapshot()
 	}
 	for p, site := range mirror {
+		if !ha.cfg.ownsPart(p) {
+			continue
+		}
 		fe, inFold := epochs[p]
 		if !inFold || mirrorEpochs[p] > fe {
 			owner[p] = site
@@ -495,6 +588,9 @@ func (ha *HA) promote() {
 	// fresh epoch (nil release vector: nothing moved, no catch-up).
 	byOrigin := make(map[int][]uint64)
 	for p, origin := range fold.Dangling {
+		if !ha.cfg.ownsPart(p) {
+			continue // another shard's range; its own promotion repairs it
+		}
 		if newSel.SiteDown(origin) {
 			continue // site failover re-masters these under higher epochs
 		}
@@ -541,13 +637,28 @@ func (ha *HA) promote() {
 // fenceSites installs the fence epoch at every data site, returning which
 // sites could not be reached (request leg lost through every retry).
 // Response loss is ignored: the fence installed, which is all that
-// matters, and re-fencing is idempotent.
+// matters, and re-fencing is idempotent. A sharded tier installs a
+// range-scoped fence covering only its own partitions, so a zombie leader
+// of THIS shard dies with ErrStaleEpoch while the other shards' in-flight
+// chains — stamped from different allocators — pass untouched.
 func (ha *HA) fenceSites(fence uint64) []bool {
 	unfenced := make([]bool, len(ha.selCfg.Sites))
 	for i, site := range ha.selCfg.Sites {
-		f, ok := site.(interface{ FenceEpochsBelow(floor uint64) uint64 })
-		if !ok {
-			continue // test double without fencing; nothing to install
+		install := func() {}
+		if ha.cfg.Shards > 1 {
+			f, ok := site.(interface {
+				FenceEpochsBelowRange(floor uint64, shard, shards int) uint64
+			})
+			if !ok {
+				continue // test double without fencing; nothing to install
+			}
+			install = func() { f.FenceEpochsBelowRange(fence, ha.cfg.Shard, ha.cfg.Shards) }
+		} else {
+			f, ok := site.(interface{ FenceEpochsBelow(floor uint64) uint64 })
+			if !ok {
+				continue // test double without fencing; nothing to install
+			}
+			install = func() { f.FenceEpochsBelow(fence) }
 		}
 		sent := false
 		for attempt := 0; attempt <= remasterSendRetries && !sent; attempt++ {
@@ -557,7 +668,7 @@ func (ha *HA) fenceSites(fence uint64) []bool {
 			if ha.repl.net.SendTo(transport.CatLease, transport.SelectorNode, i, transport.MsgOverhead) != nil {
 				continue
 			}
-			f.FenceEpochsBelow(fence)
+			install()
 			_ = ha.repl.net.SendTo(transport.CatLease, i, transport.SelectorNode, transport.MsgOverhead)
 			sent = true
 		}

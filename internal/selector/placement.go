@@ -181,6 +181,9 @@ type PlacementInfo struct {
 	Drops uint64 `json:"drops"`
 	// Decisions are the most recent add/drop decisions, oldest first.
 	Decisions []PlacementDecision `json:"decisions,omitempty"`
+	// Shards is the router-shard count when the control plane is sharded
+	// (0 or 1 = single router).
+	Shards int `json:"shards,omitempty"`
 }
 
 // placementDecisionRing bounds the retained decision log.

@@ -56,6 +56,28 @@ type Replicated struct {
 	net      *transport.Network
 	leader   atomic.Pointer[Selector]
 	ha       *HA
+
+	// feedSink is an extra consumer of the leader's mastership delta feed
+	// (the sharded selector's gossiped placement cache). It survives leader
+	// swaps: under HA the broadcast fan-out forwards each delta here, and
+	// without HA the Group wires the master's feed to deliverDelta directly.
+	feedSink atomic.Pointer[func(parts []uint64, site int, epoch uint64)]
+}
+
+// setFeedSink installs (or clears) the extra delta-feed consumer.
+func (r *Replicated) setFeedSink(f func(parts []uint64, site int, epoch uint64)) {
+	if f == nil {
+		r.feedSink.Store(nil)
+		return
+	}
+	r.feedSink.Store(&f)
+}
+
+// deliverDelta hands one committed mastership flip to the feed sink, if any.
+func (r *Replicated) deliverDelta(parts []uint64, site int, epoch uint64) {
+	if f := r.feedSink.Load(); f != nil {
+		(*f)(parts, site, epoch)
+	}
 }
 
 // NewReplicated builds n replica selectors over master.

@@ -61,6 +61,38 @@ type Config struct {
 	// Spans receives the release/grant spans of sampled traced routing
 	// decisions (RouteWriteTraced); nil disables span recording.
 	Spans *obs.SpanRecorder
+	// Hooks wire this selector into a sharded Group (zero value = the
+	// stand-alone, whole-map selector). They live in the Config so an HA
+	// promotion's rebuilt selector keeps its shard identity.
+	Hooks ShardHooks
+}
+
+// ShardHooks connect one router shard's selector to its Group. Every hook is
+// optional; a nil hook falls back to the selector's own state, which is
+// exactly the single-shard behavior.
+type ShardHooks struct {
+	// Owns reports whether a partition belongs to this shard's range. A
+	// shard never creates (or grants) partitions outside its range: foreign
+	// ids reach it only through scoring, which resolves them read-only via
+	// ForeignMaster.
+	Owns func(part uint64) bool
+	// ForeignMaster resolves the (possibly stale) master hint of a
+	// partition outside this shard's range, for the co-access scoring
+	// features. Never creates state anywhere.
+	ForeignMaster func(part uint64) int
+	// Record replaces the local stats feed: the Group dispatches each
+	// decided write's full partition set to every shard whose stripes need
+	// the sample (cross-shard co-access accounting).
+	Record func(client int, parts []uint64, now time.Time)
+	// AccessWeight and CoAccess read access statistics across the Group
+	// (each shard's tracker only sees samples relevant to its own range).
+	AccessWeight func(part uint64) float64
+	// CoAccess iterates partition d1's co-access probabilities (intra or
+	// inter transaction) from the owning shard's tracker.
+	CoAccess func(d1 uint64, intra bool, fn func(d2 uint64, p float64))
+	// SiteLoads sums materialized per-site load across all shards (the
+	// balance feature must see global load, not one shard's slice).
+	SiteLoads func() []float64
 }
 
 // Route is a routing decision returned to the client.
@@ -185,6 +217,10 @@ type Selector struct {
 
 	spans *obs.SpanRecorder
 
+	// hooks wire this selector into a sharded Group (see ShardHooks); all
+	// zero on the stand-alone selector.
+	hooks ShardHooks
+
 	ob selectorInstruments
 }
 
@@ -300,6 +336,7 @@ func New(cfg Config) (*Selector, error) {
 		routed:      make([]atomic.Uint64, len(cfg.Sites)),
 		downSites:   make([]atomic.Bool, len(cfg.Sites)),
 		spans:       cfg.Spans,
+		hooks:       cfg.Hooks,
 		epochs:      &localEpochs{},
 	}
 	w := cfg.Weights
@@ -370,8 +407,9 @@ func (s *Selector) part(id uint64) *partInfo {
 	// (idempotent; a nil release vector means no catch-up wait; epoch 0 —
 	// initial placement has no remaster chain to fence). A deposed leader
 	// must not act on the sites: the promoted leader's own first sight of
-	// the partition issues the grant instead.
-	if !s.deposed.Load() {
+	// the partition issues the grant instead. A sharded selector never
+	// grants outside its range — the owning shard's first sight does.
+	if !s.deposed.Load() && (s.hooks.Owns == nil || s.hooks.Owns(id)) {
 		if _, err := s.sites[master].Grant([]uint64{id}, nil, master, 0); err != nil {
 			// Grant only fails at shutdown; routing will surface the error.
 			_ = err
@@ -565,6 +603,52 @@ func (s *Selector) MasterOf(id uint64) int {
 	return p.master
 }
 
+// peekMaster returns the lock-free master hint of a partition WITHOUT
+// creating it (part() would grant first-sight ownership — only the owning
+// shard may do that). ok is false when the partition has never been seen.
+func (s *Selector) peekMaster(id uint64) (int, bool) {
+	sh := &s.shards[shardOf(id)]
+	sh.mu.RLock()
+	p := sh.m[id]
+	sh.mu.RUnlock()
+	if p == nil {
+		return 0, false
+	}
+	return int(p.hint.Load()), true
+}
+
+// hintFor resolves a partition's lock-free master hint for scoring: own
+// partitions through the local map, foreign partitions (sharded Group only)
+// through the Group's read-only resolver.
+func (s *Selector) hintFor(id uint64) int {
+	if s.hooks.Owns != nil && !s.hooks.Owns(id) {
+		if s.hooks.ForeignMaster != nil {
+			return s.hooks.ForeignMaster(id)
+		}
+		return s.initial(id)
+	}
+	return int(s.part(id).hint.Load())
+}
+
+// accessWeight reads a partition's access weight from the Group-wide
+// tracker when sharded, the local tracker otherwise.
+func (s *Selector) accessWeight(id uint64) float64 {
+	if s.hooks.AccessWeight != nil {
+		return s.hooks.AccessWeight(id)
+	}
+	return s.stats.AccessWeight(id)
+}
+
+// coAccess iterates a partition's co-access distribution from the owning
+// shard's tracker when sharded, the local tracker otherwise.
+func (s *Selector) coAccess(d1 uint64, intra bool, fn func(d2 uint64, p float64)) {
+	if s.hooks.CoAccess != nil {
+		s.hooks.CoAccess(d1, intra, fn)
+		return
+	}
+	s.stats.CoAccess(d1, intra, fn)
+}
+
 // writeParts maps a write set to its sorted, deduplicated partition ids.
 // Write sets are small (a handful of partitions), so the common path
 // dedups by linear scan and sorts by insertion — no map, no sort.Slice
@@ -719,7 +803,13 @@ func (s *Selector) finishWrite(client int, parts []uint64, site int, start time.
 	elapsed := now.Sub(start)
 	s.writeTxns.Add(1)
 	s.routed[site].Add(1)
-	s.stats.RecordWrite(client, parts, now)
+	if s.hooks.Record != nil {
+		// Sharded: the Group dispatches the sample to every shard whose
+		// stripes need it (cross-shard co-access pairs land on both sides).
+		s.hooks.Record(client, parts, now)
+	} else {
+		s.stats.RecordWrite(client, parts, now)
+	}
 	s.bumpLoad(parts, site)
 	s.routeNanos.Add(int64(elapsed))
 	s.ob.writeTxns.Inc()
@@ -808,16 +898,22 @@ func (s *Selector) chooseDestination(parts []uint64, infos []*partInfo, cvv vclo
 			return infos[i].master
 		}
 		// Lock-free hint: scoring must not acquire locks on partitions
-		// outside the write set.
-		return int(s.part(id).hint.Load())
+		// outside the write set (and, sharded, must not create foreign
+		// partitions — hintFor resolves those read-only via the Group).
+		return s.hintFor(id)
 	}
 	inWriteSet := func(id uint64) bool { _, ok := inSet[id]; return ok }
 
 	// Current load and the write set's per-partition weights.
-	before := s.siteLoadSnapshot()
+	var before []float64
+	if s.hooks.SiteLoads != nil {
+		before = s.hooks.SiteLoads()
+	} else {
+		before = s.siteLoadSnapshot()
+	}
 	weights := make([]float64, len(parts))
 	for i, id := range parts {
-		w := s.stats.AccessWeight(id)
+		w := s.accessWeight(id)
 		if w == 0 {
 			w = 1
 		}
@@ -859,10 +955,10 @@ func (s *Selector) chooseDestination(parts []uint64, infos []*partInfo, cvv vclo
 
 		var intra, inter float64
 		for _, d1 := range parts {
-			s.stats.CoAccess(d1, true, func(d2 uint64, p float64) {
+			s.coAccess(d1, true, func(d2 uint64, p float64) {
 				intra += p * SingleSited(cand, d1, d2, masterOf, inWriteSet)
 			})
-			s.stats.CoAccess(d1, false, func(d2 uint64, p float64) {
+			s.coAccess(d1, false, func(d2 uint64, p float64) {
 				inter += p * SingleSited(cand, d1, d2, masterOf, inWriteSet)
 			})
 		}

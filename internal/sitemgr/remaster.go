@@ -73,7 +73,7 @@ func (s *Site) Release(parts []uint64, to int, epoch uint64) (vclock.Vector, err
 	if epoch != 0 {
 		// Advisory early rejection; the authoritative floor check runs
 		// under fenceMu below, after the writer drain.
-		if floor := s.epochFloor.Load(); epoch < floor {
+		if floor, fenced := s.fencedEpoch(parts, epoch); fenced {
 			return nil, fmt.Errorf("%w: release epoch %d below site %d fence %d", ErrStaleEpoch, epoch, s.id, floor)
 		}
 	}
@@ -114,7 +114,7 @@ func (s *Site) Release(parts []uint64, to int, epoch uint64) (vclock.Vector, err
 	// new floor and rejects before touching the log.
 	s.fenceMu.RLock()
 	if epoch != 0 {
-		if floor := s.epochFloor.Load(); epoch < floor {
+		if floor, fenced := s.fencedEpoch(parts, epoch); fenced {
 			s.fenceMu.RUnlock()
 			s.pmu.Lock()
 			for _, id := range parts {
@@ -233,7 +233,7 @@ func (s *Site) Grant(parts []uint64, relVV vclock.Vector, from int, epoch uint64
 	// FenceEpochsBelow returns, or dies on the floor without logging.
 	s.fenceMu.RLock()
 	if epoch != 0 {
-		if floor := s.epochFloor.Load(); epoch < floor {
+		if floor, fenced := s.fencedEpoch(parts, epoch); fenced {
 			s.fenceMu.RUnlock()
 			return nil, fmt.Errorf("%w: grant epoch %d below site %d fence %d", ErrStaleEpoch, epoch, s.id, floor)
 		}

@@ -1,0 +1,113 @@
+package sitemgr
+
+// Router sharding. The selector control plane can be split into N router
+// shards, each owning a contiguous range of the partition-id hash space.
+// Shard assignment is a pure function of the partition id (the same
+// Fibonacci multiply-shift the selector uses for lock striping), so every
+// layer — selector shards, sites fencing a promoted shard's range, tooling —
+// computes identical ownership with no shared state.
+
+// fibMix is the 64-bit Fibonacci hashing constant (golden-ratio multiplier).
+const fibMix = 0x9E3779B97F4A7C15
+
+// RouterShard maps a partition id to its router shard in [0, n). The
+// partition id is mixed to a 32-bit hash and the hash space is cut into n
+// contiguous ranges (the fixed-point product hash*n >> 32), so each shard
+// owns a contiguous range of the hashed keyspace and any n — not just powers
+// of two — divides the map evenly. n <= 1 always maps to shard 0.
+func RouterShard(part uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := (part * fibMix) >> 32 // 32-bit Fibonacci hash
+	return int((uint64(n) * h) >> 32)
+}
+
+// rangeFence is a remaster-epoch floor scoped to one router shard's
+// partition range. Epoch allocators are per shard under the sharded
+// selector, so floors from different shards are incomparable and must never
+// be applied outside their own range: "one shard's fence dominates only its
+// range".
+type rangeFence struct {
+	shard, shards int
+	floor         uint64
+}
+
+// FenceEpochsBelowRange installs a remaster-epoch fence covering only the
+// partitions RouterShard assigns to shard-of-shards: subsequent Release or
+// Grant operations whose partition set intersects that range and whose
+// nonzero epoch is below floor are rejected with ErrStaleEpoch. It is the
+// range-scoped analogue of FenceEpochsBelow, used by a promoted router shard
+// so its fence cannot kill in-flight chains of the other, still-healthy
+// shards (whose epochs come from different allocators and are incomparable).
+// Taking the fence write lock gives the same WAL-fold guarantee: operations
+// already past their floor check finish logging before this returns.
+//
+// shards <= 1 degenerates to the site-wide FenceEpochsBelow. The floor in
+// effect for the range is returned and only ever rises.
+func (s *Site) FenceEpochsBelowRange(floor uint64, shard, shards int) uint64 {
+	if shards <= 1 {
+		return s.FenceEpochsBelow(floor)
+	}
+	s.fenceMu.Lock()
+	defer s.fenceMu.Unlock()
+	var fences []rangeFence
+	if old := s.rangeFences.Load(); old != nil {
+		fences = append(fences, *old...)
+	}
+	for i := range fences {
+		if fences[i].shard == shard && fences[i].shards == shards {
+			if fences[i].floor >= floor {
+				return fences[i].floor
+			}
+			fences[i].floor = floor
+			s.rangeFences.Store(&fences)
+			return floor
+		}
+	}
+	fences = append(fences, rangeFence{shard: shard, shards: shards, floor: floor})
+	s.rangeFences.Store(&fences)
+	return floor
+}
+
+// fencedEpoch reports whether a release/grant carrying epoch over parts is
+// below any fence that covers it: the site-wide floor, or a range fence
+// whose shard range contains at least one of parts. Returns the violated
+// floor. The range-fence scan is skipped entirely when no range fence was
+// ever installed (the single-shard deployment), keeping the hot path
+// identical to the pre-sharding code.
+func (s *Site) fencedEpoch(parts []uint64, epoch uint64) (uint64, bool) {
+	if floor := s.epochFloor.Load(); epoch < floor {
+		return floor, true
+	}
+	fences := s.rangeFences.Load()
+	if fences == nil {
+		return 0, false
+	}
+	for _, f := range *fences {
+		if epoch >= f.floor {
+			continue
+		}
+		for _, id := range parts {
+			if RouterShard(id, f.shards) == f.shard {
+				return f.floor, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// EpochFloorForRange returns the effective remaster-epoch floor for a
+// partition in shard-of-shards' range: the max of the site-wide floor and
+// the matching range fence (0 = never fenced).
+func (s *Site) EpochFloorForRange(shard, shards int) uint64 {
+	floor := s.epochFloor.Load()
+	if fences := s.rangeFences.Load(); fences != nil {
+		for _, f := range *fences {
+			if f.shard == shard && f.shards == shards && f.floor > floor {
+				floor = f.floor
+			}
+		}
+	}
+	return floor
+}

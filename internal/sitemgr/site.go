@@ -209,6 +209,11 @@ type Site struct {
 	epochFloor atomic.Uint64
 	fenceMu    sync.RWMutex
 
+	// rangeFences holds per-router-shard epoch floors installed by
+	// FenceEpochsBelowRange (nil until a sharded selector promotes, so the
+	// single-shard hot path never scans it). Updated under fenceMu.
+	rangeFences atomic.Pointer[[]rangeFence]
+
 	// remu guards the epoch memo maps (idempotent release/grant retries).
 	remu      sync.Mutex
 	relMemo   map[uint64]vclock.Vector
